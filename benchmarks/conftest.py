@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper (or one ablation
+from DESIGN.md).  Besides timing the underlying computation with
+pytest-benchmark, each benchmark *prints* the reproduced rows/series and
+appends them to ``benchmarks/results/<name>.txt`` so the regenerated numbers
+are inspectable after a ``pytest benchmarks/ --benchmark-only`` run, whose
+default output capture would otherwise hide them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class BenchmarkReport:
+    """Collects the rows a benchmark reproduces and writes them to disk."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines: list[str] = []
+
+    def add_line(self, text: str = "") -> None:
+        """Append one line to the report (also echoed to stdout)."""
+        self.lines.append(text)
+        print(text)
+
+    def add_table(self, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+        """Append a fixed-width table."""
+        rows = [tuple(str(cell) for cell in row) for row in rows]
+        widths = [len(header) for header in headers]
+        for row in rows:
+            widths = [max(width, len(cell)) for width, cell in zip(widths, row)]
+        line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+        self.add_line(line)
+        self.add_line("  ".join("-" * width for width in widths))
+        for row in rows:
+            self.add_line("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+    def save(self) -> pathlib.Path:
+        """Write the collected lines to ``benchmarks/results/<name>.txt``."""
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text("\n".join(self.lines) + "\n", encoding="utf-8")
+        return path
+
+
+@pytest.fixture
+def report(request) -> BenchmarkReport:
+    """Per-test report, saved automatically at teardown."""
+    bench_report = BenchmarkReport(request.node.name)
+    yield bench_report
+    if bench_report.lines:
+        bench_report.save()

@@ -1,0 +1,39 @@
+"""Benchmark: Fig. 1b — relative link loads without Fibbing.
+
+Paper claim: with the IGP-TE weights of Fig. 1a, both sources overlap on
+B–R2–C and the relative link load reaches 200 units (overload), while the
+alternate paths (A–R1–R4–C, B–R3–C) stay idle.
+"""
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+
+#: The per-link relative loads Fig. 1b reports (demands of 100 per source).
+PAPER_LOADS = {
+    ("A", "B"): 100.0,
+    ("B", "R2"): 200.0,
+    ("R2", "C"): 200.0,
+    ("A", "R1"): 0.0,
+    ("B", "R3"): 0.0,
+    ("R4", "C"): 0.0,
+}
+
+
+def test_fig1_baseline_loads(benchmark, report):
+    result = benchmark(run_fig1, with_fibbing=False)
+
+    report.add_line("Fig. 1b — relative link loads without Fibbing (paper vs measured)")
+    report.add_table(
+        ["link", "paper", "measured"],
+        [
+            (f"{source}->{target}", f"{expected:.0f}", f"{result.load_of(source, target):.1f}")
+            for (source, target), expected in sorted(PAPER_LOADS.items())
+        ],
+    )
+    report.add_line(f"max relative load: paper 200, measured {result.max_load:.1f}")
+
+    for (source, target), expected in PAPER_LOADS.items():
+        assert result.load_of(source, target) == pytest.approx(expected)
+    assert result.max_load == pytest.approx(200.0)
+    assert result.lie_count == 0

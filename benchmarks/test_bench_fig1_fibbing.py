@@ -1,0 +1,59 @@
+"""Benchmark: Fig. 1c/1d — the Fibbing lies and the resulting link loads.
+
+Paper claim: one fake node at B and two at A (resolving to R3 and twice to
+R1) turn the splits into 1/2–1/2 at B and 1/3–2/3 at A, dropping the maximal
+relative link load from 200 to about 66 while the total carried load grows.
+"""
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+
+#: Per-link relative loads of Fig. 1d (demands of 100 per source).
+PAPER_LOADS = {
+    ("A", "B"): 100.0 / 3,
+    ("A", "R1"): 200.0 / 3,
+    ("B", "R2"): 200.0 / 3,
+    ("B", "R3"): 200.0 / 3,
+    ("R1", "R4"): 200.0 / 3,
+    ("R2", "C"): 200.0 / 3,
+    ("R3", "C"): 200.0 / 3,
+    ("R4", "C"): 200.0 / 3,
+}
+
+
+def test_fig1_fibbing_loads_with_paper_lies(benchmark, report):
+    result = benchmark(run_fig1, with_fibbing=True)
+
+    report.add_line("Fig. 1d — relative link loads with the Fig. 1c lies (paper vs measured)")
+    report.add_table(
+        ["link", "paper", "measured"],
+        [
+            (f"{source}->{target}", f"{expected:.1f}", f"{result.load_of(source, target):.1f}")
+            for (source, target), expected in sorted(PAPER_LOADS.items())
+        ],
+    )
+    report.add_line(
+        f"splits: A={{B: {result.split_at_a['B']:.3f}, R1: {result.split_at_a['R1']:.3f}}} "
+        f"B={{R2: {result.split_at_b['R2']:.2f}, R3: {result.split_at_b['R3']:.2f}}}"
+    )
+    report.add_line(f"fake nodes injected: paper 3, measured {result.lie_count}")
+    report.add_line(f"max relative load: paper ~66, measured {result.max_load:.1f}")
+
+    for (source, target), expected in PAPER_LOADS.items():
+        assert result.load_of(source, target) == pytest.approx(expected, rel=1e-6)
+    assert result.lie_count == 3
+    assert result.split_at_a["R1"] == pytest.approx(2 / 3)
+    assert result.split_at_b == {"R2": 0.5, "R3": 0.5}
+
+
+def test_fig1_fibbing_loads_via_controller_pipeline(benchmark, report):
+    """Same figure, but with lies derived by the controller's own LP pipeline."""
+    result = benchmark(run_fig1, with_fibbing=True, use_controller_pipeline=True)
+
+    report.add_line("Fig. 1d — controller pipeline (LP + approximation + merger)")
+    report.add_line(f"fake nodes injected: {result.lie_count} (paper hand-crafted set: 3)")
+    report.add_line(f"max relative load: {result.max_load:.2f} (paper ~66)")
+
+    assert result.lie_count == 3
+    assert result.max_load == pytest.approx(200.0 / 3, rel=1e-3)

@@ -1,0 +1,71 @@
+"""Benchmark: Fig. 2 — per-link throughput over time under the demo schedule.
+
+Paper claim (Fig. 2): with a single S1→D1 flow at t=0, 30 more at t=15 s and
+31 S2→D2 flows at t=35 s, the Fibbing controller activates B–R3 after the
+first surge and A–R1 after the second, so the maximal link load stays below
+the 4e6 byte/s capacity while the overall carried load keeps growing.
+
+Absolute byte counts depend on the testbed; the benchmark checks the *shape*:
+which links activate, in which order, at which level, and that no link stays
+saturated once the controller has reacted.
+"""
+
+import pytest
+
+from repro.experiments.fig2 import run_demo_timeseries
+
+
+def test_fig2_throughput_timeseries(benchmark, report):
+    result = benchmark.pedantic(
+        run_demo_timeseries, kwargs={"with_controller": True}, rounds=1, iterations=1
+    )
+
+    report.add_line("Fig. 2 — link throughput [byte/s] over time (controller enabled)")
+    sample_times = [5, 14, 20, 30, 34, 40, 50, 59]
+    rows = []
+    for link in result.scenario.monitored_links:
+        series = dict(
+            (int(round(time)), value) for time, value in result.series_of(*link)
+        )
+        rows.append(
+            [f"{link[0]}-{link[1]}"]
+            + [f"{series.get(time, 0.0):,.0f}" for time in sample_times]
+        )
+    report.add_table(["link \\ t[s]"] + [str(t) for t in sample_times], rows)
+    report.add_line(
+        f"controller actions: {len(result.actions)} "
+        f"(lies per action: {[action.lies_injected for action in result.actions]})"
+    )
+    report.add_line(f"total fake nodes at the end of the run: {result.lies_active} (paper: 3)")
+
+    # --- shape assertions ------------------------------------------------ #
+    def first_active(source, target, threshold=1e5):
+        for time, value in result.series_of(source, target):
+            if value > threshold:
+                return time
+        return float("inf")
+
+    capacity_bytes = result.scenario.link_capacity / 8.0
+
+    # Link activation order matches the paper: B-R2 from the start, B-R3
+    # after the first surge, A-R1 only after the second surge.
+    assert first_active("B", "R2") < 15.0
+    assert 15.0 < first_active("B", "R3") < 35.0
+    assert 35.0 < first_active("A", "R1") < 45.0
+
+    # The final throughputs are all significant and below capacity.
+    for link in result.scenario.monitored_links:
+        final = result.final_throughput(*link)
+        assert 1e6 < final < capacity_bytes
+
+    # The paper's lie set (1 at B + 2 at A) is exactly what was installed.
+    assert [action.lies_injected for action in result.actions] == [1, 2]
+    assert result.lies_active == 3
+
+    # Once the controller has reacted to the second surge, the sampled max
+    # utilisation stays clearly below saturation.
+    settle = result.actions[-1].time - result.epoch + 3.0
+    late_utilisation = [
+        value for time, value in result.max_utilization_series if time >= settle
+    ]
+    assert late_utilisation and max(late_utilisation) < 0.95

@@ -1,0 +1,53 @@
+"""Benchmark: §3 results — smooth playback with Fibbing, stutter without.
+
+Paper claim: "The video playbacks are smooth when the Fibbing controller is
+in use and stutter when disabled."  The benchmark runs the identical Fig. 2
+schedule with and without the controller and compares the aggregate QoE.
+"""
+
+import pytest
+
+from repro.experiments.fig2 import run_demo_timeseries
+
+
+def test_qoe_with_and_without_controller(benchmark, report):
+    def run_both():
+        enabled = run_demo_timeseries(with_controller=True)
+        disabled = run_demo_timeseries(with_controller=False)
+        return enabled, disabled
+
+    enabled, disabled = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    report.add_line("§3 — video QoE with and without the Fibbing controller")
+    report.add_table(
+        ["metric", "with controller", "without controller"],
+        [
+            ("sessions", enabled.qoe.sessions, disabled.qoe.sessions),
+            ("smooth sessions", enabled.qoe.smooth_sessions, disabled.qoe.smooth_sessions),
+            ("stalled sessions", enabled.qoe.stalled_sessions, disabled.qoe.stalled_sessions),
+            (
+                "mean rebuffer ratio",
+                f"{enabled.qoe.mean_rebuffer_ratio:.1%}",
+                f"{disabled.qoe.mean_rebuffer_ratio:.1%}",
+            ),
+            (
+                "total stall time [s]",
+                f"{enabled.qoe.total_stall_time:.1f}",
+                f"{disabled.qoe.total_stall_time:.1f}",
+            ),
+            (
+                "mean startup delay [s]",
+                f"{enabled.qoe.mean_startup_delay:.1f}",
+                f"{disabled.qoe.mean_startup_delay:.1f}",
+            ),
+        ],
+    )
+    report.add_line("paper: smooth with the controller, stutters without")
+
+    # With the controller: every playback is smooth (the paper's claim).
+    assert enabled.qoe.all_smooth
+    assert enabled.qoe.total_stall_time == 0.0
+    # Without it: a large share of the sessions stall for a long time.
+    assert disabled.qoe.stalled_sessions >= disabled.qoe.sessions / 2
+    assert disabled.qoe.mean_rebuffer_ratio > 0.15
+    assert disabled.qoe.total_stall_time > 100.0

@@ -1,0 +1,40 @@
+"""Benchmark: ablation A3 — split-ratio approximation error vs ECMP table size.
+
+Fibbing realises uneven ratios by replicating fake equal-cost entries, so the
+granularity is bounded by the router's ECMP table size.  This ablation
+quantifies the L1 error between requested and realised splits as the table
+grows, which is the price Fibbing pays for its "no data-plane overhead"
+property (RSVP-TE pays with encapsulation instead).
+"""
+
+import pytest
+
+from repro.experiments.scaling import run_split_approximation
+
+TABLE_SIZES = (2, 4, 8, 16, 32)
+
+
+def test_split_approximation_error(benchmark, report):
+    rows = benchmark.pedantic(
+        run_split_approximation,
+        kwargs={"table_sizes": TABLE_SIZES, "samples": 300, "next_hops": 3, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    report.add_line("A3 — L1 error of bounded-ECMP split approximation (3-way splits)")
+    report.add_table(
+        ["ECMP table size", "mean L1 error", "worst L1 error"],
+        [
+            (row.max_entries, f"{row.mean_error:.4f}", f"{row.worst_error:.4f}")
+            for row in rows
+        ],
+    )
+
+    errors = [row.mean_error for row in rows]
+    # Error decreases monotonically with the table size ...
+    assert errors == sorted(errors, reverse=True)
+    # ... and is already small at the realistic size of 16 entries.
+    at_16 = next(row for row in rows if row.max_entries == 16)
+    assert at_16.mean_error < 0.05
+    assert at_16.worst_error < 0.15

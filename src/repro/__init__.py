@@ -1,0 +1,66 @@
+"""Reproduction of "Fibbing in action: On-demand load-balancing for better video delivery".
+
+The library reimplements, in pure Python, every system the SIGCOMM'16 demo
+relies on:
+
+* a link-state IGP control plane (:mod:`repro.igp`);
+* a flow-level data plane with max-min fair sharing (:mod:`repro.dataplane`);
+* SNMP-like monitoring and server notifications (:mod:`repro.monitoring`);
+* a video streaming workload with a QoE model (:mod:`repro.video`);
+* the Fibbing controller itself — augmentation, lie management, min-max
+  optimisation and the on-demand load balancer (:mod:`repro.core`);
+* the traffic-engineering baselines it is compared against (:mod:`repro.te`);
+* topology builders, including the paper's Fig. 1 network
+  (:mod:`repro.topologies`);
+* ready-made experiment harnesses regenerating every figure and claim of
+  the paper (:mod:`repro.experiments`).
+
+Quickstart
+----------
+
+>>> from repro import run_fig1
+>>> baseline = run_fig1(with_fibbing=False)
+>>> fibbed = run_fig1(with_fibbing=True)
+>>> round(baseline.max_load), round(fibbed.max_load)
+(200, 67)
+"""
+
+from repro.core import (
+    DestinationRequirement,
+    FibbingController,
+    LieMerger,
+    LoadBalancerPolicy,
+    MinMaxLoadOptimizer,
+    OnDemandLoadBalancer,
+    RequirementSet,
+)
+from repro.dataplane import DataPlaneEngine, TrafficMatrix, route_fractional
+from repro.experiments import run_demo_timeseries, run_fig1
+from repro.igp import IgpNetwork, Topology, compute_static_fibs
+from repro.topologies import build_demo_scenario, build_demo_topology, demo_lies
+from repro.util.prefixes import Prefix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DestinationRequirement",
+    "FibbingController",
+    "LieMerger",
+    "LoadBalancerPolicy",
+    "MinMaxLoadOptimizer",
+    "OnDemandLoadBalancer",
+    "RequirementSet",
+    "DataPlaneEngine",
+    "TrafficMatrix",
+    "route_fractional",
+    "run_demo_timeseries",
+    "run_fig1",
+    "IgpNetwork",
+    "Topology",
+    "compute_static_fibs",
+    "build_demo_scenario",
+    "build_demo_topology",
+    "demo_lies",
+    "Prefix",
+    "__version__",
+]

@@ -1,0 +1,238 @@
+"""The Fibbing controller session.
+
+The controller is the component that actually talks to the IGP: it keeps a
+registry of the lies it maintains, turns forwarding requirements into lies
+(through the augmentation module), reconciles them against the registry, and
+ships the difference to the network — either into a live, event-driven
+:class:`~repro.igp.network.IgpNetwork` through its attachment router (R3 in
+the demo) or, for static analyses, by exposing the active lies for
+:func:`~repro.igp.network.compute_static_fibs`.
+
+It also accounts for every LSA it injects or withdraws, which is the raw
+material of the control-plane overhead comparison against MPLS RSVP-TE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.augmentation import DEFAULT_EPSILON, synthesize_lies
+from repro.core.lies import LieRegistry, LieUpdate
+from repro.core.requirements import DestinationRequirement, RequirementSet
+from repro.igp.fib import Fib
+from repro.igp.lsa import FakeNodeLsa, Lsa
+from repro.igp.network import IgpNetwork, compute_static_fibs
+from repro.igp.topology import Topology
+from repro.util.errors import ControllerError
+from repro.util.prefixes import Prefix
+
+__all__ = ["ControllerStats", "ControllerUpdate", "FibbingController"]
+
+
+@dataclass
+class ControllerStats:
+    """Control-plane overhead counters."""
+
+    lies_injected: int = 0
+    lies_withdrawn: int = 0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    updates_applied: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy for reporting."""
+        return {
+            "lies_injected": self.lies_injected,
+            "lies_withdrawn": self.lies_withdrawn,
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "updates_applied": self.updates_applied,
+        }
+
+
+@dataclass(frozen=True)
+class ControllerUpdate:
+    """One applied change: which lies were injected and withdrawn, and when."""
+
+    time: float
+    injected: Tuple[FakeNodeLsa, ...]
+    withdrawn: Tuple[FakeNodeLsa, ...]
+    unchanged: int
+
+    @property
+    def message_count(self) -> int:
+        """LSAs sent to the network by this update."""
+        return len(self.injected) + len(self.withdrawn)
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether nothing had to change."""
+        return self.message_count == 0
+
+
+class FibbingController:
+    """Programs per-destination forwarding by injecting lies into the IGP."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        name: str = "fibbing-controller",
+        network: Optional[IgpNetwork] = None,
+        attachment: Optional[str] = None,
+        epsilon: float = DEFAULT_EPSILON,
+    ) -> None:
+        self.topology = topology
+        self.name = name
+        self.network = network
+        self.epsilon = epsilon
+        self.registry = LieRegistry(controller=name)
+        self.stats = ControllerStats()
+        self.updates: List[ControllerUpdate] = []
+        self._lie_counter = 0
+        if network is not None and attachment is None:
+            raise ControllerError(
+                "an attachment router must be given when the controller drives a live network"
+            )
+        if attachment is not None and not topology.has_router(attachment):
+            raise ControllerError(f"attachment router {attachment!r} is not in the topology")
+        self.attachment = attachment
+
+    # ------------------------------------------------------------------ #
+    # Requirement enforcement
+    # ------------------------------------------------------------------ #
+    def enforce_requirement(
+        self,
+        requirement: DestinationRequirement,
+        baseline_fibs: Optional[Mapping[str, Fib]] = None,
+    ) -> ControllerUpdate:
+        """Make the network forward as ``requirement`` asks; returns the applied diff."""
+        desired = synthesize_lies(
+            topology=self.topology,
+            requirement=requirement,
+            controller=self.name,
+            epsilon=self.epsilon,
+            baseline_fibs=baseline_fibs,
+            name_factory=self._make_lie_name,
+        )
+        plan = self.registry.plan_update(requirement.prefix, desired)
+        return self._apply(plan)
+
+    def enforce(self, requirements: RequirementSet | Iterable[DestinationRequirement]) -> List[ControllerUpdate]:
+        """Enforce several requirements; the baseline FIBs are computed once."""
+        baseline_fibs = compute_static_fibs(self.topology)
+        applied = []
+        for requirement in requirements:
+            applied.append(self.enforce_requirement(requirement, baseline_fibs))
+        return applied
+
+    def clear_prefix(self, prefix: Prefix) -> ControllerUpdate:
+        """Withdraw every lie programmed for ``prefix``."""
+        plan = self.registry.clear(prefix)
+        return self._apply(plan)
+
+    def clear_all(self) -> List[ControllerUpdate]:
+        """Withdraw every lie the controller maintains."""
+        return [self.clear_prefix(prefix) for prefix in self.registry.prefixes()]
+
+    # ------------------------------------------------------------------ #
+    # State inspection
+    # ------------------------------------------------------------------ #
+    def active_lies(self, prefix: Optional[Prefix] = None) -> List[FakeNodeLsa]:
+        """The LSAs of the currently active lies."""
+        return self.registry.active_lsas(prefix)
+
+    def active_lie_count(self, prefix: Optional[Prefix] = None) -> int:
+        """How many lies are currently active (optionally per prefix)."""
+        return self.registry.active_count(prefix)
+
+    def static_fibs(self, max_ecmp: int = 16) -> Dict[str, Fib]:
+        """Converged FIBs of every router under the currently active lies."""
+        return compute_static_fibs(self.topology, self.active_lies(), max_ecmp=max_ecmp)
+
+    def current_fibs(self) -> Dict[str, Fib]:
+        """FIBs to verify against: the live network's if attached, else static."""
+        if self.network is not None:
+            return self.network.fibs()
+        return self.static_fibs()
+
+    def verify_requirement(
+        self,
+        requirement: DestinationRequirement,
+        fibs: Optional[Mapping[str, Fib]] = None,
+        tolerance: float = 1e-6,
+    ) -> List[str]:
+        """Check that the installed FIBs realise ``requirement``.
+
+        Returns a list of human-readable violations (empty when the network
+        forwards exactly as requested).  The on-demand load balancer calls
+        this after the IGP has re-converged as a closed-loop sanity check;
+        tests use it to prove that synthesised lies do what they promise.
+        """
+        if fibs is None:
+            fibs = self.current_fibs()
+        violations: List[str] = []
+        for router, weights in requirement:
+            total = sum(weights.values())
+            expected = {next_hop: weight / total for next_hop, weight in weights.items()}
+            fib = fibs.get(router)
+            if fib is None or not fib.has_entry(requirement.prefix):
+                violations.append(
+                    f"{router}: no FIB entry for {requirement.prefix}"
+                )
+                continue
+            realised = fib.split_ratios(requirement.prefix)
+            if set(realised) != set(expected):
+                violations.append(
+                    f"{router}: next hops {sorted(realised)} differ from required "
+                    f"{sorted(expected)}"
+                )
+                continue
+            for next_hop, fraction in expected.items():
+                if abs(realised[next_hop] - fraction) > tolerance:
+                    violations.append(
+                        f"{router}: share toward {next_hop} is {realised[next_hop]:.4f}, "
+                        f"required {fraction:.4f}"
+                    )
+        return violations
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _make_lie_name(self, anchor: str) -> str:
+        self._lie_counter += 1
+        return f"{self.name}-fake-{anchor}-{self._lie_counter}"
+
+    def _now(self) -> float:
+        if self.network is not None:
+            return self.network.timeline.now
+        return 0.0
+
+    def _apply(self, plan: LieUpdate) -> ControllerUpdate:
+        now = self._now()
+        to_send: List[Lsa] = list(plan.to_inject)
+        to_send.extend(lsa.withdraw() for lsa in plan.to_withdraw)
+        if self.network is not None and to_send:
+            assert self.attachment is not None  # enforced in __init__
+            self.network.inject(to_send, at_router=self.attachment)
+        self.registry.commit(plan, now=now)
+
+        update = ControllerUpdate(
+            time=now,
+            injected=plan.to_inject,
+            withdrawn=plan.to_withdraw,
+            unchanged=plan.unchanged,
+        )
+        self.updates.append(update)
+        self.stats.updates_applied += 1
+        self.stats.lies_injected += len(plan.to_inject)
+        self.stats.lies_withdrawn += len(plan.to_withdraw)
+        self.stats.messages_sent += len(to_send)
+        self.stats.bytes_sent += sum(lsa.size_bytes for lsa in to_send)
+        return update
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FibbingController(name={self.name!r}, active_lies={self.active_lie_count()}, "
+            f"attached={'yes' if self.network is not None else 'no'})"
+        )

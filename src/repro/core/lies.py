@@ -1,0 +1,203 @@
+"""Lifecycle management of lies.
+
+The controller keeps every lie it has injected in a :class:`LieRegistry`.
+When a new set of lies is computed for a prefix (after a re-optimisation),
+the registry *diffs* it against what is already active so that only the
+difference touches the network: lies that are still needed are left alone,
+new ones are injected, and obsolete ones are withdrawn.  This is what keeps
+the control-plane churn proportional to the change rather than to the total
+amount of programmed state — one of the paper's selling points against
+tunnel-based TE.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.igp.lsa import FakeNodeLsa
+from repro.util.errors import ControllerError
+from repro.util.prefixes import Prefix
+
+__all__ = ["LieState", "Lie", "LieUpdate", "LieRegistry"]
+
+#: A lie's behavioural signature: two lies with the same signature are
+#: interchangeable from the routers' point of view (same anchor, same
+#: resolved next hop, same perceived cost for the same prefix).
+LieSignature = Tuple[str, str, float, Prefix]
+
+
+class LieState(enum.Enum):
+    """Lifecycle of a lie."""
+
+    ACTIVE = "active"
+    WITHDRAWN = "withdrawn"
+
+
+@dataclass
+class Lie:
+    """One injected lie and its lifecycle state."""
+
+    lsa: FakeNodeLsa
+    state: LieState = LieState.ACTIVE
+    injected_at: float = 0.0
+    withdrawn_at: Optional[float] = None
+
+    @property
+    def prefix(self) -> Prefix:
+        """Destination prefix the lie programs."""
+        return self.lsa.prefix
+
+    @property
+    def anchor(self) -> str:
+        """Router the fake node is attached to."""
+        return self.lsa.anchor
+
+    @property
+    def signature(self) -> LieSignature:
+        """Behavioural identity used for diffing (see module docstring)."""
+        return (
+            self.lsa.anchor,
+            self.lsa.forwarding_address,
+            round(self.lsa.total_cost, 9),
+            self.lsa.prefix,
+        )
+
+
+@dataclass(frozen=True)
+class LieUpdate:
+    """The outcome of reconciling desired lies against the registry."""
+
+    prefix: Prefix
+    to_inject: Tuple[FakeNodeLsa, ...]
+    to_withdraw: Tuple[FakeNodeLsa, ...]
+    unchanged: int
+
+    @property
+    def message_count(self) -> int:
+        """Number of LSAs that must be sent to the network for this update."""
+        return len(self.to_inject) + len(self.to_withdraw)
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether the desired state was already in place."""
+        return self.message_count == 0
+
+
+class LieRegistry:
+    """All lies the controller currently maintains, keyed by fake node name."""
+
+    def __init__(self, controller: str = "fibbing-controller") -> None:
+        self.controller = controller
+        self._lies: Dict[str, Lie] = {}
+        self._history: List[Lie] = []
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    def active_lies(self, prefix: Optional[Prefix] = None) -> List[Lie]:
+        """Active lies, optionally restricted to one prefix, sorted by fake node name."""
+        lies = [
+            lie
+            for name, lie in sorted(self._lies.items())
+            if lie.state is LieState.ACTIVE and (prefix is None or lie.prefix == prefix)
+        ]
+        return lies
+
+    def active_lsas(self, prefix: Optional[Prefix] = None) -> List[FakeNodeLsa]:
+        """The LSAs of the active lies (what a static FIB computation needs)."""
+        return [lie.lsa for lie in self.active_lies(prefix)]
+
+    def active_count(self, prefix: Optional[Prefix] = None) -> int:
+        """Number of active lies (optionally for one prefix)."""
+        return len(self.active_lies(prefix))
+
+    def prefixes(self) -> List[Prefix]:
+        """Prefixes that currently have at least one active lie."""
+        return sorted({lie.prefix for lie in self.active_lies()})
+
+    def history(self) -> List[Lie]:
+        """Every lie ever registered (active and withdrawn)."""
+        return list(self._history)
+
+    # ------------------------------------------------------------------ #
+    # Reconciliation
+    # ------------------------------------------------------------------ #
+    def plan_update(self, prefix: Prefix, desired: Iterable[FakeNodeLsa]) -> LieUpdate:
+        """Diff ``desired`` lies for ``prefix`` against the active ones.
+
+        Lies are matched by behavioural signature (anchor, forwarding
+        address, total cost), so re-running the optimizer with an unchanged
+        outcome produces a no-op update even though the freshly synthesised
+        LSAs carry new fake-node names.
+        """
+        desired = list(desired)
+        for lsa in desired:
+            if lsa.prefix != prefix:
+                raise ControllerError(
+                    f"desired lie {lsa.fake_node!r} targets {lsa.prefix}, expected {prefix}"
+                )
+
+        active = self.active_lies(prefix)
+        remaining: Dict[LieSignature, List[Lie]] = {}
+        for lie in active:
+            remaining.setdefault(lie.signature, []).append(lie)
+
+        to_inject: List[FakeNodeLsa] = []
+        unchanged = 0
+        for lsa in desired:
+            signature = (
+                lsa.anchor,
+                lsa.forwarding_address,
+                round(lsa.total_cost, 9),
+                lsa.prefix,
+            )
+            matches = remaining.get(signature)
+            if matches:
+                matches.pop()
+                unchanged += 1
+            else:
+                to_inject.append(lsa)
+
+        to_withdraw = [
+            lie.lsa for lies in remaining.values() for lie in lies
+        ]
+        to_withdraw.sort(key=lambda lsa: lsa.fake_node)
+        return LieUpdate(
+            prefix=prefix,
+            to_inject=tuple(to_inject),
+            to_withdraw=tuple(to_withdraw),
+            unchanged=unchanged,
+        )
+
+    def commit(self, update: LieUpdate, now: float = 0.0) -> None:
+        """Record the effects of an update that has been sent to the network."""
+        for lsa in update.to_inject:
+            if lsa.fake_node in self._lies and self._lies[lsa.fake_node].state is LieState.ACTIVE:
+                raise ControllerError(f"fake node {lsa.fake_node!r} is already active")
+            lie = Lie(lsa=lsa, state=LieState.ACTIVE, injected_at=now)
+            self._lies[lsa.fake_node] = lie
+            self._history.append(lie)
+        for lsa in update.to_withdraw:
+            lie = self._lies.get(lsa.fake_node)
+            if lie is None or lie.state is not LieState.ACTIVE:
+                raise ControllerError(f"cannot withdraw unknown lie {lsa.fake_node!r}")
+            lie.state = LieState.WITHDRAWN
+            lie.withdrawn_at = now
+
+    def clear(self, prefix: Optional[Prefix] = None) -> LieUpdate:
+        """Plan the withdrawal of every active lie (optionally for one prefix)."""
+        active = self.active_lies(prefix)
+        target_prefix = prefix if prefix is not None else (
+            active[0].prefix if active else Prefix.parse("0.0.0.0/0")
+        )
+        return LieUpdate(
+            prefix=target_prefix,
+            to_inject=(),
+            to_withdraw=tuple(lie.lsa for lie in active),
+            unchanged=0,
+        )
+
+    def __len__(self) -> int:
+        return self.active_count()

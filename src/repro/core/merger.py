@@ -1,0 +1,173 @@
+"""Lie reduction (the "merger" pass).
+
+The original Fibbing work devotes significant effort to keeping the number
+of injected fake nodes small — the demo paper leans on that property when it
+claims "very limited control-plane overhead".  This module implements the
+reductions that matter for the load-balancing use case:
+
+* **No-op pruning** — a router whose required split is exactly what the IGP
+  already computes needs no lies at all.  After the LP, most transit routers
+  fall in this category (e.g. R1–R4 in the demo need nothing).
+* **Weight reduction** — weight vectors are divided by their greatest common
+  divisor (a 2:2 split becomes 1:1), and optionally re-approximated with a
+  smaller denominator when the resulting split stays within a configurable
+  error tolerance.
+
+The :class:`MergeReport` records how many ECMP entries and lies each step
+saved, which feeds the lie-count scaling ablation (DESIGN.md, A2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.requirements import DestinationRequirement, RequirementSet
+from repro.core.splitting import approximate_ratios, split_error, weights_to_fractions
+from repro.igp.fib import Fib
+from repro.igp.network import compute_static_fibs
+from repro.igp.topology import Topology
+from repro.util.errors import ControllerError
+from repro.util.validation import check_non_negative
+
+__all__ = ["reduce_weights", "MergeReport", "LieMerger"]
+
+
+def reduce_weights(weights: Mapping[str, int]) -> Dict[str, int]:
+    """Divide a weight vector by its greatest common divisor.
+
+    >>> reduce_weights({"a": 2, "b": 4})
+    {'a': 1, 'b': 2}
+    """
+    positive = {key: int(value) for key, value in weights.items() if value > 0}
+    if not positive:
+        raise ControllerError("cannot reduce an empty weight vector")
+    divisor = 0
+    for value in positive.values():
+        divisor = math.gcd(divisor, value)
+    return {key: value // divisor for key, value in positive.items()}
+
+
+@dataclass
+class MergeReport:
+    """Accounting of what the merger saved."""
+
+    routers_examined: int = 0
+    routers_pruned: int = 0
+    entries_before: int = 0
+    entries_after: int = 0
+    per_prefix: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def entries_saved(self) -> int:
+        """ECMP entries (and hence fake nodes, roughly) avoided by the merger."""
+        return self.entries_before - self.entries_after
+
+
+class LieMerger:
+    """Reduces requirements before they are turned into lies."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        tolerance: float = 0.0,
+        max_entries: int = 16,
+    ) -> None:
+        self.topology = topology
+        self.tolerance = check_non_negative(tolerance, "tolerance")
+        if max_entries < 1:
+            raise ControllerError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+
+    # ------------------------------------------------------------------ #
+    # Single requirement
+    # ------------------------------------------------------------------ #
+    def optimize_requirement(
+        self,
+        requirement: DestinationRequirement,
+        baseline_fibs: Optional[Mapping[str, Fib]] = None,
+        report: Optional[MergeReport] = None,
+    ) -> DestinationRequirement:
+        """Return an equivalent (or tolerance-close) requirement with fewer entries."""
+        if baseline_fibs is None:
+            baseline_fibs = compute_static_fibs(self.topology)
+        if report is None:
+            report = MergeReport()
+
+        pruned: Dict[str, Dict[str, int]] = {}
+        entries_before = requirement.total_entries()
+        for router in requirement.routers:
+            report.routers_examined += 1
+            weights = reduce_weights(requirement.weights_at(router))
+            if self.tolerance > 0:
+                weights = self._shrink_within_tolerance(weights)
+            if self._matches_default(router, requirement, weights, baseline_fibs):
+                report.routers_pruned += 1
+                continue
+            pruned[router] = weights
+
+        optimized = DestinationRequirement(prefix=requirement.prefix, next_hops=pruned)
+        report.entries_before += entries_before
+        report.entries_after += optimized.total_entries()
+        report.per_prefix[str(requirement.prefix)] = (
+            entries_before,
+            optimized.total_entries(),
+        )
+        return optimized
+
+    # ------------------------------------------------------------------ #
+    # Whole requirement sets
+    # ------------------------------------------------------------------ #
+    def optimize(
+        self, requirements: RequirementSet
+    ) -> Tuple[RequirementSet, MergeReport]:
+        """Optimise every requirement of a set; returns the new set and a report."""
+        baseline_fibs = compute_static_fibs(self.topology)
+        report = MergeReport()
+        optimized = RequirementSet()
+        for requirement in requirements:
+            reduced = self.optimize_requirement(requirement, baseline_fibs, report)
+            if reduced.routers:
+                optimized.add(reduced)
+        return optimized, report
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _shrink_within_tolerance(self, weights: Dict[str, int]) -> Dict[str, int]:
+        """Find the smallest-denominator weights within ``tolerance`` of ``weights``."""
+        desired = weights_to_fractions(weights)
+        current_total = sum(weights.values())
+        best = weights
+        for denominator in range(1, current_total):
+            candidate = approximate_ratios(desired, max_entries=denominator)
+            if sum(candidate.values()) > denominator:
+                continue
+            if split_error(desired, candidate) <= self.tolerance:
+                best = candidate
+                break
+        return best
+
+    def _matches_default(
+        self,
+        router: str,
+        requirement: DestinationRequirement,
+        weights: Dict[str, int],
+        baseline_fibs: Mapping[str, Fib],
+    ) -> bool:
+        """Whether the IGP already forwards exactly as the (reduced) requirement asks."""
+        fib = baseline_fibs.get(router)
+        if fib is None or not fib.has_entry(requirement.prefix):
+            return False
+        prefix_fib = fib.lookup(requirement.prefix)
+        if prefix_fib.local and not prefix_fib.entries:
+            return False
+        default_split = prefix_fib.split_ratios()
+        required_split = weights_to_fractions(weights)
+        if set(default_split) != set(required_split):
+            return False
+        return all(
+            abs(default_split[next_hop] - required_split[next_hop]) <= 1e-9
+            for next_hop in required_split
+        )

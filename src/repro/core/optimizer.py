@@ -1,0 +1,359 @@
+"""Min-max link-utilisation optimisation.
+
+Section 2 of the paper argues that Fibbing "can thus theoretically implement
+the optimal solution to the min-max link utilization problem".  This module
+implements that optimal solution as a linear program (solved with scipy's
+HiGHS backend) over per-destination flow variables:
+
+* one non-negative variable per (optimised prefix, directed link) — the
+  amount of traffic toward that prefix carried by that link;
+* flow conservation at every router that does not announce the prefix
+  (announcing routers are sinks);
+* a shared utilisation bound ``theta``: on every link, the optimised flows
+  plus any background load must not exceed ``theta`` times the capacity;
+* objective: minimise ``theta`` plus a vanishing penalty on total flow (the
+  penalty discards cycles and gratuitous detours without affecting the
+  optimal utilisation).
+
+The result converts into per-router fractional splits
+(:meth:`OptimizationResult.to_fractions`), which the controller then
+approximates with integer ECMP weights and enforces with lies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.dataplane.demand import TrafficMatrix
+from repro.dataplane.linkstats import LinkLoads
+from repro.igp.topology import Topology
+from repro.util.errors import ControllerError
+from repro.util.prefixes import Prefix
+
+__all__ = ["OptimizationResult", "MinMaxLoadOptimizer"]
+
+LinkKey = Tuple[str, str]
+
+#: Flows below this fraction of a router's total outgoing flow are dropped
+#: when converting the LP solution into split ratios (they are numerical
+#: noise or negligible trickles not worth a fake node).
+DEFAULT_MIN_FRACTION = 1e-3
+
+
+@dataclass
+class OptimizationResult:
+    """Solution of one min-max optimisation run."""
+
+    objective: float
+    flows: Dict[Prefix, Dict[LinkKey, float]]
+    status: str
+    prefixes: Tuple[Prefix, ...]
+    total_flow: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the LP solved to optimality."""
+        return self.status == "optimal"
+
+    def flow_on(self, prefix: Prefix, source: str, target: str) -> float:
+        """Optimised flow of ``prefix`` on the directed link ``source -> target``."""
+        return self.flows.get(prefix, {}).get((source, target), 0.0)
+
+    def link_loads(self) -> LinkLoads:
+        """Aggregate optimised load per link (all optimised prefixes combined)."""
+        loads = LinkLoads()
+        for prefix, per_link in self.flows.items():
+            for (source, target), value in per_link.items():
+                if value > 0:
+                    loads.add(source, target, value, prefix=prefix)
+        return loads
+
+    def to_fractions(
+        self, min_fraction: float = DEFAULT_MIN_FRACTION
+    ) -> Dict[Prefix, Dict[str, Dict[str, float]]]:
+        """Per-prefix, per-router next-hop fractions implied by the optimised flows.
+
+        Routers whose outgoing flow for a prefix is zero are omitted (they
+        never see that prefix's traffic, so they need no requirement).
+        Next hops carrying less than ``min_fraction`` of a router's outgoing
+        flow are dropped and the remaining fractions re-normalised.
+        """
+        result: Dict[Prefix, Dict[str, Dict[str, float]]] = {}
+        for prefix, per_link in self.flows.items():
+            outgoing: Dict[str, Dict[str, float]] = {}
+            for (source, target), value in per_link.items():
+                if value <= 0:
+                    continue
+                outgoing.setdefault(source, {})[target] = value
+            splits: Dict[str, Dict[str, float]] = {}
+            for router, next_hops in outgoing.items():
+                total = sum(next_hops.values())
+                if total <= 0:
+                    continue
+                kept = {
+                    next_hop: value / total
+                    for next_hop, value in next_hops.items()
+                    if value / total >= min_fraction
+                }
+                if not kept:
+                    continue
+                norm = sum(kept.values())
+                splits[router] = {next_hop: value / norm for next_hop, value in kept.items()}
+            if splits:
+                result[prefix] = splits
+        return result
+
+
+class MinMaxLoadOptimizer:
+    """Computes min-max link-utilisation routings for a set of destinations."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        background: Optional[LinkLoads] = None,
+        flow_penalty: float = 1e-6,
+        max_stretch: Optional[float] = None,
+    ) -> None:
+        """Create an optimizer for ``topology``.
+
+        ``max_stretch`` (optional, in IGP cost units) restricts each prefix's
+        usable links to those that do not lengthen the path by more than the
+        given amount compared with the shortest path from the same router:
+        link ``(u, v)`` is usable for prefix ``p`` only when
+        ``weight(u, v) + dist(v, p) <= dist(u, p) + max_stretch``.  The demo's
+        on-demand load balancer uses a stretch of 1 so that traffic is only
+        spread over reasonable detours (which also matches the paths the
+        paper's controller uses); ``None`` leaves the LP unrestricted.
+        """
+        self.topology = topology
+        self.background = background
+        if flow_penalty < 0:
+            raise ControllerError(f"flow_penalty must be non-negative, got {flow_penalty}")
+        if max_stretch is not None and max_stretch < 0:
+            raise ControllerError(f"max_stretch must be non-negative, got {max_stretch}")
+        self.flow_penalty = flow_penalty
+        self.max_stretch = max_stretch
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def optimize(
+        self,
+        demands: TrafficMatrix,
+        prefixes: Optional[Sequence[Prefix]] = None,
+    ) -> OptimizationResult:
+        """Solve the min-max problem for ``prefixes`` (default: all demanded prefixes)."""
+        if prefixes is None:
+            prefixes = demands.prefixes
+        prefixes = tuple(sorted(set(prefixes)))
+        if not prefixes:
+            raise ControllerError("no prefixes to optimise")
+        for prefix in prefixes:
+            # Raises TopologyError if the prefix is not announced anywhere.
+            self.topology.prefix_attachments(prefix)
+
+        # The link set is (re)read on every run so that the same optimizer
+        # instance stays valid across topology changes (failures, additions).
+        self._links = [link.key for link in self.topology.links]
+        self._link_index = {key: i for i, key in enumerate(self._links)}
+        self._capacities = np.array(
+            [self.topology.link(*key).capacity for key in self._links]
+        )
+
+        num_links = len(self._links)
+        num_vars = len(prefixes) * num_links + 1  # +1 for theta
+        theta_index = num_vars - 1
+        routers = self.topology.routers
+
+        objective = np.full(num_vars, 0.0)
+        objective[theta_index] = 1.0
+        scale = max(demands.total(), 1.0)
+        objective[:theta_index] = self.flow_penalty / scale
+
+        eq_rows: List[int] = []
+        eq_cols: List[int] = []
+        eq_vals: List[float] = []
+        eq_rhs: List[float] = []
+        row = 0
+        for p_index, prefix in enumerate(prefixes):
+            attachments = {
+                attachment.router for attachment in self.topology.prefix_attachments(prefix)
+            }
+            per_ingress = demands.demands_for(prefix)
+            base = p_index * num_links
+            for router in routers:
+                if router in attachments:
+                    continue
+                for link_key, link_idx in self._link_index.items():
+                    source, target = link_key
+                    if source == router:
+                        eq_rows.append(row)
+                        eq_cols.append(base + link_idx)
+                        eq_vals.append(1.0)
+                    elif target == router:
+                        eq_rows.append(row)
+                        eq_cols.append(base + link_idx)
+                        eq_vals.append(-1.0)
+                eq_rhs.append(per_ingress.get(router, 0.0))
+                row += 1
+
+        ub_rows: List[int] = []
+        ub_cols: List[int] = []
+        ub_vals: List[float] = []
+        ub_rhs: List[float] = []
+        for link_idx, link_key in enumerate(self._links):
+            for p_index in range(len(prefixes)):
+                ub_rows.append(link_idx)
+                ub_cols.append(p_index * num_links + link_idx)
+                ub_vals.append(1.0)
+            ub_rows.append(link_idx)
+            ub_cols.append(theta_index)
+            ub_vals.append(-float(self._capacities[link_idx]))
+            background_load = 0.0
+            if self.background is not None:
+                background_load = self.background.load(*link_key)
+            ub_rhs.append(-background_load)
+
+        a_eq = sparse.coo_matrix(
+            (eq_vals, (eq_rows, eq_cols)), shape=(row, num_vars)
+        ).tocsr()
+        a_ub = sparse.coo_matrix(
+            (ub_vals, (ub_rows, ub_cols)), shape=(num_links, num_vars)
+        ).tocsr()
+
+        bounds: List[Tuple[float, Optional[float]]] = [(0.0, None)] * num_vars
+        if self.max_stretch is not None:
+            for p_index, prefix in enumerate(prefixes):
+                base = p_index * num_links
+                distances = self._distance_to_prefix(prefix)
+                for link_key, link_idx in self._link_index.items():
+                    source, target = link_key
+                    source_dist = distances.get(source)
+                    target_dist = distances.get(target)
+                    weight = self.topology.link(source, target).weight
+                    usable = (
+                        source_dist is not None
+                        and target_dist is not None
+                        and weight + target_dist <= source_dist + self.max_stretch + 1e-9
+                    )
+                    if not usable:
+                        bounds[base + link_idx] = (0.0, 0.0)
+
+        solution = linprog(
+            c=objective,
+            A_ub=a_ub,
+            b_ub=np.array(ub_rhs),
+            A_eq=a_eq,
+            b_eq=np.array(eq_rhs),
+            bounds=bounds,
+            method="highs",
+        )
+        if not solution.success:
+            raise ControllerError(
+                f"min-max optimisation failed: {solution.message} (status {solution.status})"
+            )
+
+        values = solution.x
+        # Solver noise threshold: flows this small (relative to the offered
+        # load) are numerical artefacts of the LP vertex, not routing
+        # decisions, and would only confuse the flow decomposition and the
+        # split-ratio extraction downstream.
+        noise = max(1e-9, 1e-8 * demands.total())
+        flows: Dict[Prefix, Dict[LinkKey, float]] = {}
+        total_flow = 0.0
+        for p_index, prefix in enumerate(prefixes):
+            base = p_index * num_links
+            per_link: Dict[LinkKey, float] = {}
+            for link_key, link_idx in self._link_index.items():
+                value = float(values[base + link_idx])
+                if value > noise:
+                    per_link[link_key] = value
+                    total_flow += value
+            per_link = _remove_cycles(per_link)
+            flows[prefix] = per_link
+
+        return OptimizationResult(
+            objective=float(values[theta_index]),
+            flows=flows,
+            status="optimal",
+            prefixes=prefixes,
+            total_flow=total_flow,
+        )
+
+    def _distance_to_prefix(self, prefix: Prefix) -> Dict[str, float]:
+        """Shortest IGP cost from every router to ``prefix`` (multi-source Dijkstra).
+
+        Run backwards from the announcing routers over reversed links, so one
+        run per prefix suffices regardless of the number of ingresses.
+        """
+        import heapq
+
+        reverse: Dict[str, List[Tuple[str, float]]] = {router: [] for router in self.topology.routers}
+        for link in self.topology.links:
+            reverse[link.target].append((link.source, link.weight))
+
+        distances: Dict[str, float] = {}
+        heap: List[Tuple[float, str]] = []
+        for attachment in self.topology.prefix_attachments(prefix):
+            heapq.heappush(heap, (attachment.cost, attachment.router))
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if node in distances:
+                continue
+            distances[node] = cost
+            for predecessor, weight in reverse[node]:
+                if predecessor not in distances:
+                    heapq.heappush(heap, (cost + weight, predecessor))
+        return distances
+
+
+def _remove_cycles(per_link: Dict[LinkKey, float]) -> Dict[LinkKey, float]:
+    """Cancel any flow cycles (defensive; the flow penalty normally prevents them)."""
+    flows = dict(per_link)
+
+    def find_cycle() -> Optional[List[LinkKey]]:
+        graph: Dict[str, List[str]] = {}
+        for (source, target), value in flows.items():
+            if value > 1e-9:
+                graph.setdefault(source, []).append(target)
+        visiting: Dict[str, int] = {}
+        stack: List[str] = []
+
+        def dfs(node: str) -> Optional[List[str]]:
+            visiting[node] = 1
+            stack.append(node)
+            for successor in graph.get(node, []):
+                state = visiting.get(successor, 0)
+                if state == 1:
+                    cycle_start = stack.index(successor)
+                    return stack[cycle_start:] + [successor]
+                if state == 0:
+                    found = dfs(successor)
+                    if found:
+                        return found
+            stack.pop()
+            visiting[node] = 2
+            return None
+
+        for node in sorted(graph):
+            if visiting.get(node, 0) == 0:
+                found = dfs(node)
+                if found:
+                    return list(zip(found, found[1:]))
+        return None
+
+    for _ in range(len(flows) + 1):
+        cycle = find_cycle()
+        if not cycle:
+            break
+        slack = min(flows[link] for link in cycle)
+        for link in cycle:
+            flows[link] -= slack
+            if flows[link] <= 1e-9:
+                del flows[link]
+    return flows

@@ -1,0 +1,72 @@
+"""Tunable knobs shared by the controller and the on-demand load balancer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ControllerError
+from repro.util.validation import check_fraction, check_non_negative, check_positive
+
+__all__ = ["LoadBalancerPolicy"]
+
+
+@dataclass(frozen=True)
+class LoadBalancerPolicy:
+    """Configuration of the on-demand load-balancing service.
+
+    Attributes
+    ----------
+    utilization_threshold:
+        Link utilisation above which the monitoring alarm fires and the
+        service re-optimises (the demo reacts before links saturate, so the
+        default is 0.9).
+    clear_threshold:
+        Utilisation below which the alarm re-arms.
+    alarm_cooldown:
+        Minimum time between two reactions, leaving the previous lies time
+        to propagate and take effect.
+    max_ecmp_entries:
+        Router ECMP table size; bounds the denominator of approximated
+        splitting ratios.
+    min_split_fraction:
+        LP output fractions below this value are dropped (not worth a lie).
+    merge_tolerance:
+        Allowed L1 error when the merger shrinks a weight vector to use
+        fewer fake nodes (0 keeps splits exact).
+    epsilon:
+        Cost reduction used when lies must override (not tie with) the
+        existing shortest path.
+    path_stretch:
+        Maximum extra IGP cost (relative to the shortest path from the same
+        router) a link may add to still be considered by the optimizer.  A
+        stretch of 1 reproduces the paths the demo uses (B–R3–C and
+        A–R1–R4–C) without detouring traffic over long alternate routes;
+        ``None`` lets the LP use every path.
+    """
+
+    utilization_threshold: float = 0.9
+    clear_threshold: float = 0.7
+    alarm_cooldown: float = 3.0
+    max_ecmp_entries: int = 16
+    min_split_fraction: float = 1e-3
+    merge_tolerance: float = 0.0
+    epsilon: float = 1e-3
+    path_stretch: float | None = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.utilization_threshold, "utilization_threshold")
+        check_fraction(self.clear_threshold, "clear_threshold")
+        if self.clear_threshold > self.utilization_threshold:
+            raise ControllerError(
+                "clear_threshold must not exceed utilization_threshold"
+            )
+        check_non_negative(self.alarm_cooldown, "alarm_cooldown")
+        if self.max_ecmp_entries < 1:
+            raise ControllerError(
+                f"max_ecmp_entries must be >= 1, got {self.max_ecmp_entries}"
+            )
+        check_fraction(self.min_split_fraction, "min_split_fraction")
+        check_non_negative(self.merge_tolerance, "merge_tolerance")
+        check_positive(self.epsilon, "epsilon")
+        if self.path_stretch is not None:
+            check_non_negative(self.path_stretch, "path_stretch")

@@ -1,0 +1,100 @@
+"""Approximation of fractional split ratios with bounded ECMP entries.
+
+Routers hash traffic *evenly* over their equal-cost FIB entries, so the only
+way Fibbing can realise a fractional split such as 1/3 vs 2/3 is to install
+an integer number of entries per next hop (1 entry toward B and 2 toward R1
+in the paper's Fig. 1c).  The total number of entries per prefix is bounded
+by the router's ECMP table size, so arbitrary fractions must be approximated.
+
+:func:`approximate_ratios` searches every feasible denominator up to the
+table size and applies the largest-remainder method, returning the weight
+vector with the smallest L1 error (ties broken toward fewer entries, i.e.
+fewer fake nodes to inject).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.util.errors import ControllerError, ValidationError
+from repro.util.validation import check_positive
+
+__all__ = ["approximate_ratios", "split_error", "weights_to_fractions"]
+
+
+def _normalize(fractions: Mapping[str, float]) -> Dict[str, float]:
+    for key, value in fractions.items():
+        if value < 0:
+            raise ValidationError(f"split fraction for {key!r} is negative: {value}")
+    positive = {key: float(value) for key, value in fractions.items() if value > 0}
+    if not positive:
+        raise ValidationError("cannot approximate an empty or all-zero split")
+    total = sum(positive.values())
+    return {key: value / total for key, value in positive.items()}
+
+
+def _largest_remainder(fractions: Dict[str, float], denominator: int) -> Dict[str, int]:
+    """Integer weights summing to ``denominator`` via the largest-remainder method."""
+    ideal = {key: fraction * denominator for key, fraction in fractions.items()}
+    weights = {key: int(value) for key, value in ideal.items()}
+    assigned = sum(weights.values())
+    remainders = sorted(
+        fractions,
+        key=lambda key: (ideal[key] - weights[key], fractions[key], key),
+        reverse=True,
+    )
+    index = 0
+    while assigned < denominator:
+        weights[remainders[index % len(remainders)]] += 1
+        assigned += 1
+        index += 1
+    return {key: weight for key, weight in weights.items() if weight > 0}
+
+
+def weights_to_fractions(weights: Mapping[str, int]) -> Dict[str, float]:
+    """Normalise integer weights back into fractions (the realised split)."""
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValidationError("weights must sum to a positive total")
+    return {key: weight / total for key, weight in weights.items() if weight > 0}
+
+
+def split_error(fractions: Mapping[str, float], weights: Mapping[str, int]) -> float:
+    """L1 distance between the desired fractions and the realised split.
+
+    The error ranges from 0 (exact) to 2 (completely disjoint supports).
+    """
+    desired = _normalize(fractions)
+    realised = weights_to_fractions(weights) if weights else {}
+    keys = set(desired) | set(realised)
+    return sum(abs(desired.get(key, 0.0) - realised.get(key, 0.0)) for key in keys)
+
+
+def approximate_ratios(
+    fractions: Mapping[str, float],
+    max_entries: int = 16,
+) -> Dict[str, int]:
+    """Best integer-weight approximation of ``fractions`` with at most ``max_entries`` entries.
+
+    Every denominator from 1 to ``max_entries`` is tried with the
+    largest-remainder method; the weights with the lowest L1 error win, and
+    among equally good candidates the one using the fewest entries is kept
+    (each extra entry is an extra fake node to inject and maintain).
+
+    >>> approximate_ratios({"B": 1 / 3, "R1": 2 / 3}, max_entries=16)
+    {'B': 1, 'R1': 2}
+    """
+    if max_entries < 1:
+        raise ControllerError(f"max_entries must be >= 1, got {max_entries}")
+    desired = _normalize(fractions)
+    best_weights: Dict[str, int] | None = None
+    best_key: Tuple[float, int] | None = None
+    for denominator in range(1, max_entries + 1):
+        weights = _largest_remainder(desired, denominator)
+        error = split_error(desired, weights)
+        key = (round(error, 12), sum(weights.values()))
+        if best_key is None or key < best_key:
+            best_key = key
+            best_weights = weights
+    assert best_weights is not None  # max_entries >= 1 guarantees one candidate
+    return best_weights

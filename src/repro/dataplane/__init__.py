@@ -1,0 +1,59 @@
+"""Flow-level data plane.
+
+The original demo measured real packets on Mininet virtual links; this
+package reproduces the quantities the paper reports (per-link throughput,
+per-flow rates, congestion) with a fluid, flow-level model:
+
+``flows``
+    Flow descriptors (ingress router, destination prefix, demand) and the
+    book-keeping for collections of flows.
+``demand``
+    Aggregated traffic matrices used by the static analyses and by the
+    TE baselines.
+``forwarding``
+    Routing of traffic over the routers' FIBs: exact fractional splitting
+    (fluid mode) and per-flow ECMP hashing (hash mode), plus loop detection.
+``linkstats``
+    Per-link load accounting and utilisation summaries.
+``fairness``
+    Max-min fair bandwidth sharing (progressive filling) across flows that
+    compete on a bottleneck link.
+``engine``
+    The event-driven simulation loop tying everything to the shared
+    timeline: flow arrivals/departures, FIB changes, SNMP counters, and the
+    periodic sampling used to draw Fig. 2.
+``events``
+    Typed records of everything that happened during a run (for tracing,
+    tests, and benchmark reporting).
+"""
+
+from repro.dataplane.flows import Flow, FlowSet
+from repro.dataplane.demand import TrafficMatrix, DemandEntry
+from repro.dataplane.forwarding import (
+    ForwardingOutcome,
+    route_fractional,
+    route_flows_hashed,
+    forwarding_graph,
+)
+from repro.dataplane.linkstats import LinkLoads, LinkUtilization
+from repro.dataplane.fairness import max_min_fair_allocation
+from repro.dataplane.engine import DataPlaneEngine, LinkSample
+from repro.dataplane.events import SimulationEvent, FlowEvent
+
+__all__ = [
+    "Flow",
+    "FlowSet",
+    "TrafficMatrix",
+    "DemandEntry",
+    "ForwardingOutcome",
+    "route_fractional",
+    "route_flows_hashed",
+    "forwarding_graph",
+    "LinkLoads",
+    "LinkUtilization",
+    "max_min_fair_allocation",
+    "DataPlaneEngine",
+    "LinkSample",
+    "SimulationEvent",
+    "FlowEvent",
+]

@@ -1,0 +1,125 @@
+"""Aggregate traffic matrices.
+
+The TE baselines and the Fibbing optimizer reason about aggregate demands
+(how many bit/s enter at router X toward prefix P) rather than individual
+flows.  :class:`TrafficMatrix` is that aggregation; it can be built directly
+(static experiments like Fig. 1) or derived from a set of flows (the
+controller derives it from the servers' new-client notifications).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+from repro.dataplane.flows import Flow
+from repro.util.errors import ValidationError
+from repro.util.prefixes import Prefix
+from repro.util.validation import check_non_negative
+
+__all__ = ["DemandEntry", "TrafficMatrix"]
+
+
+@dataclass(frozen=True)
+class DemandEntry:
+    """Aggregate demand entering the network at ``ingress`` toward ``prefix``."""
+
+    ingress: str
+    prefix: Prefix
+    rate: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.rate, "rate")
+
+
+class TrafficMatrix:
+    """Mapping from (ingress router, destination prefix) to aggregate rate."""
+
+    def __init__(self, entries: Iterable[DemandEntry] = ()) -> None:
+        self._demands: Dict[Tuple[str, Prefix], float] = {}
+        for entry in entries:
+            self.add(entry.ingress, entry.prefix, entry.rate)
+
+    @classmethod
+    def from_flows(cls, flows: Iterable[Flow]) -> "TrafficMatrix":
+        """Aggregate individual flows into a traffic matrix."""
+        matrix = cls()
+        for flow in flows:
+            matrix.add(flow.ingress, flow.prefix, flow.demand)
+        return matrix
+
+    @classmethod
+    def from_dict(cls, demands: Mapping[Tuple[str, str | Prefix], float]) -> "TrafficMatrix":
+        """Build from a ``{(ingress, prefix): rate}`` dictionary (prefixes may be strings)."""
+        matrix = cls()
+        for (ingress, prefix), rate in demands.items():
+            if isinstance(prefix, str):
+                prefix = Prefix.parse(prefix)
+            matrix.add(ingress, prefix, rate)
+        return matrix
+
+    def add(self, ingress: str, prefix: Prefix, rate: float) -> None:
+        """Add ``rate`` bit/s to the demand from ``ingress`` toward ``prefix``."""
+        check_non_negative(rate, "rate")
+        if not ingress:
+            raise ValidationError("ingress must be a non-empty router name")
+        key = (ingress, prefix)
+        self._demands[key] = self._demands.get(key, 0.0) + rate
+
+    def set(self, ingress: str, prefix: Prefix, rate: float) -> None:
+        """Overwrite the demand from ``ingress`` toward ``prefix``."""
+        check_non_negative(rate, "rate")
+        self._demands[(ingress, prefix)] = rate
+
+    def rate(self, ingress: str, prefix: Prefix) -> float:
+        """Demand from ``ingress`` toward ``prefix`` (0.0 when absent)."""
+        return self._demands.get((ingress, prefix), 0.0)
+
+    @property
+    def prefixes(self) -> List[Prefix]:
+        """All destination prefixes with positive demand, sorted."""
+        return sorted({prefix for (_, prefix), rate in self._demands.items() if rate > 0})
+
+    @property
+    def ingresses(self) -> List[str]:
+        """All ingress routers with positive demand, sorted."""
+        return sorted({ingress for (ingress, _), rate in self._demands.items() if rate > 0})
+
+    def entries(self) -> List[DemandEntry]:
+        """All positive demand entries, sorted for determinism."""
+        return [
+            DemandEntry(ingress=ingress, prefix=prefix, rate=rate)
+            for (ingress, prefix), rate in sorted(
+                self._demands.items(), key=lambda item: (item[0][0], item[0][1])
+            )
+            if rate > 0
+        ]
+
+    def demands_for(self, prefix: Prefix) -> Dict[str, float]:
+        """Per-ingress demands toward ``prefix``."""
+        return {
+            ingress: rate
+            for (ingress, pfx), rate in self._demands.items()
+            if pfx == prefix and rate > 0
+        }
+
+    def total(self) -> float:
+        """Total offered load (bit/s)."""
+        return sum(self._demands.values())
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy of this matrix with every demand multiplied by ``factor``."""
+        check_non_negative(factor, "factor")
+        scaled = TrafficMatrix()
+        for (ingress, prefix), rate in self._demands.items():
+            scaled.set(ingress, prefix, rate * factor)
+        return scaled
+
+    def __iter__(self) -> Iterator[DemandEntry]:
+        return iter(self.entries())
+
+    def __len__(self) -> int:
+        return sum(1 for rate in self._demands.values() if rate > 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TrafficMatrix(entries={len(self)}, total={self.total():.0f} bit/s)"

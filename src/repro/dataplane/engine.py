@@ -1,0 +1,285 @@
+"""Event-driven data-plane simulation engine.
+
+The engine owns the set of active flows and, at every state change (flow
+arrival or departure, FIB update pushed by the control plane), re-routes each
+flow over the current FIBs with per-flow ECMP hashing and re-computes the
+max-min fair rate allocation.  Between state changes rates are constant, so
+byte counters (the quantities SNMP exposes and Fig. 2 plots) are advanced
+analytically — no per-packet work is ever done.
+
+Periodic sampling events record the average per-link throughput since the
+previous sample; the Fig. 2 benchmark plots exactly those samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.dataplane.events import EventLog, SimulationEvent
+from repro.dataplane.fairness import max_min_fair_allocation
+from repro.dataplane.flows import Flow, FlowSet
+from repro.dataplane.forwarding import FlowPath, route_flows_hashed
+from repro.dataplane.linkstats import LinkLoads
+from repro.igp.fib import Fib
+from repro.igp.topology import Topology
+from repro.util.errors import SimulationError
+from repro.util.prefixes import Prefix
+from repro.util.timeline import Timeline
+from repro.util.validation import check_positive
+
+__all__ = ["DataPlaneEngine", "LinkSample"]
+
+LinkKey = Tuple[str, str]
+
+#: Type of the callable giving the engine the routers' current FIBs.  Routers
+#: that have not installed a FIB yet may simply be absent from the mapping.
+FibProvider = Callable[[], Mapping[str, Fib]]
+
+
+@dataclass(frozen=True)
+class LinkSample:
+    """Average per-link throughput (bit/s) over one sampling interval."""
+
+    time: float
+    interval: float
+    rates: Dict[LinkKey, float]
+
+    def rate_of(self, source: str, target: str) -> float:
+        """Average rate on the directed link ``source -> target`` (0.0 if idle)."""
+        return self.rates.get((source, target), 0.0)
+
+
+class DataPlaneEngine:
+    """Flow-level data plane driven by the shared simulation timeline."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        fib_provider: FibProvider,
+        timeline: Timeline,
+        sample_interval: float = 1.0,
+        hash_salt: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.fib_provider = fib_provider
+        self.timeline = timeline
+        self.sample_interval = check_positive(sample_interval, "sample_interval")
+        self.hash_salt = hash_salt
+
+        self.flows = FlowSet()
+        self.events = EventLog()
+        self.samples: List[LinkSample] = []
+
+        self._capacities: Dict[LinkKey, float] = {
+            link.key: link.capacity for link in topology.links
+        }
+        # Current (instantaneous) state, valid since _last_advance.
+        self._flow_rates: Dict[int, float] = {}
+        self._flow_paths: Dict[int, FlowPath] = {}
+        self._link_rates: Dict[LinkKey, float] = {}
+        # Cumulative transmitted bytes (what SNMP interface counters expose).
+        self._link_bytes: Dict[LinkKey, float] = {link.key: 0.0 for link in topology.links}
+        self._flow_bytes: Dict[int, float] = {}
+        self._last_advance = timeline.now
+        self._last_sample_bytes: Dict[LinkKey, float] = dict(self._link_bytes)
+        self._last_sample_time = timeline.now
+
+        self._sample_listeners: List[Callable[[LinkSample], None]] = []
+        self._rate_listeners: List[Callable[[float], None]] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Listeners
+    # ------------------------------------------------------------------ #
+    def on_sample(self, listener: Callable[[LinkSample], None]) -> None:
+        """Register ``listener(sample)`` called after every periodic sample."""
+        self._sample_listeners.append(listener)
+
+    def on_rates_changed(self, listener: Callable[[float], None]) -> None:
+        """Register ``listener(time)`` called whenever flow rates are recomputed."""
+        self._rate_listeners.append(listener)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Begin periodic sampling (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.timeline.schedule_in(self.sample_interval, self._sample, label="dataplane-sample")
+
+    # ------------------------------------------------------------------ #
+    # Flow management
+    # ------------------------------------------------------------------ #
+    def add_flow(self, ingress: str, prefix: Prefix, demand: float, label: str = "") -> Flow:
+        """Start a new flow now; rates are recomputed immediately."""
+        if not self.topology.has_router(ingress):
+            raise SimulationError(f"flow ingress {ingress!r} is not a router of the topology")
+        self._advance_counters()
+        flow = self.flows.create(ingress=ingress, prefix=prefix, demand=demand, label=label)
+        self._flow_bytes[flow.flow_id] = 0.0
+        self.events.record(
+            SimulationEvent(
+                time=self.timeline.now,
+                kind="flow-arrival",
+                details=f"{flow}",
+            )
+        )
+        self._recompute()
+        return flow
+
+    def remove_flow(self, flow_id: int) -> Flow:
+        """Terminate the flow with ``flow_id`` now; rates are recomputed immediately."""
+        self._advance_counters()
+        flow = self.flows.remove(flow_id)
+        self._flow_rates.pop(flow_id, None)
+        self._flow_paths.pop(flow_id, None)
+        self.events.record(
+            SimulationEvent(
+                time=self.timeline.now,
+                kind="flow-departure",
+                details=f"{flow}",
+            )
+        )
+        self._recompute()
+        return flow
+
+    def notify_routing_change(self) -> None:
+        """Tell the engine the FIBs changed; paths and rates are recomputed.
+
+        The control plane calls this (directly or through
+        :meth:`bind_to_network`) after a router installs a new FIB.
+        """
+        self._advance_counters()
+        self.events.record(
+            SimulationEvent(time=self.timeline.now, kind="routing-change", details="FIB update")
+        )
+        self._recompute()
+
+    def bind_to_network(self, network) -> None:
+        """Convenience: recompute paths whenever an IgpNetwork installs a FIB."""
+        network.on_fib_change(lambda _router, _fib: self.notify_routing_change())
+
+    # ------------------------------------------------------------------ #
+    # State inspection
+    # ------------------------------------------------------------------ #
+    def flow_rate(self, flow_id: int) -> float:
+        """Current allocated rate of a flow (bit/s)."""
+        return self._flow_rates.get(flow_id, 0.0)
+
+    def flow_path(self, flow_id: int) -> Optional[FlowPath]:
+        """Current path of a flow (``None`` before the first recomputation)."""
+        return self._flow_paths.get(flow_id)
+
+    def flow_transmitted_bytes(self, flow_id: int) -> float:
+        """Bytes delivered so far for a flow (up to the last counter advance)."""
+        return self._flow_bytes.get(flow_id, 0.0)
+
+    def link_rate(self, source: str, target: str) -> float:
+        """Current instantaneous rate on the directed link ``source -> target``."""
+        return self._link_rates.get((source, target), 0.0)
+
+    def link_transmitted_bytes(self, source: str, target: str) -> float:
+        """Cumulative transmitted bytes on a directed link (SNMP-style counter)."""
+        self._advance_counters()
+        return self._link_bytes[(source, target)]
+
+    def all_link_counters(self) -> Dict[LinkKey, float]:
+        """Snapshot of every link's cumulative byte counter."""
+        self._advance_counters()
+        return dict(self._link_bytes)
+
+    def current_loads(self) -> LinkLoads:
+        """Current instantaneous per-link carried load as a :class:`LinkLoads`."""
+        loads = LinkLoads()
+        for (source, target), rate in self._link_rates.items():
+            if rate > 0:
+                loads.add(source, target, rate)
+        return loads
+
+    def max_link_utilization(self) -> float:
+        """Maximal instantaneous link utilisation across the topology."""
+        return self.current_loads().max_utilization(self.topology)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _advance_counters(self) -> None:
+        """Integrate the constant rates since the last advance into byte counters."""
+        now = self.timeline.now
+        elapsed = now - self._last_advance
+        if elapsed < 0:  # pragma: no cover - defensive
+            raise SimulationError("timeline moved backwards")
+        if elapsed > 0:
+            for link, rate in self._link_rates.items():
+                if rate > 0:
+                    self._link_bytes[link] = self._link_bytes.get(link, 0.0) + rate * elapsed / 8.0
+            for flow_id, rate in self._flow_rates.items():
+                if rate > 0:
+                    self._flow_bytes[flow_id] = (
+                        self._flow_bytes.get(flow_id, 0.0) + rate * elapsed / 8.0
+                    )
+        self._last_advance = now
+
+    def _recompute(self) -> None:
+        """Re-route every flow over the current FIBs and re-allocate rates."""
+        fibs = dict(self.fib_provider())
+        outcome = route_flows_hashed(fibs, self.flows, salt=self.hash_salt)
+        self._flow_paths = dict(outcome.flow_paths)
+
+        flow_links: Dict[int, Tuple[LinkKey, ...]] = {}
+        demands: Dict[int, float] = {}
+        for flow in self.flows:
+            path = self._flow_paths.get(flow.flow_id)
+            demands[flow.flow_id] = flow.demand
+            if path is None or not path.delivered:
+                # Undeliverable flows send nothing (their TCP connection
+                # would never establish); looping flows are included in the
+                # path so tests can detect them, but they get no rate either.
+                flow_links[flow.flow_id] = tuple()
+                demands[flow.flow_id] = 0.0
+                continue
+            flow_links[flow.flow_id] = path.links
+
+        rates = max_min_fair_allocation(flow_links, demands, self._capacities)
+        self._flow_rates = rates
+
+        link_rates: Dict[LinkKey, float] = {}
+        for flow_id, links in flow_links.items():
+            rate = rates.get(flow_id, 0.0)
+            if rate <= 0:
+                continue
+            for link in links:
+                link_rates[link] = link_rates.get(link, 0.0) + rate
+        self._link_rates = link_rates
+
+        for listener in self._rate_listeners:
+            listener(self.timeline.now)
+
+    def _sample(self) -> None:
+        """Periodic sampling: average link rates since the previous sample."""
+        self._advance_counters()
+        now = self.timeline.now
+        interval = now - self._last_sample_time
+        rates: Dict[LinkKey, float] = {}
+        if interval > 0:
+            for link, total_bytes in self._link_bytes.items():
+                previous = self._last_sample_bytes.get(link, 0.0)
+                delta = total_bytes - previous
+                if delta > 0:
+                    rates[link] = delta * 8.0 / interval
+        sample = LinkSample(time=now, interval=interval, rates=rates)
+        self.samples.append(sample)
+        self._last_sample_bytes = dict(self._link_bytes)
+        self._last_sample_time = now
+        for listener in self._sample_listeners:
+            listener(sample)
+        self.timeline.schedule_in(self.sample_interval, self._sample, label="dataplane-sample")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"DataPlaneEngine(flows={len(self.flows)}, t={self.timeline.now:.3f}, "
+            f"samples={len(self.samples)})"
+        )

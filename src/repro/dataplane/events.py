@@ -1,0 +1,63 @@
+"""Typed records of what happened during a simulation run.
+
+The engine appends one :class:`SimulationEvent` per state change (flow
+arrival/departure, routing change, congestion onset), so that tests and
+benchmarks can assert on the *sequence* of events — e.g. "the controller
+reacted before any video stalled" — rather than only on final aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["SimulationEvent", "FlowEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class SimulationEvent:
+    """A generic timestamped event with a kind and free-form details."""
+
+    time: float
+    kind: str
+    details: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.time:8.3f}s] {self.kind}: {self.details}"
+
+
+@dataclass(frozen=True)
+class FlowEvent(SimulationEvent):
+    """An event tied to one specific flow."""
+
+    flow_id: int = -1
+
+
+class EventLog:
+    """Append-only log of simulation events."""
+
+    def __init__(self) -> None:
+        self._events: List[SimulationEvent] = []
+
+    def record(self, event: SimulationEvent) -> None:
+        """Append one event (events must be recorded in time order)."""
+        self._events.append(event)
+
+    def all(self) -> List[SimulationEvent]:
+        """Every recorded event, in order."""
+        return list(self._events)
+
+    def of_kind(self, kind: str) -> List[SimulationEvent]:
+        """Every recorded event of the given kind, in order."""
+        return [event for event in self._events if event.kind == kind]
+
+    def first_of_kind(self, kind: str) -> Optional[SimulationEvent]:
+        """The first event of the given kind, or ``None``."""
+        events = self.of_kind(kind)
+        return events[0] if events else None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)

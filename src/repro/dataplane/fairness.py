@@ -1,0 +1,127 @@
+"""Max-min fair bandwidth sharing.
+
+When several flows compete for a link, TCP (and the video players of the
+demo) converge to an approximately fair share of the bottleneck.  The fluid
+equivalent is the classic *max-min fair allocation* computed by progressive
+filling: all flows grow at the same rate until a link saturates or a flow
+reaches its demand; saturated flows are frozen and the process repeats.
+
+The allocation is exactly what determines whether a video stalls in the
+demo: a flow whose max-min share falls below the video bitrate cannot keep
+its playback buffer full.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.util.errors import SimulationError, ValidationError
+from repro.util.validation import check_non_negative
+
+__all__ = ["max_min_fair_allocation"]
+
+LinkKey = Tuple[str, str]
+
+#: Rates below this value (bit/s) are treated as zero to avoid endless
+#: progressive-filling rounds on numerical dust.
+_RATE_EPSILON = 1e-6
+
+
+def max_min_fair_allocation(
+    flow_links: Mapping[int, Sequence[LinkKey]],
+    demands: Mapping[int, float],
+    capacities: Mapping[LinkKey, float],
+) -> Dict[int, float]:
+    """Compute the max-min fair rate of every flow.
+
+    Parameters
+    ----------
+    flow_links:
+        For each flow id, the sequence of directed links its path traverses.
+        A flow with an empty path (delivered at its ingress) is not
+        capacity-constrained and simply receives its demand.
+    demands:
+        Upper bound (bit/s) on each flow's rate — the application sending
+        rate, e.g. the video bitrate.
+    capacities:
+        Capacity (bit/s) of every link appearing in the paths.
+
+    Returns
+    -------
+    dict
+        Mapping from flow id to allocated rate.
+    """
+    for flow_id in flow_links:
+        if flow_id not in demands:
+            raise ValidationError(f"flow {flow_id} has a path but no demand")
+    rates: Dict[int, float] = {}
+    active: Dict[int, List[LinkKey]] = {}
+    for flow_id, links in flow_links.items():
+        demand = check_non_negative(demands[flow_id], f"demand of flow {flow_id}")
+        if demand <= _RATE_EPSILON:
+            rates[flow_id] = 0.0
+            continue
+        if not links:
+            rates[flow_id] = demand
+            continue
+        for link in links:
+            if link not in capacities:
+                raise ValidationError(f"flow {flow_id} traverses unknown link {link}")
+        rates[flow_id] = 0.0
+        active[flow_id] = list(links)
+
+    remaining: Dict[LinkKey, float] = {}
+    for links in active.values():
+        for link in links:
+            remaining.setdefault(link, float(capacities[link]))
+
+    max_rounds = len(active) + len(remaining) + 1
+    for _ in range(max_rounds):
+        if not active:
+            break
+        # How many active flows traverse each link (a flow crossing a link
+        # twice — which only happens with looping paths — counts twice).
+        usage: Dict[LinkKey, int] = {}
+        for links in active.values():
+            for link in links:
+                usage[link] = usage.get(link, 0) + 1
+
+        # The common increment is limited by the tightest link fair share and
+        # by the closest remaining demand headroom.
+        link_limit = min(
+            (remaining[link] / count for link, count in usage.items() if count > 0),
+            default=float("inf"),
+        )
+        demand_limit = min(
+            demands[flow_id] - rates[flow_id] for flow_id in active
+        )
+        increment = min(link_limit, demand_limit)
+        if increment < 0:
+            raise SimulationError("negative increment during progressive filling")
+
+        if increment > 0:
+            for flow_id, links in active.items():
+                rates[flow_id] += increment
+                for link in links:
+                    remaining[link] -= increment
+
+        # Freeze flows that reached their demand or hit a saturated link.
+        frozen: List[int] = []
+        for flow_id, links in active.items():
+            if demands[flow_id] - rates[flow_id] <= _RATE_EPSILON:
+                frozen.append(flow_id)
+                continue
+            if any(remaining[link] <= _RATE_EPSILON for link in links):
+                frozen.append(flow_id)
+        if not frozen and increment <= _RATE_EPSILON:
+            raise SimulationError(
+                "progressive filling made no progress; capacities may be inconsistent"
+            )
+        for flow_id in frozen:
+            del active[flow_id]
+
+    if active:
+        raise SimulationError(
+            f"progressive filling did not converge; {len(active)} flows still active"
+        )
+    return rates

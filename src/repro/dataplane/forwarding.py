@@ -1,0 +1,246 @@
+"""Routing of traffic over installed FIBs.
+
+Two complementary models are provided, matching how the paper's numbers were
+produced:
+
+* **Fluid (fractional) mode** — aggregate demands are split *exactly*
+  according to each router's FIB weights (this is the long-run average of
+  ECMP hashing over many flows).  Used for the static Fig. 1 loads and by
+  the TE baselines.
+* **Hash mode** — each individual flow is pinned at every router to a single
+  next hop chosen by a deterministic hash of the flow id, weighted by the
+  FIB entry weights.  This reproduces real ECMP behaviour (a single flow
+  never splits) and is what the Fig. 2 time-series experiment uses.
+
+Both modes detect forwarding loops and refuse to silently lose traffic:
+fluid mode raises, hash mode records the flow as looping (so tests can
+assert that Fibbing never creates loops).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.dataplane.demand import TrafficMatrix
+from repro.dataplane.flows import Flow
+from repro.dataplane.linkstats import LinkLoads
+from repro.igp.fib import Fib
+from repro.util.errors import RoutingError
+from repro.util.prefixes import Prefix
+
+__all__ = [
+    "ForwardingOutcome",
+    "FlowPath",
+    "forwarding_graph",
+    "route_fractional",
+    "route_flows_hashed",
+]
+
+
+@dataclass(frozen=True)
+class FlowPath:
+    """The routers traversed by one flow, in order, plus its delivery status."""
+
+    flow_id: int
+    hops: Tuple[str, ...]
+    delivered: bool
+    looped: bool = False
+
+    @property
+    def links(self) -> Tuple[Tuple[str, str], ...]:
+        """The directed links traversed by the flow."""
+        return tuple(zip(self.hops, self.hops[1:]))
+
+
+@dataclass
+class ForwardingOutcome:
+    """Result of routing a demand set or flow set over the current FIBs."""
+
+    loads: LinkLoads
+    delivered: float = 0.0
+    undeliverable: float = 0.0
+    flow_paths: Dict[int, FlowPath] = field(default_factory=dict)
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of the offered load that could not be delivered."""
+        total = self.delivered + self.undeliverable
+        return self.undeliverable / total if total > 0 else 0.0
+
+
+def forwarding_graph(
+    fibs: Mapping[str, Fib], prefix: Prefix
+) -> Dict[str, Dict[str, float]]:
+    """Per-destination forwarding graph: ``{router: {next_hop: fraction}}``.
+
+    Routers that deliver the prefix locally map to an empty dictionary.
+    Routers without any FIB entry for the prefix are simply absent.
+    """
+    graph: Dict[str, Dict[str, float]] = {}
+    for router, fib in fibs.items():
+        if not fib.has_entry(prefix):
+            continue
+        prefix_fib = fib.lookup(prefix)
+        if prefix_fib.local:
+            graph[router] = {}
+        else:
+            graph[router] = prefix_fib.split_ratios()
+    return graph
+
+
+def _topological_order(graph: Dict[str, Dict[str, float]]) -> List[str]:
+    """Topological order of the per-destination forwarding graph.
+
+    Raises :class:`RoutingError` when the graph contains a cycle, i.e. when
+    the installed FIBs would forward traffic in a loop.
+    """
+    in_degree: Dict[str, int] = {node: 0 for node in graph}
+    for node, next_hops in graph.items():
+        for next_hop in next_hops:
+            if next_hop in in_degree:
+                in_degree[next_hop] += 1
+    ready = sorted(node for node, degree in in_degree.items() if degree == 0)
+    order: List[str] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for next_hop in sorted(graph.get(node, {})):
+            if next_hop not in in_degree:
+                continue
+            in_degree[next_hop] -= 1
+            if in_degree[next_hop] == 0:
+                ready.append(next_hop)
+        ready.sort()
+    if len(order) != len(graph):
+        cyclic = sorted(set(graph) - set(order))
+        raise RoutingError(f"forwarding loop detected among routers {cyclic}")
+    return order
+
+
+def route_fractional(
+    fibs: Mapping[str, Fib],
+    demands: TrafficMatrix,
+) -> ForwardingOutcome:
+    """Route aggregate demands with exact fractional ECMP splitting.
+
+    For every destination prefix, demands are propagated through the
+    per-destination forwarding graph in topological order; each router
+    forwards the traffic it receives (plus its own ingress demand) to its
+    next hops proportionally to the FIB weights.  Traffic reaching a router
+    that delivers the prefix locally counts as delivered; traffic entering at
+    a router without a route counts as undeliverable.
+    """
+    outcome = ForwardingOutcome(loads=LinkLoads())
+    for prefix in demands.prefixes:
+        per_ingress = demands.demands_for(prefix)
+        graph = forwarding_graph(fibs, prefix)
+        order = _topological_order(graph)
+
+        incoming: Dict[str, float] = {router: 0.0 for router in graph}
+        for ingress, rate in per_ingress.items():
+            if ingress not in graph:
+                outcome.undeliverable += rate
+                continue
+            incoming[ingress] += rate
+
+        for router in order:
+            carried = incoming.get(router, 0.0)
+            if carried <= 0.0:
+                continue
+            next_hops = graph[router]
+            if not next_hops:
+                # Local delivery at the router announcing the prefix.
+                outcome.delivered += carried
+                continue
+            for next_hop, fraction in next_hops.items():
+                share = carried * fraction
+                if share <= 0.0:
+                    continue
+                outcome.loads.add(router, next_hop, share, prefix=prefix)
+                if next_hop in incoming:
+                    incoming[next_hop] += share
+                else:
+                    # Next hop has no route for the prefix: traffic is lost
+                    # there (it would be dropped by the real router too).
+                    outcome.undeliverable += share
+    return outcome
+
+
+def _hash_fraction(flow_id: int, router: str, salt: int) -> float:
+    """Deterministic per-(flow, router) value in [0, 1) used for ECMP hashing.
+
+    Real routers hash the five-tuple; here the flow id plays that role.  The
+    hash must be independent across routers (hence the router name in the
+    digest) so that consecutive routers make independent choices, and stable
+    across runs for reproducibility.
+    """
+    digest = hashlib.sha256(f"{salt}:{flow_id}:{router}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _pick_next_hop(split: Mapping[str, float], fraction: float) -> str:
+    """Map a hash value in [0, 1) to a next hop according to the split weights."""
+    cumulative = 0.0
+    last = ""
+    for next_hop in sorted(split):
+        cumulative += split[next_hop]
+        last = next_hop
+        if fraction < cumulative:
+            return next_hop
+    return last  # numerical slack: the hash fell into the rounding tail
+
+
+def route_flows_hashed(
+    fibs: Mapping[str, Fib],
+    flows: Iterable[Flow],
+    salt: int = 0,
+    max_hops: int = 64,
+) -> ForwardingOutcome:
+    """Route individual flows with per-flow ECMP hashing (no per-flow splitting).
+
+    Every flow is walked hop by hop from its ingress: at each router the FIB
+    entry is chosen by a deterministic hash of the flow id, weighted by the
+    entry weights.  The outcome records each flow's path so that the engine
+    can later allocate fair-share rates along those exact paths.
+    """
+    outcome = ForwardingOutcome(loads=LinkLoads())
+    for flow in flows:
+        hops: List[str] = [flow.ingress]
+        current = flow.ingress
+        delivered = False
+        looped = False
+        visited: Set[str] = {flow.ingress}
+        for _ in range(max_hops):
+            fib = fibs.get(current)
+            if fib is None or not fib.has_entry(flow.prefix):
+                break
+            prefix_fib = fib.lookup(flow.prefix)
+            if prefix_fib.local and not prefix_fib.entries:
+                delivered = True
+                break
+            if prefix_fib.local:
+                # The router both announces the prefix and has equal-cost
+                # remote entries (multi-homed prefix): local delivery wins.
+                delivered = True
+                break
+            split = prefix_fib.split_ratios()
+            if not split:
+                break
+            next_hop = _pick_next_hop(split, _hash_fraction(flow.flow_id, current, salt))
+            outcome.loads.add(current, next_hop, flow.demand, prefix=flow.prefix)
+            hops.append(next_hop)
+            if next_hop in visited:
+                looped = True
+                break
+            visited.add(next_hop)
+            current = next_hop
+        if delivered:
+            outcome.delivered += flow.demand
+        else:
+            outcome.undeliverable += flow.demand
+        outcome.flow_paths[flow.flow_id] = FlowPath(
+            flow_id=flow.flow_id, hops=tuple(hops), delivered=delivered, looped=looped
+        )
+    return outcome

@@ -1,0 +1,128 @@
+"""Per-link load accounting and utilisation summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.igp.topology import Topology
+from repro.util.errors import TopologyError
+from repro.util.prefixes import Prefix
+from repro.util.validation import check_non_negative
+
+__all__ = ["LinkLoads", "LinkUtilization"]
+
+LinkKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class LinkUtilization:
+    """Utilisation of one directed link: carried load relative to capacity."""
+
+    link: LinkKey
+    load: float
+    capacity: float
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the capacity in use (may exceed 1.0 when oversubscribed)."""
+        return self.load / self.capacity if self.capacity > 0 else 0.0
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether the offered load exceeds the link capacity."""
+        return self.load > self.capacity
+
+
+class LinkLoads:
+    """Accumulated per-link (and optionally per-prefix) offered load in bit/s."""
+
+    def __init__(self) -> None:
+        self._loads: Dict[LinkKey, float] = {}
+        self._per_prefix: Dict[LinkKey, Dict[Prefix, float]] = {}
+
+    def add(self, source: str, target: str, rate: float, prefix: Optional[Prefix] = None) -> None:
+        """Add ``rate`` bit/s of load on the directed link ``source -> target``."""
+        check_non_negative(rate, "rate")
+        key = (source, target)
+        self._loads[key] = self._loads.get(key, 0.0) + rate
+        if prefix is not None:
+            breakdown = self._per_prefix.setdefault(key, {})
+            breakdown[prefix] = breakdown.get(prefix, 0.0) + rate
+
+    def load(self, source: str, target: str) -> float:
+        """Current load on ``source -> target`` (0.0 when untouched)."""
+        return self._loads.get((source, target), 0.0)
+
+    def per_prefix(self, source: str, target: str) -> Dict[Prefix, float]:
+        """Per-destination-prefix breakdown of the load on one link."""
+        return dict(self._per_prefix.get((source, target), {}))
+
+    def links(self) -> List[LinkKey]:
+        """All links that carry a non-zero load, sorted."""
+        return sorted(key for key, load in self._loads.items() if load > 0)
+
+    def total(self) -> float:
+        """Sum of the loads over all links (bit/s x hops)."""
+        return sum(self._loads.values())
+
+    def merge(self, other: "LinkLoads") -> "LinkLoads":
+        """Return a new :class:`LinkLoads` combining this one and ``other``."""
+        combined = LinkLoads()
+        for source_target, load in self._loads.items():
+            combined.add(source_target[0], source_target[1], load)
+        for source_target, breakdown in self._per_prefix.items():
+            for prefix, load in breakdown.items():
+                combined._per_prefix.setdefault(source_target, {}).setdefault(prefix, 0.0)
+                combined._per_prefix[source_target][prefix] += load
+        for source_target, load in other._loads.items():
+            combined.add(source_target[0], source_target[1], load)
+        for source_target, breakdown in other._per_prefix.items():
+            for prefix, load in breakdown.items():
+                combined._per_prefix.setdefault(source_target, {}).setdefault(prefix, 0.0)
+                combined._per_prefix[source_target][prefix] += load
+        return combined
+
+    # ------------------------------------------------------------------ #
+    # Utilisation views (need the topology for capacities)
+    # ------------------------------------------------------------------ #
+    def utilizations(self, topology: Topology) -> List[LinkUtilization]:
+        """Utilisation of every directed link of ``topology`` (including idle ones)."""
+        result = []
+        for link in topology.links:
+            result.append(
+                LinkUtilization(
+                    link=link.key,
+                    load=self.load(link.source, link.target),
+                    capacity=link.capacity,
+                )
+            )
+        return result
+
+    def utilization_of(self, topology: Topology, source: str, target: str) -> LinkUtilization:
+        """Utilisation of one directed link (raises if the link does not exist)."""
+        link = topology.link(source, target)
+        return LinkUtilization(link=link.key, load=self.load(source, target), capacity=link.capacity)
+
+    def max_utilization(self, topology: Topology) -> float:
+        """The maximal link utilisation — the quantity the paper's TE minimises."""
+        utilizations = self.utilizations(topology)
+        return max((entry.utilization for entry in utilizations), default=0.0)
+
+    def overloaded_links(self, topology: Topology, threshold: float = 1.0) -> List[LinkUtilization]:
+        """Links whose utilisation is at or above ``threshold``, sorted by link key."""
+        return [
+            entry
+            for entry in self.utilizations(topology)
+            if entry.utilization >= threshold and entry.load > 0
+        ]
+
+    def __iter__(self) -> Iterator[Tuple[LinkKey, float]]:
+        for key in sorted(self._loads):
+            yield key, self._loads[key]
+
+    def __len__(self) -> int:
+        return len(self._loads)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"LinkLoads(links={len(self._loads)}, total={self.total():.0f})"

@@ -1,0 +1,116 @@
+"""Control-plane and data-plane overhead comparison (the §2 claim).
+
+The paper argues that Fibbing programs per-destination multi-path with
+"very limited control-plane overhead" and "no data-plane overhead", while
+MPLS RSVP-TE needs per-path tunnels, signalling, and packet encapsulation.
+This experiment quantifies both sides on the same instances: for a growing
+number of rebalanced destinations, it runs the Fibbing pipeline and the
+RSVP-TE baseline on identical (topology, demand) inputs and reports the
+amount of state, the number of control messages, the control bytes, and the
+per-packet overhead each needs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.policies import LoadBalancerPolicy
+from repro.dataplane.demand import TrafficMatrix
+from repro.igp.lsa import ESTIMATED_LSA_BYTES
+from repro.igp.topology import Topology
+from repro.te.fibbing import FibbingTe
+from repro.te.mpls import MplsRsvpTe
+from repro.topologies.random import random_topology
+from repro.util.errors import ValidationError
+from repro.util.units import mbps
+
+__all__ = ["OverheadRow", "run_overhead_comparison", "build_flash_crowd_demands"]
+
+#: Estimated size of one RSVP PATH or RESV message, in bytes (conservative).
+RSVP_MESSAGE_BYTES = 128
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Overhead of one scheme for one number of rebalanced destinations."""
+
+    scheme: str
+    destinations: int
+    state_entries: int
+    control_messages: int
+    control_bytes: int
+    per_packet_overhead_bytes: int
+    max_utilization: float
+
+
+def build_flash_crowd_demands(
+    topology: Topology,
+    destinations: int,
+    sources_per_destination: int = 2,
+    rate: float = mbps(20),
+    seed: int = 0,
+) -> TrafficMatrix:
+    """Synthetic flash crowd: a few heavy sources per stressed destination."""
+    if destinations < 1:
+        raise ValidationError(f"destinations must be >= 1, got {destinations}")
+    prefixes = topology.prefixes
+    if destinations > len(prefixes):
+        raise ValidationError(
+            f"topology only announces {len(prefixes)} prefixes, cannot stress {destinations}"
+        )
+    rng = random.Random(seed)
+    demands = TrafficMatrix()
+    routers = topology.routers
+    for prefix in prefixes[:destinations]:
+        attachment_routers = {att.router for att in topology.prefix_attachments(prefix)}
+        candidates = [router for router in routers if router not in attachment_routers]
+        sources = rng.sample(candidates, min(sources_per_destination, len(candidates)))
+        for source in sources:
+            demands.add(source, prefix, rate)
+    return demands
+
+
+def run_overhead_comparison(
+    destination_counts: Sequence[int] = (1, 2, 4, 8),
+    topology: Optional[Topology] = None,
+    seed: int = 0,
+    policy: LoadBalancerPolicy = LoadBalancerPolicy(),
+) -> List[OverheadRow]:
+    """Compare Fibbing and RSVP-TE overheads for growing destination counts."""
+    if topology is None:
+        topology = random_topology(num_routers=12, edge_probability=0.3, seed=seed)
+    rows: List[OverheadRow] = []
+    for count in destination_counts:
+        demands = build_flash_crowd_demands(topology, destinations=count, seed=seed)
+
+        fibbing = FibbingTe(policy=policy)
+        fibbing_outcome = fibbing.route(topology, demands)
+        assert fibbing.controller is not None  # populated by route()
+        rows.append(
+            OverheadRow(
+                scheme="fibbing",
+                destinations=count,
+                state_entries=fibbing_outcome.control_state,
+                control_messages=fibbing_outcome.control_messages,
+                control_bytes=fibbing.controller.stats.bytes_sent,
+                per_packet_overhead_bytes=fibbing_outcome.per_packet_overhead_bytes,
+                max_utilization=fibbing_outcome.max_utilization,
+            )
+        )
+
+        mpls = MplsRsvpTe()
+        mpls_outcome = mpls.route(topology, demands)
+        rows.append(
+            OverheadRow(
+                scheme="mpls-rsvp-te",
+                destinations=count,
+                state_entries=mpls_outcome.control_state,
+                control_messages=mpls_outcome.control_messages,
+                control_bytes=mpls_outcome.control_messages * RSVP_MESSAGE_BYTES,
+                per_packet_overhead_bytes=mpls_outcome.per_packet_overhead_bytes,
+                max_utilization=mpls_outcome.max_utilization,
+            )
+        )
+    return rows

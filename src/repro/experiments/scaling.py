@@ -1,0 +1,145 @@
+"""Extended ablations: lie-count scaling and split-approximation error.
+
+These back the design-choice discussions of DESIGN.md:
+
+* **A2 — lie-count scaling**: how many fake-node LSAs the controller needs
+  as the topology and the number of rebalanced destinations grow, with and
+  without the merger pass (which prunes requirements the IGP already
+  satisfies and reduces weight vectors).
+* **A3 — split approximation**: the error between a requested fractional
+  split and what a bounded number of ECMP entries can realise, as a
+  function of the table size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.merger import LieMerger
+from repro.core.optimizer import MinMaxLoadOptimizer
+from repro.core.requirements import DestinationRequirement, RequirementSet
+from repro.core.splitting import approximate_ratios, split_error
+from repro.core.augmentation import synthesize_lies
+from repro.experiments.overhead import build_flash_crowd_demands
+from repro.igp.network import compute_static_fibs
+from repro.topologies.isp import synthetic_isp
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "LieScalingRow",
+    "SplitApproximationRow",
+    "run_lie_scaling",
+    "run_split_approximation",
+]
+
+
+@dataclass(frozen=True)
+class LieScalingRow:
+    """Lie counts for one (topology size, destination count) instance."""
+
+    core_size: int
+    pops: int
+    routers: int
+    destinations: int
+    lies_without_merger: int
+    lies_with_merger: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of lies saved by the merger pass."""
+        if self.lies_without_merger == 0:
+            return 0.0
+        return 1.0 - self.lies_with_merger / self.lies_without_merger
+
+
+@dataclass(frozen=True)
+class SplitApproximationRow:
+    """Average/worst split approximation error for one ECMP table size."""
+
+    max_entries: int
+    mean_error: float
+    worst_error: float
+
+
+def run_lie_scaling(
+    core_sizes: Sequence[int] = (4, 6, 8),
+    pops: int = 3,
+    destinations: int = 3,
+    seed: int = 0,
+) -> List[LieScalingRow]:
+    """Measure lie counts on synthetic ISP topologies of growing size."""
+    rows: List[LieScalingRow] = []
+    for core_size in core_sizes:
+        topology = synthetic_isp(core_size=core_size, pops=pops, prefixes_per_pop=2, seed=seed)
+        demands = build_flash_crowd_demands(
+            topology, destinations=destinations, sources_per_destination=3, seed=seed
+        )
+        optimizer = MinMaxLoadOptimizer(topology)
+        result = optimizer.optimize(demands)
+        fractions = result.to_fractions()
+
+        requirements = RequirementSet(
+            DestinationRequirement.from_fractions(prefix, per_router)
+            for prefix, per_router in fractions.items()
+        )
+        baseline_fibs = compute_static_fibs(topology)
+
+        lies_without = 0
+        for requirement in requirements:
+            lies_without += len(
+                synthesize_lies(topology, requirement, baseline_fibs=baseline_fibs)
+            )
+
+        merger = LieMerger(topology)
+        reduced, _report = merger.optimize(requirements)
+        lies_with = 0
+        for requirement in reduced:
+            lies_with += len(
+                synthesize_lies(topology, requirement, baseline_fibs=baseline_fibs)
+            )
+
+        rows.append(
+            LieScalingRow(
+                core_size=core_size,
+                pops=pops,
+                routers=topology.num_routers,
+                destinations=destinations,
+                lies_without_merger=lies_without,
+                lies_with_merger=lies_with,
+            )
+        )
+    return rows
+
+
+def run_split_approximation(
+    table_sizes: Sequence[int] = (2, 4, 8, 16, 32),
+    samples: int = 200,
+    next_hops: int = 3,
+    seed: int = 0,
+) -> List[SplitApproximationRow]:
+    """Measure the L1 error of bounded-denominator split approximation."""
+    if samples < 1:
+        raise ValidationError(f"samples must be >= 1, got {samples}")
+    rng = random.Random(seed)
+    targets: List[Dict[str, float]] = []
+    for _ in range(samples):
+        raw = [rng.random() + 1e-6 for _ in range(next_hops)]
+        total = sum(raw)
+        targets.append({f"nh{i}": value / total for i, value in enumerate(raw)})
+
+    rows: List[SplitApproximationRow] = []
+    for max_entries in table_sizes:
+        errors = []
+        for target in targets:
+            weights = approximate_ratios(target, max_entries=max_entries)
+            errors.append(split_error(target, weights))
+        rows.append(
+            SplitApproximationRow(
+                max_entries=max_entries,
+                mean_error=sum(errors) / len(errors),
+                worst_error=max(errors),
+            )
+        )
+    return rows

@@ -1,0 +1,82 @@
+"""Link-state IGP substrate (OSPF-like control plane).
+
+The original demo ran OSPF (Quagga) inside a Mininet testbed.  This package
+is a from-scratch, laptop-scale implementation of the control-plane pipeline
+the demo depends on:
+
+``topology``
+    Physical routers, links (weights, capacities, delays) and attached
+    destination prefixes.
+``lsa``
+    Link-state advertisements: router LSAs, prefix LSAs and the *fake* LSAs
+    injected by the Fibbing controller.
+``lsdb``
+    Per-router link-state database, keyed by LSA identity and sequence
+    number.
+``graph``
+    The computation graph a router derives from its LSDB (real and fake
+    nodes, directed weighted edges, per-node prefix announcements).
+``spf``
+    Dijkstra shortest-path-first with full ECMP next-hop sets.
+``rib`` / ``fib``
+    Per-prefix routes and forwarding entries; the FIB resolves fake
+    next-hops to physical ones, preserving multiplicity (this is what gives
+    Fibbing its uneven splitting ratios).
+``flooding``
+    Reliable LSA flooding between adjacent routers with propagation delays.
+``router``
+    The per-router process tying LSDB, SPF scheduling and FIB installation
+    together.
+``network``
+    Orchestration of a whole IGP domain plus a static (non event-driven)
+    route computation used by baselines and quick analyses.
+``convergence``
+    Helpers to measure how long the domain takes to reach a stable set of
+    FIBs after a change.
+"""
+
+from repro.igp.topology import Topology, Link, RouterInfo, PrefixAttachment
+from repro.igp.lsa import (
+    Lsa,
+    RouterLsa,
+    PrefixLsa,
+    FakeNodeLsa,
+    LsaKey,
+)
+from repro.igp.graph import ComputationGraph
+from repro.igp.spf import ShortestPaths, compute_spf
+from repro.igp.rib import Route, Rib
+from repro.igp.fib import Fib, FibEntry, resolve_rib_to_fib
+from repro.igp.lsdb import LinkStateDatabase
+from repro.igp.router import RouterProcess, RouterTimers
+from repro.igp.flooding import FloodingFabric, FloodingStats
+from repro.igp.network import IgpNetwork, compute_static_fibs
+from repro.igp.convergence import ConvergenceTracker
+
+__all__ = [
+    "Topology",
+    "Link",
+    "RouterInfo",
+    "PrefixAttachment",
+    "Lsa",
+    "RouterLsa",
+    "PrefixLsa",
+    "FakeNodeLsa",
+    "LsaKey",
+    "ComputationGraph",
+    "ShortestPaths",
+    "compute_spf",
+    "Route",
+    "Rib",
+    "Fib",
+    "FibEntry",
+    "resolve_rib_to_fib",
+    "LinkStateDatabase",
+    "RouterProcess",
+    "RouterTimers",
+    "FloodingFabric",
+    "FloodingStats",
+    "IgpNetwork",
+    "compute_static_fibs",
+    "ConvergenceTracker",
+]

@@ -1,0 +1,123 @@
+"""Reliable LSA flooding between adjacent routers.
+
+The fabric models what OSPF flooding provides to the rest of the system:
+every LSA originated (or injected by the Fibbing controller at its
+attachment point) eventually reaches every router, propagating hop by hop
+with per-link delays, and duplicate instances stop spreading as soon as a
+router recognises them as stale.
+
+The fabric also keeps counters (messages, bytes) that the control-plane
+overhead benchmark reads to compare Fibbing against the MPLS RSVP-TE
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.igp.lsa import Lsa
+from repro.igp.topology import Topology
+from repro.util.errors import TopologyError
+from repro.util.timeline import Timeline
+from repro.util.validation import check_non_negative
+
+__all__ = ["FloodingFabric", "FloodingStats"]
+
+#: Per-hop processing delay added on top of the link propagation delay, in
+#: seconds.  Mirrors the per-LSA processing cost of a software router.
+DEFAULT_PROCESSING_DELAY = 0.002
+
+
+@dataclass
+class FloodingStats:
+    """Counters describing the flooding traffic seen so far."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    deliveries: int = 0
+    duplicates_suppressed: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy for reporting."""
+        return {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "deliveries": self.deliveries,
+            "duplicates_suppressed": self.duplicates_suppressed,
+        }
+
+
+class FloodingFabric:
+    """Delivers LSAs between adjacent routers with realistic delays."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        timeline: Timeline,
+        processing_delay: float = DEFAULT_PROCESSING_DELAY,
+    ) -> None:
+        self.topology = topology
+        self.timeline = timeline
+        self.processing_delay = check_non_negative(processing_delay, "processing_delay")
+        self.stats = FloodingStats()
+        # Set by the IgpNetwork once the router processes exist.
+        self._deliver: Optional[Callable[[str, Lsa, Optional[str]], None]] = None
+
+    def bind(self, deliver: Callable[[str, Lsa, Optional[str]], None]) -> None:
+        """Register the callback used to hand an LSA to a router process.
+
+        The callback signature is ``deliver(router_name, lsa, from_neighbor)``.
+        """
+        self._deliver = deliver
+
+    def send(self, source: str, target: str, lsa: Lsa) -> None:
+        """Send ``lsa`` from ``source`` to its direct neighbor ``target``."""
+        if self._deliver is None:
+            raise TopologyError("flooding fabric is not bound to any router processes")
+        link = self.topology.link(source, target)
+        delay = link.delay + self.processing_delay
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += lsa.size_bytes
+        self.timeline.schedule_in(
+            delay,
+            lambda: self._deliver_one(target, lsa, source),
+            label=f"lsa-delivery:{source}->{target}:{lsa.key}",
+        )
+
+    def flood_from(self, origin: str, lsa: Lsa, exclude: Optional[str] = None) -> None:
+        """Send ``lsa`` from ``origin`` to every neighbor except ``exclude``."""
+        for neighbor in self.topology.neighbors(origin):
+            if neighbor == exclude:
+                continue
+            self.send(origin, neighbor, lsa)
+
+    def inject(self, router: str, lsa: Lsa) -> None:
+        """Deliver ``lsa`` directly to ``router``, as the controller session does.
+
+        The Fibbing controller maintains an adjacency with a single router
+        (R3 in the demo); from the IGP's point of view an injected lie is
+        simply an LSA received over that adjacency, which the router then
+        floods onwards.  A small processing delay models the controller
+        session itself.
+        """
+        if self._deliver is None:
+            raise TopologyError("flooding fabric is not bound to any router processes")
+        if not self.topology.has_router(router):
+            raise TopologyError(f"cannot inject LSAs at unknown router {router!r}")
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += lsa.size_bytes
+        self.timeline.schedule_in(
+            self.processing_delay,
+            lambda: self._deliver_one(router, lsa, None),
+            label=f"lsa-injection:{router}:{lsa.key}",
+        )
+
+    def record_duplicate(self) -> None:
+        """Called by router processes when they drop a stale/duplicate LSA."""
+        self.stats.duplicates_suppressed += 1
+
+    def _deliver_one(self, target: str, lsa: Lsa, from_neighbor: Optional[str]) -> None:
+        self.stats.deliveries += 1
+        assert self._deliver is not None  # guarded in send()/inject()
+        self._deliver(target, lsa, from_neighbor)

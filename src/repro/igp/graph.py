@@ -1,0 +1,252 @@
+"""The computation graph a router derives from its link-state database.
+
+The graph contains *real* routers (from :class:`~repro.igp.lsa.RouterLsa`),
+*fake* nodes (from :class:`~repro.igp.lsa.FakeNodeLsa`), directed weighted
+edges, and per-node prefix announcements.  SPF (:mod:`repro.igp.spf`) runs on
+this structure; it never needs to know whether a node is real or fake — that
+distinction only matters when the RIB is resolved into a FIB.
+
+The same class is also buildable straight from a :class:`Topology` plus a
+list of lies, which is what the static route computation
+(:func:`repro.igp.network.compute_static_fibs`) and the TE baselines use to
+avoid running the full event-driven control plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.igp.lsa import FakeNodeLsa, Lsa, PrefixLsa, RouterLsa
+from repro.igp.topology import Topology
+from repro.util.errors import TopologyError
+from repro.util.prefixes import Prefix
+
+__all__ = ["ComputationGraph", "FakeNodeInfo"]
+
+
+@dataclass(frozen=True)
+class FakeNodeInfo:
+    """Metadata about a fake node needed for FIB resolution."""
+
+    name: str
+    anchor: str
+    forwarding_address: str
+
+
+class ComputationGraph:
+    """Directed weighted graph over real and fake nodes, with prefix announcements."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[str, Dict[str, float]] = {}
+        self._announcements: Dict[str, Dict[Prefix, float]] = {}
+        self._fake_nodes: Dict[str, FakeNodeInfo] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, name: str) -> None:
+        """Ensure ``name`` exists in the graph (idempotent)."""
+        self._edges.setdefault(name, {})
+
+    def add_edge(self, source: str, target: str, cost: float) -> None:
+        """Add (or overwrite) the directed edge ``source -> target`` at ``cost``."""
+        if cost <= 0:
+            raise TopologyError(f"edge {source}->{target} must have positive cost, got {cost}")
+        self.add_node(source)
+        self.add_node(target)
+        self._edges[source][target] = float(cost)
+
+    def announce(self, node: str, prefix: Prefix, cost: float) -> None:
+        """Record that ``node`` announces ``prefix`` at metric ``cost``.
+
+        If the node announces the same prefix several times, the cheapest
+        announcement wins (matching OSPF behaviour for duplicate externals).
+        """
+        if cost < 0:
+            raise TopologyError(f"announcement cost must be non-negative, got {cost}")
+        self.add_node(node)
+        announcements = self._announcements.setdefault(node, {})
+        current = announcements.get(prefix)
+        if current is None or cost < current:
+            announcements[prefix] = float(cost)
+
+    def add_fake_node(
+        self,
+        name: str,
+        anchor: str,
+        link_cost: float,
+        prefix: Prefix,
+        prefix_cost: float,
+        forwarding_address: str,
+    ) -> None:
+        """Insert a fake node as described by a :class:`FakeNodeLsa`.
+
+        The fake link is added in both directions so that the anchor reaches
+        the fake node; the reverse direction never matters for destination
+        prefixes but keeps the graph symmetric, as OSPF's two-way check would.
+        """
+        if name in self._fake_nodes:
+            raise TopologyError(f"fake node {name!r} already present")
+        if anchor not in self._edges:
+            raise TopologyError(f"fake node {name!r} anchored at unknown router {anchor!r}")
+        self.add_edge(anchor, name, link_cost)
+        self.add_edge(name, anchor, link_cost)
+        self.announce(name, prefix, prefix_cost)
+        self._fake_nodes[name] = FakeNodeInfo(
+            name=name, anchor=anchor, forwarding_address=forwarding_address
+        )
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_lsdb(cls, lsas: Iterable[Lsa]) -> "ComputationGraph":
+        """Build the graph from the live LSAs of a link-state database.
+
+        Directed edges are only added when *both* endpoints advertised them
+        (OSPF's two-way connectivity check), except for fake nodes where the
+        controller vouches for the link.
+        """
+        graph = cls()
+        router_lsas: List[RouterLsa] = []
+        prefix_lsas: List[PrefixLsa] = []
+        fake_lsas: List[FakeNodeLsa] = []
+        for lsa in lsas:
+            if lsa.withdrawn:
+                continue
+            if isinstance(lsa, RouterLsa):
+                router_lsas.append(lsa)
+            elif isinstance(lsa, PrefixLsa):
+                prefix_lsas.append(lsa)
+            elif isinstance(lsa, FakeNodeLsa):
+                fake_lsas.append(lsa)
+            else:  # pragma: no cover - future LSA kinds
+                raise TopologyError(f"unsupported LSA type {type(lsa).__name__}")
+
+        advertised: Dict[Tuple[str, str], float] = {}
+        for lsa in router_lsas:
+            graph.add_node(lsa.origin)
+            for neighbor, cost in lsa.links:
+                advertised[(lsa.origin, neighbor)] = cost
+        for (source, target), cost in advertised.items():
+            if (target, source) in advertised:
+                graph.add_edge(source, target, cost)
+
+        for lsa in prefix_lsas:
+            graph.announce(lsa.origin, lsa.prefix, lsa.metric)
+
+        for lsa in fake_lsas:
+            if lsa.anchor in graph._edges:
+                graph.add_fake_node(
+                    name=lsa.fake_node,
+                    anchor=lsa.anchor,
+                    link_cost=lsa.link_cost,
+                    prefix=lsa.prefix,
+                    prefix_cost=lsa.prefix_cost,
+                    forwarding_address=lsa.forwarding_address,
+                )
+        return graph
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology: Topology,
+        lies: Iterable[FakeNodeLsa] = (),
+    ) -> "ComputationGraph":
+        """Build the graph straight from the physical topology plus optional lies."""
+        graph = cls()
+        for router in topology.routers:
+            graph.add_node(router)
+        for link in topology.links:
+            graph.add_edge(link.source, link.target, link.weight)
+        for prefix in topology.prefixes:
+            for attachment in topology.prefix_attachments(prefix):
+                graph.announce(attachment.router, prefix, attachment.cost)
+        for lie in lies:
+            if lie.withdrawn:
+                continue
+            graph.add_fake_node(
+                name=lie.fake_node,
+                anchor=lie.anchor,
+                link_cost=lie.link_cost,
+                prefix=lie.prefix,
+                prefix_cost=lie.prefix_cost,
+                forwarding_address=lie.forwarding_address,
+            )
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[str]:
+        """All node names (real and fake), sorted."""
+        return sorted(self._edges)
+
+    @property
+    def real_nodes(self) -> List[str]:
+        """Node names excluding fake nodes, sorted."""
+        return sorted(name for name in self._edges if name not in self._fake_nodes)
+
+    @property
+    def fake_nodes(self) -> Dict[str, FakeNodeInfo]:
+        """Mapping of fake node name to its resolution metadata."""
+        return dict(self._fake_nodes)
+
+    def is_fake(self, node: str) -> bool:
+        """Whether ``node`` is a fake node."""
+        return node in self._fake_nodes
+
+    def fake_info(self, node: str) -> FakeNodeInfo:
+        """Resolution metadata of a fake node (raises for real nodes)."""
+        try:
+            return self._fake_nodes[node]
+        except KeyError:
+            raise TopologyError(f"{node!r} is not a fake node") from None
+
+    def has_node(self, node: str) -> bool:
+        """Whether ``node`` exists in the graph."""
+        return node in self._edges
+
+    def successors(self, node: str) -> Mapping[str, float]:
+        """Outgoing edges of ``node`` as a ``{neighbor: cost}`` mapping."""
+        try:
+            return self._edges[node]
+        except KeyError:
+            raise TopologyError(f"unknown node {node!r}") from None
+
+    def edge_cost(self, source: str, target: str) -> float:
+        """Cost of the directed edge ``source -> target`` (raises if absent)."""
+        successors = self.successors(source)
+        try:
+            return successors[target]
+        except KeyError:
+            raise TopologyError(f"no edge {source}->{target}") from None
+
+    @property
+    def prefixes(self) -> List[Prefix]:
+        """All announced prefixes, sorted."""
+        found: Set[Prefix] = set()
+        for announcements in self._announcements.values():
+            found.update(announcements)
+        return sorted(found)
+
+    def announcers(self, prefix: Prefix) -> Dict[str, float]:
+        """Mapping of node name to announcement metric for ``prefix``."""
+        result: Dict[str, float] = {}
+        for node, announcements in self._announcements.items():
+            if prefix in announcements:
+                result[node] = announcements[prefix]
+        return result
+
+    def announcements_of(self, node: str) -> Dict[Prefix, float]:
+        """All prefixes announced by ``node`` with their metrics."""
+        return dict(self._announcements.get(node, {}))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        edges = sum(len(targets) for targets in self._edges.values())
+        return (
+            f"ComputationGraph(nodes={len(self._edges)}, edges={edges}, "
+            f"fake_nodes={len(self._fake_nodes)}, prefixes={len(self.prefixes)})"
+        )

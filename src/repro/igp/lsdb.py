@@ -1,0 +1,80 @@
+"""Per-router link-state database (LSDB).
+
+The LSDB stores the most recent instance of every LSA the router has heard
+of, keyed by :class:`~repro.igp.lsa.LsaKey`.  Installation follows OSPF
+semantics: a higher sequence number replaces an older instance, a withdrawn
+instance removes the LSA, and stale or duplicate instances are ignored (and
+reported as such so flooding can stop).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.igp.graph import ComputationGraph
+from repro.igp.lsa import Lsa, LsaKey
+
+__all__ = ["LinkStateDatabase"]
+
+
+class LinkStateDatabase:
+    """Container of the freshest known LSAs, with change detection."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._lsas: Dict[LsaKey, Lsa] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter incremented on every effective change."""
+        return self._version
+
+    def install(self, lsa: Lsa) -> bool:
+        """Install ``lsa`` if it is newer than what the LSDB holds.
+
+        Returns ``True`` when the database changed (the LSA must then be
+        flooded onwards and SPF rescheduled) and ``False`` when the instance
+        was stale or a duplicate.
+        """
+        key = lsa.key
+        current = self._lsas.get(key)
+        if current is not None and lsa.sequence <= current.sequence:
+            return False
+        if lsa.withdrawn:
+            # Remember the withdrawal itself so that older instances arriving
+            # later (out-of-order flooding) are recognised as stale.
+            self._lsas[key] = lsa
+        else:
+            self._lsas[key] = lsa
+        self._version += 1
+        return True
+
+    def get(self, key: LsaKey) -> Optional[Lsa]:
+        """The freshest instance for ``key`` (withdrawn instances included)."""
+        return self._lsas.get(key)
+
+    def live_lsas(self) -> List[Lsa]:
+        """All non-withdrawn LSAs, sorted by key for determinism."""
+        return [self._lsas[key] for key in sorted(self._lsas) if not self._lsas[key].withdrawn]
+
+    def all_lsas(self) -> List[Lsa]:
+        """Every stored instance, withdrawn ones included (for flooding sync)."""
+        return [self._lsas[key] for key in sorted(self._lsas)]
+
+    def graph(self) -> ComputationGraph:
+        """Build the computation graph from the live contents of the LSDB."""
+        return ComputationGraph.from_lsdb(self.live_lsas())
+
+    def __len__(self) -> int:
+        return len(self._lsas)
+
+    def __iter__(self) -> Iterator[Lsa]:
+        return iter(self.all_lsas())
+
+    def __contains__(self, key: LsaKey) -> bool:
+        return key in self._lsas
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        live = len(self.live_lsas())
+        return f"LinkStateDatabase(owner={self.owner!r}, lsas={len(self._lsas)}, live={live})"

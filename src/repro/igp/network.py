@@ -1,0 +1,225 @@
+"""Orchestration of a whole IGP domain.
+
+:class:`IgpNetwork` wires together the topology, one
+:class:`~repro.igp.router.RouterProcess` per router, and the flooding fabric
+over a shared :class:`~repro.util.timeline.Timeline`.  It exposes the two
+operations the rest of the system needs:
+
+* ``start()`` / ``converge()`` — originate all router and prefix LSAs and run
+  the control plane until every router installed a stable FIB;
+* ``inject(lsas, at_router)`` — the Fibbing controller's injection point: the
+  lies enter the IGP at the router the controller peers with and are flooded
+  domain-wide.
+
+For analyses that do not need the event-driven machinery (TE baselines,
+optimality studies, the static Fig. 1 benchmark), :func:`compute_static_fibs`
+computes the converged FIBs of every router directly from the global view.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.igp.fib import DEFAULT_MAX_ECMP, Fib, resolve_rib_to_fib
+from repro.igp.flooding import FloodingFabric
+from repro.igp.graph import ComputationGraph
+from repro.igp.lsa import FakeNodeLsa, Lsa, PrefixLsa, RouterLsa
+from repro.igp.rib import compute_rib
+from repro.igp.router import RouterProcess, RouterTimers
+from repro.igp.spf import compute_spf
+from repro.igp.topology import Topology
+from repro.util.errors import TopologyError
+from repro.util.timeline import Timeline
+
+__all__ = ["IgpNetwork", "compute_static_fibs"]
+
+
+class IgpNetwork:
+    """An event-driven IGP domain built from a physical topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        timeline: Optional[Timeline] = None,
+        timers: RouterTimers = RouterTimers(),
+        max_ecmp: int = DEFAULT_MAX_ECMP,
+    ) -> None:
+        topology.validate()
+        self.topology = topology
+        self.timeline = timeline if timeline is not None else Timeline()
+        self.timers = timers
+        self.max_ecmp = max_ecmp
+        self.fabric = FloodingFabric(topology, self.timeline)
+        self.routers: Dict[str, RouterProcess] = {
+            name: RouterProcess(
+                name=name,
+                timeline=self.timeline,
+                fabric=self.fabric,
+                timers=timers,
+                max_ecmp=max_ecmp,
+            )
+            for name in topology.routers
+        }
+        self.fabric.bind(self._deliver_lsa)
+        self._fib_listeners: List[Callable[[str, Fib], None]] = []
+        for process in self.routers.values():
+            process.on_fib_change(self._notify_fib_change)
+        self._started = False
+        self._lsa_sequences: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Listeners
+    # ------------------------------------------------------------------ #
+    def on_fib_change(self, listener: Callable[[str, Fib], None]) -> None:
+        """Register ``listener(router_name, fib)`` called on every FIB install."""
+        self._fib_listeners.append(listener)
+
+    def _notify_fib_change(self, router: str, fib: Fib) -> None:
+        for listener in self._fib_listeners:
+            listener(router, fib)
+
+    def _deliver_lsa(self, router: str, lsa: Lsa, from_neighbor: Optional[str]) -> None:
+        self.routers[router].receive_lsa(lsa, from_neighbor)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Originate every router and prefix LSA (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for name, process in self.routers.items():
+            lsas: List[Lsa] = [self._router_lsa(name)]
+            for attachment in self.topology.attachments_of(name):
+                lsas.append(
+                    PrefixLsa(
+                        origin=name,
+                        prefix=attachment.prefix,
+                        metric=attachment.cost,
+                    )
+                )
+            process.originate(lsas)
+
+    def _router_lsa(self, name: str) -> RouterLsa:
+        sequence = self._lsa_sequences.get(name, 0) + 1
+        self._lsa_sequences[name] = sequence
+        links = tuple(
+            (link.target, link.weight)
+            for link in self.topology.links
+            if link.source == name
+        )
+        return RouterLsa(origin=name, links=links, sequence=sequence)
+
+    # ------------------------------------------------------------------ #
+    # Topology events (failures, weight changes)
+    # ------------------------------------------------------------------ #
+    def fail_link(self, first: str, second: str) -> None:
+        """Remove the (bidirectional) link ``first``-``second`` and re-converge.
+
+        Both endpoints re-originate their router LSA with the link removed,
+        exactly like OSPF reacts to a carrier-loss event; the updated LSAs
+        flood through the remaining topology and every router recomputes its
+        FIB.  Call :meth:`converge` (or keep driving the shared timeline) to
+        let the re-convergence complete.
+        """
+        if not self._started:
+            raise TopologyError("start the network before injecting failures")
+        self.topology.remove_link(first, second, both_directions=True)
+        for endpoint in (first, second):
+            self.routers[endpoint].originate([self._router_lsa(endpoint)])
+
+    def change_weight(self, first: str, second: str, weight: float) -> None:
+        """Change the symmetric IGP weight of a link and re-originate the LSAs.
+
+        This is what traditional IGP-TE does at reaction time — and what the
+        paper argues is too slow and too blunt for flash crowds; it is exposed
+        so that experiments can measure exactly that.
+        """
+        if not self._started:
+            raise TopologyError("start the network before changing weights")
+        self.topology.set_weight(first, second, weight, both_directions=True)
+        for endpoint in (first, second):
+            self.routers[endpoint].originate([self._router_lsa(endpoint)])
+
+    def converge(self, max_events: int = 1_000_000) -> float:
+        """Run the control plane until quiescence; returns the convergence time."""
+        start_time = self.timeline.now
+        self.timeline.run_all(max_events=max_events)
+        return self.timeline.now - start_time
+
+    def run_until(self, time: float) -> None:
+        """Advance the shared timeline up to the absolute time ``time``."""
+        self.timeline.run_until(time)
+
+    # ------------------------------------------------------------------ #
+    # Controller-facing API
+    # ------------------------------------------------------------------ #
+    def inject(self, lsas: Iterable[Lsa], at_router: str) -> int:
+        """Inject LSAs (typically lies) at ``at_router``; returns how many were sent."""
+        if at_router not in self.routers:
+            raise TopologyError(f"cannot inject at unknown router {at_router!r}")
+        count = 0
+        for lsa in lsas:
+            self.fabric.inject(at_router, lsa)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # State inspection
+    # ------------------------------------------------------------------ #
+    def fib_of(self, router: str) -> Fib:
+        """The currently installed FIB of ``router`` (raises before convergence)."""
+        try:
+            process = self.routers[router]
+        except KeyError:
+            raise TopologyError(f"unknown router {router!r}") from None
+        if process.fib is None:
+            raise TopologyError(
+                f"router {router!r} has not installed a FIB yet; call start() and converge()"
+            )
+        return process.fib
+
+    def fibs(self) -> Dict[str, Fib]:
+        """Snapshot of every router's installed FIB."""
+        return {name: self.fib_of(name) for name in self.routers}
+
+    def converged(self) -> bool:
+        """Whether every router has an installed FIB and no events are pending."""
+        return (
+            all(process.fib is not None for process in self.routers.values())
+            and self.timeline.pending == 0
+        )
+
+    @property
+    def flooding_stats(self) -> Dict[str, int]:
+        """Flooding counters (messages, bytes, duplicates) for overhead accounting."""
+        return self.fabric.stats.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"IgpNetwork(topology={self.topology.name!r}, routers={len(self.routers)}, "
+            f"t={self.timeline.now:.3f})"
+        )
+
+
+def compute_static_fibs(
+    topology: Topology,
+    lies: Iterable[FakeNodeLsa] = (),
+    max_ecmp: int = DEFAULT_MAX_ECMP,
+) -> Dict[str, Fib]:
+    """Compute the converged FIB of every router without event simulation.
+
+    This is the "oracle" view: every router sees the same computation graph
+    (physical topology plus the given lies), exactly what the event-driven
+    control plane converges to.  Baselines and static benchmarks use it to
+    avoid paying the flooding simulation cost.
+    """
+    lies = list(lies)
+    graph = ComputationGraph.from_topology(topology, lies)
+    fibs: Dict[str, Fib] = {}
+    for router in topology.routers:
+        spf = compute_spf(graph, router)
+        rib = compute_rib(graph, router, spf)
+        fibs[router] = resolve_rib_to_fib(graph, rib, max_ecmp=max_ecmp)
+    return fibs

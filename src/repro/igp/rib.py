@@ -1,0 +1,159 @@
+"""Routing information base: per-prefix routes as computed by SPF.
+
+A route to a prefix is the set of *contributions* achieving the minimal total
+cost (IGP distance to the announcing node plus the announcement metric).  A
+contribution remembers which node announced the prefix and through which
+first-hop neighbor the announcer is reached; this is exactly the information
+the FIB needs to apply Fibbing's fake-node resolution while preserving
+multiplicity ("R1 twice" in the paper's Fig. 1c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.igp.graph import ComputationGraph
+from repro.igp.spf import ShortestPaths, compute_spf
+from repro.util.errors import RoutingError
+from repro.util.prefixes import Prefix
+
+__all__ = ["RouteContribution", "Route", "Rib", "compute_rib"]
+
+#: Tolerance used when comparing total route costs (see spf._COST_EPSILON).
+_COST_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class RouteContribution:
+    """One equal-cost way of reaching a prefix.
+
+    ``next_hop`` is a first-hop neighbor of the computing router in the
+    *computation graph* (so it may be a fake node when the computing router
+    is the lie's anchor); ``None`` means the computing router announces the
+    prefix itself (local delivery).
+    """
+
+    announcer: str
+    next_hop: Optional[str]
+    announcer_is_fake: bool = False
+    next_hop_is_fake: bool = False
+
+
+@dataclass(frozen=True)
+class Route:
+    """Best route of one router toward one prefix."""
+
+    prefix: Prefix
+    cost: float
+    contributions: Tuple[RouteContribution, ...]
+
+    @property
+    def is_local(self) -> bool:
+        """Whether the prefix is delivered locally by the computing router."""
+        return any(contribution.next_hop is None for contribution in self.contributions)
+
+    @property
+    def next_hop_nodes(self) -> Tuple[str, ...]:
+        """Distinct next-hop nodes (graph-level, fake nodes included), sorted."""
+        hops = {
+            contribution.next_hop
+            for contribution in self.contributions
+            if contribution.next_hop is not None
+        }
+        return tuple(sorted(hops))
+
+
+class Rib:
+    """All best routes of one router, keyed by prefix."""
+
+    def __init__(self, router: str, routes: Dict[Prefix, Route]) -> None:
+        self.router = router
+        self._routes = dict(routes)
+
+    @property
+    def prefixes(self) -> List[Prefix]:
+        """Sorted list of prefixes with a route."""
+        return sorted(self._routes)
+
+    def route(self, prefix: Prefix) -> Route:
+        """The best route toward ``prefix`` (raises :class:`RoutingError` if none)."""
+        try:
+            return self._routes[prefix]
+        except KeyError:
+            raise RoutingError(f"router {self.router!r} has no route to {prefix}") from None
+
+    def has_route(self, prefix: Prefix) -> bool:
+        """Whether a route toward ``prefix`` exists."""
+        return prefix in self._routes
+
+    def __iter__(self) -> Iterator[Route]:
+        for prefix in self.prefixes:
+            yield self._routes[prefix]
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Rib(router={self.router!r}, prefixes={len(self._routes)})"
+
+
+def compute_rib(
+    graph: ComputationGraph,
+    router: str,
+    spf: Optional[ShortestPaths] = None,
+) -> Rib:
+    """Compute the RIB of ``router`` over ``graph``.
+
+    ``spf`` can be supplied when the caller already ran SPF from ``router``
+    (the per-router process reuses one SPF run to build the whole RIB).
+    """
+    if spf is None:
+        spf = compute_spf(graph, router)
+    elif spf.source != router:
+        raise RoutingError(
+            f"provided SPF was computed from {spf.source!r}, not from {router!r}"
+        )
+
+    routes: Dict[Prefix, Route] = {}
+    for prefix in graph.prefixes:
+        announcers = graph.announcers(prefix)
+        best_cost = float("inf")
+        candidates: List[Tuple[str, float]] = []
+        for announcer, metric in announcers.items():
+            if not spf.reachable(announcer):
+                continue
+            total = spf.distance_to(announcer) + metric
+            candidates.append((announcer, total))
+            best_cost = min(best_cost, total)
+        if not candidates:
+            continue
+
+        contributions: List[RouteContribution] = []
+        for announcer, total in sorted(candidates):
+            if total > best_cost + _COST_EPSILON:
+                continue
+            announcer_is_fake = graph.is_fake(announcer)
+            if announcer == router:
+                contributions.append(
+                    RouteContribution(
+                        announcer=announcer,
+                        next_hop=None,
+                        announcer_is_fake=announcer_is_fake,
+                    )
+                )
+                continue
+            for next_hop in sorted(spf.next_hops_to(announcer)):
+                contributions.append(
+                    RouteContribution(
+                        announcer=announcer,
+                        next_hop=next_hop,
+                        announcer_is_fake=announcer_is_fake,
+                        next_hop_is_fake=graph.is_fake(next_hop),
+                    )
+                )
+        if contributions:
+            routes[prefix] = Route(
+                prefix=prefix, cost=best_cost, contributions=tuple(contributions)
+            )
+    return Rib(router, routes)

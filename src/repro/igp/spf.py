@@ -1,0 +1,160 @@
+"""Shortest-path-first computation (Dijkstra) with full ECMP support.
+
+The result of an SPF run from a source router contains, for every reachable
+node, the distance, the complete set of first-hop neighbors over which an
+equal-cost shortest path exists (the ECMP set), and the shortest-path DAG
+predecessors (used to enumerate paths, e.g. for tests and for the MPLS
+baseline that needs explicit paths).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.igp.graph import ComputationGraph
+from repro.util.errors import RoutingError
+
+__all__ = ["ShortestPaths", "compute_spf"]
+
+#: Relative tolerance when comparing path costs for equality (ECMP detection).
+#: IGP costs are small integers in practice, but the optimizer can emit
+#: fractional costs, so exact float equality would be fragile.
+_COST_EPSILON = 1e-9
+
+
+@dataclass
+class ShortestPaths:
+    """Outcome of one SPF run from ``source``.
+
+    Attributes
+    ----------
+    source:
+        The router the computation was run from.
+    distance:
+        Mapping from node name to its shortest distance from ``source``.
+        Unreachable nodes are absent.
+    next_hops:
+        Mapping from node name to the frozen set of *first-hop neighbors of
+        the source* usable to reach that node along some shortest path.  The
+        source itself maps to an empty set.
+    predecessors:
+        Mapping from node name to the set of its predecessors on the
+        shortest-path DAG rooted at ``source``.
+    """
+
+    source: str
+    distance: Dict[str, float] = field(default_factory=dict)
+    next_hops: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    predecessors: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    def reachable(self, node: str) -> bool:
+        """Whether ``node`` is reachable from the source."""
+        return node in self.distance
+
+    def distance_to(self, node: str) -> float:
+        """Shortest distance to ``node``; raises :class:`RoutingError` if unreachable."""
+        try:
+            return self.distance[node]
+        except KeyError:
+            raise RoutingError(f"{node!r} is unreachable from {self.source!r}") from None
+
+    def next_hops_to(self, node: str) -> FrozenSet[str]:
+        """ECMP set of first hops toward ``node``; raises if unreachable."""
+        if node not in self.distance:
+            raise RoutingError(f"{node!r} is unreachable from {self.source!r}")
+        return self.next_hops.get(node, frozenset())
+
+    def paths_to(self, node: str, limit: int = 1024) -> List[Tuple[str, ...]]:
+        """Enumerate every equal-cost shortest path from the source to ``node``.
+
+        Paths are returned as node tuples ``(source, ..., node)``, sorted
+        lexicographically for determinism.  ``limit`` bounds the enumeration
+        to protect against combinatorial blow-up on dense graphs.
+        """
+        if node not in self.distance:
+            raise RoutingError(f"{node!r} is unreachable from {self.source!r}")
+        paths: List[Tuple[str, ...]] = []
+
+        def expand(current: str, suffix: Tuple[str, ...]) -> None:
+            if len(paths) >= limit:
+                return
+            if current == self.source:
+                paths.append((current,) + suffix)
+                return
+            for predecessor in sorted(self.predecessors.get(current, frozenset())):
+                expand(predecessor, (current,) + suffix)
+
+        expand(node, ())
+        return sorted(paths)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.distance
+
+
+def compute_spf(graph: ComputationGraph, source: str) -> ShortestPaths:
+    """Run Dijkstra from ``source`` over ``graph`` and return :class:`ShortestPaths`.
+
+    The implementation keeps, for every settled node, the *set* of
+    predecessors whose relaxation achieved the minimal distance (within
+    ``_COST_EPSILON``); the ECMP next-hop sets are then derived by walking
+    those predecessor sets back to the source's own neighbors.
+    """
+    if not graph.has_node(source):
+        raise RoutingError(f"SPF source {source!r} is not in the computation graph")
+
+    distance: Dict[str, float] = {source: 0.0}
+    predecessors: Dict[str, Set[str]] = {source: set()}
+    settled: Set[str] = set()
+    # Heap entries are (distance, node); stale entries are skipped when popped.
+    heap: List[Tuple[float, str]] = [(0.0, source)]
+
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        if dist > distance.get(node, float("inf")) + _COST_EPSILON:
+            continue
+        settled.add(node)
+        for neighbor, cost in graph.successors(node).items():
+            candidate = dist + cost
+            current = distance.get(neighbor)
+            if current is None or candidate < current - _COST_EPSILON:
+                distance[neighbor] = candidate
+                predecessors[neighbor] = {node}
+                heapq.heappush(heap, (candidate, neighbor))
+            elif abs(candidate - current) <= _COST_EPSILON:
+                predecessors[neighbor].add(node)
+
+    next_hops = _derive_next_hops(source, distance, predecessors)
+    return ShortestPaths(
+        source=source,
+        distance=distance,
+        next_hops={node: frozenset(hops) for node, hops in next_hops.items()},
+        predecessors={node: frozenset(preds) for node, preds in predecessors.items()},
+    )
+
+
+def _derive_next_hops(
+    source: str,
+    distance: Dict[str, float],
+    predecessors: Dict[str, Set[str]],
+) -> Dict[str, Set[str]]:
+    """Propagate first-hop sets down the shortest-path DAG.
+
+    Nodes are processed in order of increasing distance, so every
+    predecessor's next-hop set is final before it is consumed.
+    """
+    next_hops: Dict[str, Set[str]] = {source: set()}
+    for node in sorted(distance, key=lambda name: (distance[name], name)):
+        if node == source:
+            continue
+        hops: Set[str] = set()
+        for predecessor in predecessors.get(node, set()):
+            if predecessor == source:
+                hops.add(node)
+            else:
+                hops.update(next_hops.get(predecessor, set()))
+        next_hops[node] = hops
+    return next_hops

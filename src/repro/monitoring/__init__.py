@@ -1,0 +1,46 @@
+"""Monitoring substrate: SNMP-like link-load monitoring and notifications.
+
+In the demo (§3), the Fibbing controller "monitors link loads using SNMP,
+and is notified by the servers when they have a new client".  This package
+provides those two channels:
+
+``counters``
+    Per-router SNMP-like agents exposing interface octet counters, backed by
+    the data-plane engine.
+``poller``
+    A periodic poller that reads every agent's counters and converts the
+    deltas into per-link rates.
+``collector``
+    Smoothed (EWMA) per-link utilisation view built from the poller samples.
+``alarms``
+    Threshold detection with hysteresis: fires when some link utilisation
+    crosses the configured level, which is what triggers the controller's
+    re-optimisation.
+``notifications``
+    The out-of-band server-to-controller channel carrying "new client"
+    events, from which the controller derives per-ingress demand estimates.
+"""
+
+from repro.monitoring.counters import SnmpAgent, InterfaceStat
+from repro.monitoring.poller import SnmpPoller, PollSample
+from repro.monitoring.collector import LoadCollector, LinkLoadView
+from repro.monitoring.alarms import UtilizationAlarm, AlarmEvent
+from repro.monitoring.notifications import (
+    NotificationBus,
+    ClientNotification,
+    ClientRegistry,
+)
+
+__all__ = [
+    "SnmpAgent",
+    "InterfaceStat",
+    "SnmpPoller",
+    "PollSample",
+    "LoadCollector",
+    "LinkLoadView",
+    "UtilizationAlarm",
+    "AlarmEvent",
+    "NotificationBus",
+    "ClientNotification",
+    "ClientRegistry",
+]

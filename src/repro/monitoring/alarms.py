@@ -1,0 +1,104 @@
+"""Utilisation threshold alarms with hysteresis.
+
+The alarm watches the collector after every poll and fires a callback when
+at least one link's estimated utilisation crosses the configured threshold.
+Two pieces of hysteresis keep it from flapping:
+
+* a *clear* threshold below the *raise* threshold — the alarm only re-arms
+  after every link dropped below the clear level;
+* a *cooldown* period after each firing, during which the alarm stays
+  silent even if the condition persists (the controller needs time for its
+  lies to propagate and take effect before being asked again).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.monitoring.collector import LinkLoadView, LoadCollector
+from repro.monitoring.poller import PollSample
+from repro.util.errors import MonitoringError
+from repro.util.validation import check_non_negative
+
+__all__ = ["AlarmEvent", "UtilizationAlarm"]
+
+
+@dataclass(frozen=True)
+class AlarmEvent:
+    """One firing of the alarm: when it fired and which links were hot."""
+
+    time: float
+    hot_links: Tuple[LinkLoadView, ...]
+
+    @property
+    def worst_utilization(self) -> float:
+        """Utilisation of the most loaded link in the event."""
+        return max((view.utilization for view in self.hot_links), default=0.0)
+
+
+class UtilizationAlarm:
+    """Fires a callback when some link utilisation exceeds a threshold."""
+
+    def __init__(
+        self,
+        collector: LoadCollector,
+        raise_threshold: float = 0.9,
+        clear_threshold: Optional[float] = None,
+        cooldown: float = 3.0,
+    ) -> None:
+        if not 0.0 < raise_threshold:
+            raise MonitoringError(f"raise_threshold must be positive, got {raise_threshold}")
+        if clear_threshold is None:
+            clear_threshold = raise_threshold * 0.8
+        if clear_threshold > raise_threshold:
+            raise MonitoringError(
+                f"clear_threshold ({clear_threshold}) must not exceed raise_threshold "
+                f"({raise_threshold})"
+            )
+        self.collector = collector
+        self.raise_threshold = raise_threshold
+        self.clear_threshold = clear_threshold
+        self.cooldown = check_non_negative(cooldown, "cooldown")
+        self.events: List[AlarmEvent] = []
+        self._listeners: List[Callable[[AlarmEvent], None]] = []
+        self._armed = True
+        self._last_fired: Optional[float] = None
+
+    def on_alarm(self, listener: Callable[[AlarmEvent], None]) -> None:
+        """Register ``listener(event)`` invoked every time the alarm fires."""
+        self._listeners.append(listener)
+
+    def check(self, sample: PollSample) -> Optional[AlarmEvent]:
+        """Evaluate the alarm after a poll; returns the event if it fired.
+
+        Intended to be registered as a poller listener *after* the collector
+        (the collector must ingest the sample first); for convenience it can
+        also be wired through :meth:`wire`.
+        """
+        hot = self.collector.links_above(self.raise_threshold)
+        if not hot:
+            if not self.collector.links_above(self.clear_threshold):
+                self._armed = True
+            return None
+        in_cooldown = (
+            self._last_fired is not None and sample.time - self._last_fired < self.cooldown
+        )
+        if in_cooldown:
+            return None
+        # Fire when freshly armed, or re-fire after the cooldown if the
+        # congestion persists (the previous mitigation was insufficient).
+        if not self._armed and self._last_fired is None:
+            return None
+        event = AlarmEvent(time=sample.time, hot_links=tuple(hot))
+        self.events.append(event)
+        self._armed = False
+        self._last_fired = sample.time
+        for listener in self._listeners:
+            listener(event)
+        return event
+
+    def wire(self, poller) -> None:
+        """Attach collector ingestion and alarm evaluation to a poller, in order."""
+        poller.on_sample(self.collector.ingest)
+        poller.on_sample(self.check)

@@ -1,0 +1,100 @@
+"""Server-to-controller notification channel.
+
+In the demo, video servers notify the Fibbing controller whenever they gain
+(or lose) a playback client.  The controller uses those notifications to
+estimate how much demand enters the network at each ingress router toward
+each destination prefix — the traffic matrix its optimizer needs — without
+having to infer demands from link counters alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.dataplane.demand import TrafficMatrix
+from repro.util.errors import MonitoringError
+from repro.util.prefixes import Prefix
+from repro.util.validation import check_positive
+
+__all__ = ["ClientNotification", "NotificationBus", "ClientRegistry"]
+
+
+@dataclass(frozen=True)
+class ClientNotification:
+    """One notification: a server gained or lost a client.
+
+    ``ingress`` is the router where the server's traffic enters the network,
+    ``prefix`` the destination prefix the client belongs to, ``bitrate`` the
+    per-client video bitrate, and ``delta`` is +1 for a new client or -1 for
+    a departing one.
+    """
+
+    time: float
+    server: str
+    ingress: str
+    prefix: Prefix
+    bitrate: float
+    delta: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive(self.bitrate, "bitrate")
+        if self.delta not in (1, -1):
+            raise MonitoringError(f"delta must be +1 or -1, got {self.delta}")
+
+
+class NotificationBus:
+    """Simple synchronous publish/subscribe channel for client notifications."""
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable[[ClientNotification], None]] = []
+        self.published: List[ClientNotification] = []
+
+    def subscribe(self, callback: Callable[[ClientNotification], None]) -> None:
+        """Register ``callback(notification)`` for every future publication."""
+        self._subscribers.append(callback)
+
+    def publish(self, notification: ClientNotification) -> None:
+        """Deliver ``notification`` to every subscriber, in registration order."""
+        self.published.append(notification)
+        for callback in self._subscribers:
+            callback(notification)
+
+
+class ClientRegistry:
+    """Aggregates client notifications into per-(ingress, prefix) demands."""
+
+    def __init__(self) -> None:
+        self._clients: Dict[Tuple[str, Prefix], int] = {}
+        self._bitrates: Dict[Tuple[str, Prefix], float] = {}
+
+    def observe(self, notification: ClientNotification) -> None:
+        """Fold one notification into the registry."""
+        key = (notification.ingress, notification.prefix)
+        count = self._clients.get(key, 0) + notification.delta
+        if count < 0:
+            raise MonitoringError(
+                f"client count for {key} became negative; unmatched departure notification"
+            )
+        self._clients[key] = count
+        self._bitrates[key] = notification.bitrate
+
+    def client_count(self, ingress: str, prefix: Prefix) -> int:
+        """Active clients served from ``ingress`` toward ``prefix``."""
+        return self._clients.get((ingress, prefix), 0)
+
+    def total_clients(self) -> int:
+        """Total number of active clients across all servers."""
+        return sum(self._clients.values())
+
+    def demand_matrix(self) -> TrafficMatrix:
+        """Estimated traffic matrix: client count x bitrate per (ingress, prefix)."""
+        matrix = TrafficMatrix()
+        for (ingress, prefix), count in self._clients.items():
+            if count > 0:
+                matrix.add(ingress, prefix, count * self._bitrates[(ingress, prefix)])
+        return matrix
+
+    def attach(self, bus: NotificationBus) -> None:
+        """Subscribe this registry to a notification bus."""
+        bus.subscribe(self.observe)

@@ -1,0 +1,99 @@
+"""Periodic SNMP polling.
+
+The poller wakes up every ``poll_interval`` seconds of simulated time, reads
+all interface counters from every agent, converts the octet deltas into
+per-link bit rates, and hands the resulting :class:`PollSample` to its
+listeners (typically a :class:`~repro.monitoring.collector.LoadCollector`).
+
+The polling period is the dominant term of the controller's reaction time
+(ablation A1 in DESIGN.md): congestion can only be noticed at the next poll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.monitoring.counters import SnmpAgent
+from repro.util.errors import MonitoringError
+from repro.util.timeline import Timeline
+from repro.util.validation import check_positive
+
+__all__ = ["PollSample", "SnmpPoller"]
+
+LinkKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class PollSample:
+    """Per-link average rates (bit/s) measured over one polling interval."""
+
+    time: float
+    interval: float
+    rates: Dict[LinkKey, float]
+
+    def rate_of(self, source: str, target: str) -> float:
+        """Measured rate on ``source -> target`` (0.0 when idle or unknown)."""
+        return self.rates.get((source, target), 0.0)
+
+
+class SnmpPoller:
+    """Polls every agent's counters on a fixed period and derives link rates."""
+
+    def __init__(
+        self,
+        agents: Mapping[str, SnmpAgent],
+        timeline: Timeline,
+        poll_interval: float = 1.0,
+    ) -> None:
+        if not agents:
+            raise MonitoringError("the poller needs at least one SNMP agent")
+        self.agents = dict(agents)
+        self.timeline = timeline
+        self.poll_interval = check_positive(poll_interval, "poll_interval")
+        self.polls_performed = 0
+        self.samples: List[PollSample] = []
+        self._listeners: List[Callable[[PollSample], None]] = []
+        self._previous_counters: Dict[LinkKey, float] = {}
+        self._previous_time = timeline.now
+        self._started = False
+
+    def on_sample(self, listener: Callable[[PollSample], None]) -> None:
+        """Register ``listener(sample)`` invoked after every poll."""
+        self._listeners.append(listener)
+
+    def start(self) -> None:
+        """Schedule the first poll (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        # Take a baseline reading so the first real poll measures a delta.
+        self._previous_counters = self._read_counters()
+        self._previous_time = self.timeline.now
+        self.timeline.schedule_in(self.poll_interval, self._poll, label="snmp-poll")
+
+    def _read_counters(self) -> Dict[LinkKey, float]:
+        counters: Dict[LinkKey, float] = {}
+        for router in sorted(self.agents):
+            for stat in self.agents[router].read_all():
+                counters[(stat.router, stat.neighbor)] = stat.out_octets
+        return counters
+
+    def _poll(self) -> None:
+        now = self.timeline.now
+        counters = self._read_counters()
+        interval = now - self._previous_time
+        rates: Dict[LinkKey, float] = {}
+        if interval > 0:
+            for link, octets in counters.items():
+                delta = octets - self._previous_counters.get(link, 0.0)
+                if delta > 0:
+                    rates[link] = delta * 8.0 / interval
+        sample = PollSample(time=now, interval=interval, rates=rates)
+        self.polls_performed += 1
+        self.samples.append(sample)
+        self._previous_counters = counters
+        self._previous_time = now
+        for listener in self._listeners:
+            listener(sample)
+        self.timeline.schedule_in(self.poll_interval, self._poll, label="snmp-poll")

@@ -1,0 +1,51 @@
+"""Traffic-engineering baselines.
+
+Section 2 of the paper positions Fibbing against the classic alternatives:
+plain IGP routing, IGP ECMP with (pre-computed) weight optimisation, and
+MPLS RSVP-TE tunnels.  This package implements each of them behind a common
+interface so the benchmarks can compare maximum link utilisation, delivery,
+control-plane state and data-plane overhead on identical inputs:
+
+``metrics``
+    The :class:`TeOutcome` record every scheme produces.
+``base``
+    The abstract scheme interface.
+``shortest_path``
+    Plain IGP forwarding along a single shortest path (no ECMP).
+``ecmp``
+    IGP with even ECMP splitting over all equal-cost shortest paths.
+``weight_opt``
+    Local-search IGP link-weight optimisation (Fortz–Thorup style), the
+    "traditional TE" the paper says reacts too slowly to flash crowds.
+``mpls``
+    Explicit RSVP-TE tunnels with uneven per-tunnel splitting, including
+    tunnel counts, signalling messages and per-packet encapsulation bytes.
+``mcf``
+    The optimal min-max multi-commodity-flow lower bound (fractional LP).
+``fibbing``
+    Fibbing itself behind the same interface (LP + bounded ECMP
+    approximation + lies), so that its optimality gap and overhead can be
+    measured against the baselines.
+"""
+
+from repro.te.metrics import TeOutcome, compare_outcomes
+from repro.te.base import TrafficEngineeringScheme
+from repro.te.shortest_path import SingleShortestPath
+from repro.te.ecmp import EcmpRouting
+from repro.te.weight_opt import WeightOptimizer
+from repro.te.mpls import MplsRsvpTe, Tunnel
+from repro.te.mcf import OptimalMultiCommodityFlow
+from repro.te.fibbing import FibbingTe
+
+__all__ = [
+    "TeOutcome",
+    "compare_outcomes",
+    "TrafficEngineeringScheme",
+    "SingleShortestPath",
+    "EcmpRouting",
+    "WeightOptimizer",
+    "MplsRsvpTe",
+    "Tunnel",
+    "OptimalMultiCommodityFlow",
+    "FibbingTe",
+]

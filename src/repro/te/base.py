@@ -1,0 +1,30 @@
+"""Abstract interface shared by every traffic-engineering scheme."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.dataplane.demand import TrafficMatrix
+from repro.igp.topology import Topology
+from repro.te.metrics import TeOutcome
+
+__all__ = ["TrafficEngineeringScheme"]
+
+
+class TrafficEngineeringScheme(abc.ABC):
+    """A routing/TE scheme evaluated on a (topology, traffic matrix) instance.
+
+    Subclasses implement :meth:`route`; they must not mutate the topology
+    they are given (weight optimisation works on a private copy).
+    """
+
+    #: Human-readable scheme name used in benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def route(self, topology: Topology, demands: TrafficMatrix) -> TeOutcome:
+        """Route ``demands`` over ``topology`` and report the outcome."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,43 @@
+"""IGP routing with even ECMP over all equal-cost shortest paths.
+
+This is what the demo network runs *before* the Fibbing controller steps in:
+the IGP weights were optimised offline for the expected traffic matrix, and
+routers split evenly across whatever equal-cost paths those weights produce.
+The scheme has no knobs at reaction time — which is precisely the
+inflexibility the paper criticises.
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.demand import TrafficMatrix
+from repro.dataplane.forwarding import route_fractional
+from repro.igp.network import compute_static_fibs
+from repro.igp.topology import Topology
+from repro.te.base import TrafficEngineeringScheme
+from repro.te.metrics import TeOutcome
+
+__all__ = ["EcmpRouting"]
+
+
+class EcmpRouting(TrafficEngineeringScheme):
+    """Plain IGP with even ECMP splitting (the demo's starting point)."""
+
+    name = "igp-ecmp"
+
+    def __init__(self, max_ecmp: int = 16) -> None:
+        self.max_ecmp = max_ecmp
+
+    def route(self, topology: Topology, demands: TrafficMatrix) -> TeOutcome:
+        fibs = compute_static_fibs(topology, max_ecmp=self.max_ecmp)
+        outcome = route_fractional(fibs, demands)
+        return TeOutcome(
+            scheme=self.name,
+            loads=outcome.loads,
+            max_utilization=outcome.loads.max_utilization(topology),
+            delivered=outcome.delivered,
+            undeliverable=outcome.undeliverable,
+            control_state=0,
+            control_messages=0,
+            per_packet_overhead_bytes=0,
+            notes="IGP shortest paths with even ECMP",
+        )

@@ -1,0 +1,45 @@
+"""Optimal min-max multi-commodity flow (fractional lower bound).
+
+This is the theoretical optimum referenced in §2 ("the optimal solution to
+the min-max link utilization problem"): traffic may be split arbitrarily
+finely, with no concern for how the splits would be realised in routers.
+Every other scheme's maximum utilisation is measured against this bound in
+the optimality benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import MinMaxLoadOptimizer
+from repro.dataplane.demand import TrafficMatrix
+from repro.igp.topology import Topology
+from repro.te.base import TrafficEngineeringScheme
+from repro.te.metrics import TeOutcome
+
+__all__ = ["OptimalMultiCommodityFlow"]
+
+
+class OptimalMultiCommodityFlow(TrafficEngineeringScheme):
+    """The fractional min-max LP optimum (not realisable as-is by routers)."""
+
+    name = "optimal-mcf"
+
+    def __init__(self, flow_penalty: float = 1e-6) -> None:
+        self.flow_penalty = flow_penalty
+
+    def route(self, topology: Topology, demands: TrafficMatrix) -> TeOutcome:
+        optimizer = MinMaxLoadOptimizer(topology, flow_penalty=self.flow_penalty)
+        result = optimizer.optimize(demands)
+        loads = result.link_loads()
+        # The LP conserves flow exactly, so everything that can be delivered is.
+        delivered = demands.total()
+        return TeOutcome(
+            scheme=self.name,
+            loads=loads,
+            max_utilization=result.objective,
+            delivered=delivered,
+            undeliverable=0.0,
+            control_state=0,
+            control_messages=0,
+            per_packet_overhead_bytes=0,
+            notes="fractional LP lower bound",
+        )

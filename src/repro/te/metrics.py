@@ -1,0 +1,56 @@
+"""Common outcome record and comparison helpers for TE schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.dataplane.linkstats import LinkLoads
+from repro.igp.topology import Topology
+
+__all__ = ["TeOutcome", "compare_outcomes"]
+
+
+@dataclass(frozen=True)
+class TeOutcome:
+    """What one TE scheme achieved on one (topology, demand) instance."""
+
+    scheme: str
+    loads: LinkLoads
+    max_utilization: float
+    delivered: float
+    undeliverable: float
+    #: Number of pieces of control-plane state the scheme had to create
+    #: (fake LSAs for Fibbing, tunnels for RSVP-TE, weight changes for
+    #: weight optimisation, 0 for plain IGP).
+    control_state: int = 0
+    #: Number of control-plane messages needed to install that state.
+    control_messages: int = 0
+    #: Extra bytes added to every data packet (label/encapsulation overhead).
+    per_packet_overhead_bytes: int = 0
+    notes: str = ""
+
+    @property
+    def delivery_fraction(self) -> float:
+        """Fraction of the offered load that was delivered."""
+        total = self.delivered + self.undeliverable
+        return self.delivered / total if total > 0 else 0.0
+
+
+def compare_outcomes(outcomes: Iterable[TeOutcome]) -> List[Dict[str, object]]:
+    """Summarise several outcomes into sorted rows (best max-utilisation first).
+
+    The rows are plain dictionaries so benchmarks can print them directly.
+    """
+    rows = [
+        {
+            "scheme": outcome.scheme,
+            "max_utilization": round(outcome.max_utilization, 4),
+            "delivery": round(outcome.delivery_fraction, 4),
+            "control_state": outcome.control_state,
+            "control_messages": outcome.control_messages,
+            "per_packet_overhead_bytes": outcome.per_packet_overhead_bytes,
+        }
+        for outcome in outcomes
+    ]
+    return sorted(rows, key=lambda row: (row["max_utilization"], row["scheme"]))

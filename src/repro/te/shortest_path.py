@@ -1,0 +1,63 @@
+"""Plain IGP forwarding along a single shortest path (no ECMP).
+
+This is the most rigid baseline: every router forwards all traffic for a
+prefix to exactly one next hop (the first, in deterministic name order, of
+its equal-cost set), like an IGP deployment with ECMP disabled.  It
+represents the worst case for flash crowds because overlapping demands pile
+up on a single sequence of links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dataplane.demand import TrafficMatrix
+from repro.dataplane.forwarding import route_fractional
+from repro.igp.fib import Fib, FibEntry, PrefixFib
+from repro.igp.network import compute_static_fibs
+from repro.igp.topology import Topology
+from repro.te.base import TrafficEngineeringScheme
+from repro.te.metrics import TeOutcome
+
+__all__ = ["SingleShortestPath"]
+
+
+class SingleShortestPath(TrafficEngineeringScheme):
+    """IGP shortest-path routing with ECMP disabled (one next hop per prefix)."""
+
+    name = "single-shortest-path"
+
+    def route(self, topology: Topology, demands: TrafficMatrix) -> TeOutcome:
+        fibs = compute_static_fibs(topology)
+        single = {router: _keep_single_next_hop(fib) for router, fib in fibs.items()}
+        outcome = route_fractional(single, demands)
+        return TeOutcome(
+            scheme=self.name,
+            loads=outcome.loads,
+            max_utilization=outcome.loads.max_utilization(topology),
+            delivered=outcome.delivered,
+            undeliverable=outcome.undeliverable,
+            control_state=0,
+            control_messages=0,
+            per_packet_overhead_bytes=0,
+            notes="IGP with ECMP disabled",
+        )
+
+
+def _keep_single_next_hop(fib: Fib) -> Fib:
+    """A copy of ``fib`` where every prefix keeps only its first next hop."""
+    reduced: Dict = {}
+    for prefix_fib in fib:
+        if prefix_fib.entries:
+            first = min(prefix_fib.entries, key=lambda entry: entry.next_hop)
+            entries = (FibEntry(next_hop=first.next_hop, weight=1),)
+        else:
+            entries = ()
+        reduced[prefix_fib.prefix] = PrefixFib(
+            prefix=prefix_fib.prefix,
+            cost=prefix_fib.cost,
+            entries=entries,
+            local=prefix_fib.local,
+            truncated=prefix_fib.truncated,
+        )
+    return Fib(fib.router, reduced)

@@ -1,0 +1,40 @@
+"""Topology builders: the paper's demo network plus synthetic topologies.
+
+``demo``
+    The 7-router network of the paper's Fig. 1, together with the traffic
+    sources/destinations and the lie set of Fig. 1c, so every benchmark and
+    example reconstructs the exact same scenario.
+``zoo``
+    Small, well-known topologies (Abilene-like backbone, ring, grid,
+    dumbbell) used by unit tests and ablation benchmarks.
+``random``
+    Seeded random graph generators (Erdős–Rényi, Waxman) with weight and
+    capacity assignment, used by the optimality-gap and scaling benchmarks.
+``isp``
+    Two-level synthetic ISP topologies (core + aggregation PoPs) used by the
+    lie-count scaling ablation.
+"""
+
+from repro.topologies.demo import (
+    DemoScenario,
+    build_demo_topology,
+    build_demo_scenario,
+    demo_lies,
+)
+from repro.topologies.zoo import abilene, dumbbell, grid, ring
+from repro.topologies.random import random_topology, waxman_topology
+from repro.topologies.isp import synthetic_isp
+
+__all__ = [
+    "DemoScenario",
+    "build_demo_topology",
+    "build_demo_scenario",
+    "demo_lies",
+    "abilene",
+    "dumbbell",
+    "grid",
+    "ring",
+    "random_topology",
+    "waxman_topology",
+    "synthetic_isp",
+]

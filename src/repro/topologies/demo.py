@@ -1,0 +1,165 @@
+"""The paper's demo network (Fig. 1) and its traffic scenario.
+
+Topology (Fig. 1a).  Seven routers: the two ingress routers ``A`` and ``B``
+(where the video servers S2 and S1 respectively attach), the transit routers
+``R1``–``R4`` and the egress router ``C`` behind which the playback clients
+(the "blue prefix") live.  Unspecified link weights are 1; three links carry
+weight 2 (drawn next to A–R1, B–R3 and R2–R3 in the figure).  With these
+weights:
+
+* ``B``'s unique shortest path to the blue prefix is ``B–R2–C`` (cost 2);
+* ``A``'s unique shortest path is ``A–B–R2–C`` (cost 3), so both sources
+  overlap on ``B–R2–C`` exactly as Fig. 1a describes;
+* the alternate paths ``B–R3–C`` (cost 3) and ``A–R1–R4–C`` (cost 4) are
+  unused until the controller makes them equal-cost with lies.
+
+Lies (Fig. 1c).  One fake node ``fB`` anchored at ``B`` resolving to ``R3``
+with total cost 2 (tying with ``B``'s real path), and two fake nodes ``fA1``,
+``fA2`` anchored at ``A`` resolving to ``R1`` with total cost 3 (tying with
+``A``'s real path).  After resolution, ``B`` splits 1/2–1/2 between R2 and R3
+and ``A`` splits 1/3–2/3 between B and R1 — the uneven ratios of Fig. 1d.
+
+Traffic (Fig. 1b/1d and Fig. 2).  Each source pushes 100 relative units in
+the static figure; the time-series experiment uses 1 Mbit/s video flows over
+32 Mbit/s links with the arrival schedule of Fig. 2 (1 flow at t=0, +30 at
+t=15 s, +31 from the second source at t=35 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.igp.lsa import FakeNodeLsa
+from repro.igp.topology import Topology
+from repro.util.prefixes import Prefix
+from repro.util.units import mbps
+
+__all__ = [
+    "BLUE_PREFIX",
+    "SOURCE_PREFIXES",
+    "DemoScenario",
+    "build_demo_topology",
+    "build_demo_scenario",
+    "demo_lies",
+]
+
+#: The destination prefix of the playback clients (Fig. 1's "blue prefix").
+BLUE_PREFIX = Prefix.parse("10.0.0.0/24")
+
+#: Prefixes of the two video servers, attached at their ingress routers.
+SOURCE_PREFIXES: Dict[str, Prefix] = {
+    "S1": Prefix.parse("10.1.0.0/24"),
+    "S2": Prefix.parse("10.2.0.0/24"),
+}
+
+#: Demo link capacity: 32 Mbit/s = 4e6 byte/s, the saturation level of Fig. 2.
+DEMO_LINK_CAPACITY = mbps(32)
+
+#: Nominal bitrate of one demo video flow (31 concurrent flows approach the
+#: 4e6 byte/s mark of Fig. 2, i.e. roughly 1 Mbit/s each).
+DEMO_VIDEO_BITRATE = mbps(1)
+
+
+@dataclass(frozen=True)
+class DemoScenario:
+    """Everything needed to reproduce the paper's scenario end to end."""
+
+    topology: Topology
+    blue_prefix: Prefix
+    #: Ingress router of each video server (S1 behind B, S2 behind A).
+    server_routers: Dict[str, str]
+    #: Router where the Fibbing controller peers with the IGP (R3 in §3).
+    controller_attachment: str
+    #: Static per-source demands of Fig. 1b, in relative units.
+    static_demands: Dict[str, float]
+    #: Links whose load the demo plots in Fig. 2.
+    monitored_links: Tuple[Tuple[str, str], ...]
+    #: Flow arrival schedule of Fig. 2: (time, server, number of new flows).
+    flow_schedule: Tuple[Tuple[float, str, int], ...]
+    video_bitrate: float
+    link_capacity: float
+
+
+def build_demo_topology(capacity: float = DEMO_LINK_CAPACITY) -> Topology:
+    """Build the physical network of Fig. 1a."""
+    topology = Topology(name="fibbing-demo")
+    topology.add_routers(["A", "B", "R1", "R2", "R3", "R4", "C"])
+    # Weight-1 links.
+    topology.add_link("A", "B", weight=1, capacity=capacity)
+    topology.add_link("B", "R2", weight=1, capacity=capacity)
+    topology.add_link("R2", "C", weight=1, capacity=capacity)
+    topology.add_link("R3", "C", weight=1, capacity=capacity)
+    topology.add_link("R1", "R4", weight=1, capacity=capacity)
+    topology.add_link("R4", "C", weight=1, capacity=capacity)
+    # Weight-2 links (the three "2" annotations of Fig. 1a).
+    topology.add_link("A", "R1", weight=2, capacity=capacity)
+    topology.add_link("B", "R3", weight=2, capacity=capacity)
+    topology.add_link("R2", "R3", weight=2, capacity=capacity)
+    # Destination prefix of the clients, attached behind C.
+    topology.attach_prefix("C", BLUE_PREFIX, cost=0)
+    # Server prefixes, attached at their ingress routers so that return
+    # traffic (client requests, ACKs) is routable too.
+    topology.attach_prefix("B", SOURCE_PREFIXES["S1"], cost=0)
+    topology.attach_prefix("A", SOURCE_PREFIXES["S2"], cost=0)
+    topology.validate()
+    return topology
+
+
+def demo_lies(controller: str = "fibbing-controller") -> List[FakeNodeLsa]:
+    """The exact lie set of Fig. 1c.
+
+    One fake node at B (cost 1+1=2, resolving to R3) and two fake nodes at A
+    (cost 1+2=3, resolving to R1).  The costs tie with the routers' existing
+    shortest paths toward the blue prefix, which is what creates the extra
+    equal-cost FIB entries.
+    """
+    return [
+        FakeNodeLsa(
+            origin=controller,
+            fake_node="fB",
+            anchor="B",
+            link_cost=1.0,
+            prefix=BLUE_PREFIX,
+            prefix_cost=1.0,
+            forwarding_address="R3",
+        ),
+        FakeNodeLsa(
+            origin=controller,
+            fake_node="fA1",
+            anchor="A",
+            link_cost=1.0,
+            prefix=BLUE_PREFIX,
+            prefix_cost=2.0,
+            forwarding_address="R1",
+        ),
+        FakeNodeLsa(
+            origin=controller,
+            fake_node="fA2",
+            anchor="A",
+            link_cost=1.0,
+            prefix=BLUE_PREFIX,
+            prefix_cost=2.0,
+            forwarding_address="R1",
+        ),
+    ]
+
+
+def build_demo_scenario(capacity: float = DEMO_LINK_CAPACITY) -> DemoScenario:
+    """Build the full demo scenario: topology, traffic, schedule and monitors."""
+    topology = build_demo_topology(capacity=capacity)
+    return DemoScenario(
+        topology=topology,
+        blue_prefix=BLUE_PREFIX,
+        server_routers={"S1": "B", "S2": "A"},
+        controller_attachment="R3",
+        static_demands={"S1": 100.0, "S2": 100.0},
+        monitored_links=(("A", "R1"), ("B", "R2"), ("B", "R3")),
+        flow_schedule=(
+            (0.0, "S1", 1),
+            (15.0, "S1", 30),
+            (35.0, "S2", 31),
+        ),
+        video_bitrate=DEMO_VIDEO_BITRATE,
+        link_capacity=capacity,
+    )

@@ -1,0 +1,138 @@
+"""Small, well-known topologies used by tests and ablation benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.igp.topology import DEFAULT_CAPACITY, Topology
+from repro.util.errors import ValidationError
+from repro.util.prefixes import Prefix
+
+__all__ = ["abilene", "ring", "grid", "dumbbell"]
+
+
+def _attach_loopbacks(topology: Topology, base: str = "10.255") -> None:
+    """Attach one /32 loopback prefix per router so every router is a destination."""
+    for index, router in enumerate(topology.routers):
+        prefix = Prefix.parse(f"{base}.{index // 256}.{index % 256}/32")
+        topology.attach_prefix(router, prefix, cost=0)
+
+
+def abilene(capacity: float = DEFAULT_CAPACITY, with_loopbacks: bool = True) -> Topology:
+    """An Abilene-like 11-node US research backbone.
+
+    Link weights approximate relative geographic distances (scaled down to
+    small integers); capacities are uniform.
+    """
+    topology = Topology(name="abilene")
+    nodes = [
+        "Seattle",
+        "Sunnyvale",
+        "LosAngeles",
+        "Denver",
+        "KansasCity",
+        "Houston",
+        "Chicago",
+        "Indianapolis",
+        "Atlanta",
+        "WashingtonDC",
+        "NewYork",
+    ]
+    topology.add_routers(nodes)
+    links: List[Tuple[str, str, float]] = [
+        ("Seattle", "Sunnyvale", 2),
+        ("Seattle", "Denver", 3),
+        ("Sunnyvale", "LosAngeles", 1),
+        ("Sunnyvale", "Denver", 2),
+        ("LosAngeles", "Houston", 4),
+        ("Denver", "KansasCity", 2),
+        ("KansasCity", "Houston", 2),
+        ("KansasCity", "Indianapolis", 2),
+        ("Houston", "Atlanta", 3),
+        ("Chicago", "Indianapolis", 1),
+        ("Chicago", "NewYork", 3),
+        ("Indianapolis", "Atlanta", 2),
+        ("Atlanta", "WashingtonDC", 2),
+        ("WashingtonDC", "NewYork", 1),
+    ]
+    for first, second, weight in links:
+        topology.add_link(first, second, weight=weight, capacity=capacity)
+    if with_loopbacks:
+        _attach_loopbacks(topology)
+    topology.validate()
+    return topology
+
+
+def ring(size: int, capacity: float = DEFAULT_CAPACITY, with_loopbacks: bool = True) -> Topology:
+    """A ring of ``size`` routers with unit weights."""
+    if size < 3:
+        raise ValidationError(f"a ring needs at least 3 routers, got {size}")
+    topology = Topology(name=f"ring-{size}")
+    names = [f"N{i}" for i in range(size)]
+    topology.add_routers(names)
+    for index in range(size):
+        topology.add_link(names[index], names[(index + 1) % size], weight=1, capacity=capacity)
+    if with_loopbacks:
+        _attach_loopbacks(topology)
+    topology.validate()
+    return topology
+
+
+def grid(
+    rows: int,
+    columns: int,
+    capacity: float = DEFAULT_CAPACITY,
+    with_loopbacks: bool = True,
+) -> Topology:
+    """A ``rows x columns`` grid with unit weights (rich in equal-cost paths)."""
+    if rows < 1 or columns < 1:
+        raise ValidationError(f"grid dimensions must be >= 1, got {rows}x{columns}")
+    if rows * columns < 2:
+        raise ValidationError("a grid needs at least 2 routers")
+    topology = Topology(name=f"grid-{rows}x{columns}")
+
+    def name(row: int, column: int) -> str:
+        return f"G{row}_{column}"
+
+    topology.add_routers(name(r, c) for r in range(rows) for c in range(columns))
+    for row in range(rows):
+        for column in range(columns):
+            if column + 1 < columns:
+                topology.add_link(name(row, column), name(row, column + 1), weight=1, capacity=capacity)
+            if row + 1 < rows:
+                topology.add_link(name(row, column), name(row + 1, column), weight=1, capacity=capacity)
+    if with_loopbacks:
+        _attach_loopbacks(topology)
+    topology.validate()
+    return topology
+
+
+def dumbbell(
+    pairs: int = 3,
+    bottleneck_capacity: Optional[float] = None,
+    edge_capacity: float = DEFAULT_CAPACITY,
+    with_loopbacks: bool = True,
+) -> Topology:
+    """A dumbbell: ``pairs`` sources and sinks joined by a single bottleneck link.
+
+    Classic congestion-study topology: all traffic competes for the
+    ``Left``–``Right`` bottleneck, whose capacity defaults to half the edge
+    capacity.
+    """
+    if pairs < 1:
+        raise ValidationError(f"a dumbbell needs at least 1 pair, got {pairs}")
+    if bottleneck_capacity is None:
+        bottleneck_capacity = edge_capacity / 2
+    topology = Topology(name=f"dumbbell-{pairs}")
+    topology.add_routers(["Left", "Right"])
+    topology.add_link("Left", "Right", weight=1, capacity=bottleneck_capacity)
+    for index in range(pairs):
+        source = f"Src{index}"
+        sink = f"Dst{index}"
+        topology.add_routers([source, sink])
+        topology.add_link(source, "Left", weight=1, capacity=edge_capacity)
+        topology.add_link("Right", sink, weight=1, capacity=edge_capacity)
+    if with_loopbacks:
+        _attach_loopbacks(topology)
+    topology.validate()
+    return topology

@@ -1,0 +1,54 @@
+"""Shared utilities used throughout the reproduction.
+
+The sub-modules are intentionally small and dependency-free so that every
+other package (IGP substrate, data plane, controller, ...) can rely on them
+without creating import cycles:
+
+``repro.util.prefixes``
+    Minimal IPv4 prefix arithmetic (parsing, containment, supernetting) used
+    to model announced destination prefixes.
+``repro.util.units``
+    Conversion helpers between bits, bytes, and human-readable rates.
+``repro.util.timeline``
+    A sorted event timeline used by the data-plane engine and the monitors.
+``repro.util.validation``
+    Argument-checking helpers that raise consistent error types.
+``repro.util.stats``
+    Small statistics helpers (EWMA, percentiles, time-weighted averages).
+``repro.util.errors``
+    The exception hierarchy shared by every sub-package.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    TopologyError,
+    RoutingError,
+    ControllerError,
+    SimulationError,
+    ValidationError,
+)
+from repro.util.prefixes import Prefix
+from repro.util.units import (
+    bits_to_bytes,
+    bytes_to_bits,
+    mbps,
+    gbps,
+    kbps,
+    format_rate,
+)
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "RoutingError",
+    "ControllerError",
+    "SimulationError",
+    "ValidationError",
+    "Prefix",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "mbps",
+    "gbps",
+    "kbps",
+    "format_rate",
+]

@@ -1,0 +1,46 @@
+"""Video delivery workload: servers, playback clients and QoE metrics.
+
+The demo's headline claim is user-facing: "video playbacks are smooth when
+the Fibbing controller is in use and stutter when disabled".  This package
+models exactly the pieces needed to evaluate that claim on top of the
+flow-level data plane:
+
+``catalog``
+    Video descriptions (bitrate, duration) and a small content catalog.
+``client``
+    The playback buffer model: startup buffering, playing, stalling when the
+    buffer runs dry, and completion.
+``server``
+    Video servers and the streaming service that creates one network flow
+    per playback session, notifies the controller of new clients, and feeds
+    received bytes into the clients' buffers.
+``qoe``
+    Per-session and aggregate quality-of-experience reports (startup delay,
+    stall count and duration, rebuffering ratio).
+``flashcrowd``
+    Arrival schedules: the paper's exact Fig. 2 schedule and synthetic flash
+    crowds for the extended benchmarks.
+"""
+
+from repro.video.catalog import Video, VideoCatalog
+from repro.video.client import PlaybackClient, PlaybackState
+from repro.video.server import VideoServer, StreamingService, StreamingSession
+from repro.video.qoe import QoeReport, SessionQoe, aggregate_qoe
+from repro.video.flashcrowd import ArrivalEvent, demo_schedule, poisson_arrivals, apply_schedule
+
+__all__ = [
+    "Video",
+    "VideoCatalog",
+    "PlaybackClient",
+    "PlaybackState",
+    "VideoServer",
+    "StreamingService",
+    "StreamingSession",
+    "QoeReport",
+    "SessionQoe",
+    "aggregate_qoe",
+    "ArrivalEvent",
+    "demo_schedule",
+    "poisson_arrivals",
+    "apply_schedule",
+]

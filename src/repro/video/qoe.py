@@ -1,0 +1,106 @@
+"""Quality-of-experience metrics.
+
+The demo's §3 claim is qualitative ("smooth" vs. "stutters"); the QoE report
+quantifies it so benchmarks can assert it: a run is *smooth* when no client
+stalls after playback started, and *stuttering* when a significant fraction
+of the clients stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.util.errors import ValidationError
+from repro.util.stats import mean, percentile
+from repro.video.client import PlaybackClient, PlaybackState
+
+__all__ = ["SessionQoe", "QoeReport", "session_qoe", "aggregate_qoe"]
+
+
+@dataclass(frozen=True)
+class SessionQoe:
+    """QoE summary of a single playback session."""
+
+    client_id: int
+    startup_delay: float
+    stall_count: int
+    total_stall_time: float
+    completed: bool
+    playback_duration: float
+
+    @property
+    def rebuffer_ratio(self) -> float:
+        """Stall time relative to the total session time (stalls + playback)."""
+        denominator = self.playback_duration + self.total_stall_time
+        return self.total_stall_time / denominator if denominator > 0 else 0.0
+
+    @property
+    def smooth(self) -> bool:
+        """Whether playback never stalled after it started."""
+        return self.stall_count == 0
+
+
+@dataclass(frozen=True)
+class QoeReport:
+    """Aggregate QoE over a set of sessions."""
+
+    sessions: int
+    smooth_sessions: int
+    stalled_sessions: int
+    completed_sessions: int
+    mean_startup_delay: float
+    mean_stall_count: float
+    mean_rebuffer_ratio: float
+    p95_rebuffer_ratio: float
+    total_stall_time: float
+
+    @property
+    def smooth_fraction(self) -> float:
+        """Fraction of the sessions that never stalled."""
+        return self.smooth_sessions / self.sessions if self.sessions else 0.0
+
+    @property
+    def all_smooth(self) -> bool:
+        """The paper's "smooth playback" condition: not a single stall anywhere."""
+        return self.sessions > 0 and self.stalled_sessions == 0
+
+    def summary(self) -> str:
+        """One-line human-readable summary (used by examples and benchmarks)."""
+        return (
+            f"{self.sessions} sessions, {self.smooth_sessions} smooth "
+            f"({100 * self.smooth_fraction:.0f}%), mean rebuffer ratio "
+            f"{100 * self.mean_rebuffer_ratio:.1f}%, total stall time "
+            f"{self.total_stall_time:.1f}s"
+        )
+
+
+def session_qoe(client: PlaybackClient) -> SessionQoe:
+    """Compute the QoE summary of one playback client."""
+    return SessionQoe(
+        client_id=client.client_id,
+        startup_delay=client.startup_delay,
+        stall_count=client.stall_count,
+        total_stall_time=client.total_stall_time,
+        completed=client.state is PlaybackState.FINISHED,
+        playback_duration=client.played_seconds,
+    )
+
+
+def aggregate_qoe(clients: Iterable[PlaybackClient]) -> QoeReport:
+    """Aggregate the QoE of many sessions into one report."""
+    summaries: List[SessionQoe] = [session_qoe(client) for client in clients]
+    if not summaries:
+        raise ValidationError("cannot aggregate QoE over zero sessions")
+    rebuffer_ratios = [summary.rebuffer_ratio for summary in summaries]
+    return QoeReport(
+        sessions=len(summaries),
+        smooth_sessions=sum(1 for summary in summaries if summary.smooth),
+        stalled_sessions=sum(1 for summary in summaries if not summary.smooth),
+        completed_sessions=sum(1 for summary in summaries if summary.completed),
+        mean_startup_delay=mean([summary.startup_delay for summary in summaries]),
+        mean_stall_count=mean([float(summary.stall_count) for summary in summaries]),
+        mean_rebuffer_ratio=mean(rebuffer_ratios),
+        p95_rebuffer_ratio=percentile(rebuffer_ratios, 0.95),
+        total_stall_time=sum(summary.total_stall_time for summary in summaries),
+    )

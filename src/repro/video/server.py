@@ -1,0 +1,204 @@
+"""Video servers and the streaming service.
+
+A :class:`VideoServer` sits behind an ingress router and streams videos to
+clients that belong to a destination prefix.  Starting a playback session:
+
+1. creates one flow in the data-plane engine (server router -> client
+   prefix, at the video bitrate),
+2. publishes a :class:`~repro.monitoring.notifications.ClientNotification`
+   on the notification bus (this is how the demo's controller learns about
+   demand), and
+3. registers a :class:`PlaybackClient` whose buffer is fed from the flow's
+   transmitted-byte counter at every data-plane sample.
+
+The :class:`StreamingService` owns all servers and sessions, performs the
+per-sample updates, and tears sessions down when their video finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dataplane.engine import DataPlaneEngine, LinkSample
+from repro.monitoring.notifications import ClientNotification, NotificationBus
+from repro.util.errors import SimulationError, ValidationError
+from repro.util.prefixes import Prefix
+from repro.video.catalog import Video, VideoCatalog
+from repro.video.client import PlaybackClient, PlaybackState
+
+__all__ = ["VideoServer", "StreamingSession", "StreamingService"]
+
+
+@dataclass(frozen=True)
+class VideoServer:
+    """A video server attached behind one ingress router."""
+
+    name: str
+    ingress: str
+    catalog: VideoCatalog
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("server name must be a non-empty string")
+        if not self.ingress:
+            raise ValidationError("server ingress router must be a non-empty name")
+
+
+@dataclass
+class StreamingSession:
+    """One active playback: the flow, the client buffer, and bookkeeping."""
+
+    session_id: int
+    server: VideoServer
+    video: Video
+    prefix: Prefix
+    flow_id: int
+    client: PlaybackClient
+    last_flow_bytes: float = 0.0
+    closed: bool = False
+
+
+class StreamingService:
+    """Coordinates servers, sessions, the data plane and the notification bus."""
+
+    def __init__(
+        self,
+        engine: DataPlaneEngine,
+        bus: Optional[NotificationBus] = None,
+        startup_buffer: float = 2.0,
+        resume_buffer: float = 1.0,
+    ) -> None:
+        self.engine = engine
+        self.bus = bus if bus is not None else NotificationBus()
+        self.startup_buffer = startup_buffer
+        self.resume_buffer = resume_buffer
+        self._servers: Dict[str, VideoServer] = {}
+        self._sessions: Dict[int, StreamingSession] = {}
+        self._next_session_id = 0
+        self._finished_sessions: List[StreamingSession] = []
+        engine.on_sample(self._on_sample)
+
+    # ------------------------------------------------------------------ #
+    # Server management
+    # ------------------------------------------------------------------ #
+    def add_server(self, server: VideoServer) -> VideoServer:
+        """Register a server (names must be unique)."""
+        if server.name in self._servers:
+            raise SimulationError(f"server {server.name!r} already registered")
+        if not self.engine.topology.has_router(server.ingress):
+            raise SimulationError(
+                f"server {server.name!r} attaches to unknown router {server.ingress!r}"
+            )
+        self._servers[server.name] = server
+        return server
+
+    def server(self, name: str) -> VideoServer:
+        """Look up a registered server by name."""
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise SimulationError(f"unknown server {name!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+    def start_session(self, server_name: str, video_title: str, prefix: Prefix) -> StreamingSession:
+        """Start one playback of ``video_title`` from ``server_name`` toward ``prefix``."""
+        server = self.server(server_name)
+        video = server.catalog.get(video_title)
+        flow = self.engine.add_flow(
+            ingress=server.ingress,
+            prefix=prefix,
+            demand=video.bitrate,
+            label=f"{server_name}:{video_title}",
+        )
+        client = PlaybackClient(
+            client_id=self._next_session_id,
+            video=video,
+            started_at=self.engine.timeline.now,
+            startup_buffer=self.startup_buffer,
+            resume_buffer=self.resume_buffer,
+        )
+        session = StreamingSession(
+            session_id=self._next_session_id,
+            server=server,
+            video=video,
+            prefix=prefix,
+            flow_id=flow.flow_id,
+            client=client,
+        )
+        self._sessions[session.session_id] = session
+        self._next_session_id += 1
+        self.bus.publish(
+            ClientNotification(
+                time=self.engine.timeline.now,
+                server=server.name,
+                ingress=server.ingress,
+                prefix=prefix,
+                bitrate=video.bitrate,
+                delta=+1,
+            )
+        )
+        return session
+
+    def end_session(self, session_id: int) -> StreamingSession:
+        """Terminate a session (normally called automatically at video completion)."""
+        try:
+            session = self._sessions.pop(session_id)
+        except KeyError:
+            raise SimulationError(f"session {session_id} is not active") from None
+        if session.flow_id in self.engine.flows:
+            self.engine.remove_flow(session.flow_id)
+        session.closed = True
+        self._finished_sessions.append(session)
+        self.bus.publish(
+            ClientNotification(
+                time=self.engine.timeline.now,
+                server=session.server.name,
+                ingress=session.server.ingress,
+                prefix=session.prefix,
+                bitrate=session.video.bitrate,
+                delta=-1,
+            )
+        )
+        return session
+
+    # ------------------------------------------------------------------ #
+    # State inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def active_sessions(self) -> List[StreamingSession]:
+        """Currently active sessions, sorted by id."""
+        return [self._sessions[key] for key in sorted(self._sessions)]
+
+    @property
+    def finished_sessions(self) -> List[StreamingSession]:
+        """Sessions that have been closed, in closing order."""
+        return list(self._finished_sessions)
+
+    @property
+    def all_sessions(self) -> List[StreamingSession]:
+        """Every session ever started (active and finished), sorted by id."""
+        sessions = list(self._sessions.values()) + self._finished_sessions
+        return sorted(sessions, key=lambda session: session.session_id)
+
+    def clients(self) -> List[PlaybackClient]:
+        """The playback clients of every session ever started, sorted by id."""
+        return [session.client for session in self.all_sessions]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _on_sample(self, sample: LinkSample) -> None:
+        """Feed each active client's buffer from its flow's byte counter."""
+        finished: List[int] = []
+        for session in list(self._sessions.values()):
+            transmitted = self.engine.flow_transmitted_bytes(session.flow_id)
+            delta_bits = max(0.0, (transmitted - session.last_flow_bytes) * 8.0)
+            session.last_flow_bytes = transmitted
+            session.client.advance(sample.time, delta_bits)
+            if session.client.finished:
+                finished.append(session.session_id)
+        for session_id in finished:
+            self.end_session(session_id)

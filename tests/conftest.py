@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.demand import TrafficMatrix
+from repro.igp.network import compute_static_fibs
+from repro.topologies.demo import (
+    BLUE_PREFIX,
+    DemoScenario,
+    build_demo_scenario,
+    build_demo_topology,
+    demo_lies,
+)
+from repro.util.units import mbps
+
+
+@pytest.fixture
+def demo_topology():
+    """The paper's Fig. 1a topology."""
+    return build_demo_topology()
+
+
+@pytest.fixture
+def demo_scenario() -> DemoScenario:
+    """The full demo scenario (topology, servers, schedule, monitors)."""
+    return build_demo_scenario()
+
+
+@pytest.fixture
+def blue_prefix():
+    """The destination prefix of the playback clients."""
+    return BLUE_PREFIX
+
+
+@pytest.fixture
+def demo_fibs_baseline(demo_topology):
+    """Converged FIBs of the demo topology without any lie."""
+    return compute_static_fibs(demo_topology)
+
+
+@pytest.fixture
+def demo_fibs_fibbed(demo_topology):
+    """Converged FIBs of the demo topology with the Fig. 1c lies."""
+    return compute_static_fibs(demo_topology, demo_lies())
+
+
+@pytest.fixture
+def demo_demands():
+    """The Fig. 1b static demands: 100 units from each source."""
+    return TrafficMatrix.from_dict(
+        {("A", BLUE_PREFIX): 100.0, ("B", BLUE_PREFIX): 100.0}
+    )
+
+
+@pytest.fixture
+def fig2_demands():
+    """The aggregate demands of the Fig. 2 steady state (31 Mbit/s per source)."""
+    return TrafficMatrix.from_dict(
+        {("A", BLUE_PREFIX): mbps(31), ("B", BLUE_PREFIX): mbps(31)}
+    )

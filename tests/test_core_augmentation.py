@@ -1,0 +1,170 @@
+"""Tests for lie synthesis (topology augmentation)."""
+
+import pytest
+
+from repro.core.augmentation import AugmentationError, synthesize_lies
+from repro.core.requirements import DestinationRequirement
+from repro.dataplane.demand import TrafficMatrix
+from repro.dataplane.forwarding import route_flows_hashed, route_fractional
+from repro.dataplane.flows import Flow
+from repro.igp.network import compute_static_fibs
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology
+from repro.topologies.zoo import grid
+from repro.util.prefixes import Prefix
+
+
+def enforce(topology, requirement, **kwargs):
+    """Synthesize lies and return the FIBs they produce."""
+    lies = synthesize_lies(topology, requirement, **kwargs)
+    return lies, compute_static_fibs(topology, lies)
+
+
+class TestTieMode:
+    def test_paper_requirement_produces_three_lies(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"B": 1, "R1": 2}, "B": {"R2": 1, "R3": 1}}
+        )
+        lies, fibs = enforce(topology, requirement)
+        assert len(lies) == 3
+        anchors = sorted(lie.anchor for lie in lies)
+        assert anchors == ["A", "A", "B"]
+        assert fibs["A"].split_ratios(BLUE_PREFIX) == {
+            "B": pytest.approx(1 / 3),
+            "R1": pytest.approx(2 / 3),
+        }
+        assert fibs["B"].split_ratios(BLUE_PREFIX) == {"R2": 0.5, "R3": 0.5}
+
+    def test_tie_lies_keep_original_cost(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"B": {"R2": 1, "R3": 1}})
+        lies, _ = enforce(topology, requirement)
+        assert len(lies) == 1
+        assert lies[0].total_cost == pytest.approx(2.0)  # B's existing shortest path cost
+        assert lies[0].forwarding_address == "R3"
+
+    def test_requirement_equal_to_default_needs_no_lies(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 1}})
+        lies, _ = enforce(topology, requirement)
+        assert lies == []
+
+    def test_existing_ecmp_counts_as_provided(self):
+        # In a 2x2 grid, the corner has two equal-cost paths to the opposite
+        # corner; asking for exactly that even split needs no lies.
+        topology = grid(2, 2, with_loopbacks=False)
+        prefix = Prefix.parse("198.51.100.0/24")
+        topology.attach_prefix("G1_1", prefix)
+        requirement = DestinationRequirement(
+            prefix=prefix, next_hops={"G0_0": {"G0_1": 1, "G1_0": 1}}
+        )
+        lies, _ = enforce(topology, requirement)
+        assert lies == []
+
+    def test_uneven_split_on_top_of_existing_ecmp(self):
+        topology = grid(2, 2, with_loopbacks=False)
+        prefix = Prefix.parse("198.51.100.0/24")
+        topology.attach_prefix("G1_1", prefix)
+        requirement = DestinationRequirement(
+            prefix=prefix, next_hops={"G0_0": {"G0_1": 3, "G1_0": 1}}
+        )
+        lies, fibs = enforce(topology, requirement)
+        assert len(lies) == 2  # two extra entries toward G0_1
+        ratios = fibs["G0_0"].split_ratios(prefix)
+        assert ratios["G0_1"] == pytest.approx(0.75)
+
+    def test_realised_split_matches_requirement_in_dataplane(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"B": 1, "R1": 2}, "B": {"R2": 1, "R3": 1}}
+        )
+        _, fibs = enforce(topology, requirement)
+        demands = TrafficMatrix.from_dict({("A", BLUE_PREFIX): 90.0})
+        outcome = route_fractional(fibs, demands)
+        assert outcome.loads.load("A", "R1") == pytest.approx(60.0)
+        assert outcome.loads.load("A", "B") == pytest.approx(30.0)
+
+
+class TestOverrideMode:
+    def test_moving_traffic_off_the_shortest_path(self):
+        topology = build_demo_topology()
+        # Push all of A's traffic via R1, excluding the default next hop B.
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"R1": 1}})
+        lies, fibs = enforce(topology, requirement)
+        assert len(lies) == 1
+        assert lies[0].total_cost < 3.0
+        assert fibs["A"].split_ratios(BLUE_PREFIX) == {"R1": 1.0}
+
+    def test_override_does_not_disturb_other_routers(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"R1": 1}})
+        _, fibs = enforce(topology, requirement)
+        baseline = compute_static_fibs(topology)
+        for router in ["B", "R1", "R2", "R3", "R4"]:
+            assert fibs[router].split_ratios(BLUE_PREFIX) == baseline[router].split_ratios(BLUE_PREFIX)
+
+    def test_chained_override_requirements_hold(self):
+        """A forwards only through B, and B forwards only through R3.
+
+        This is the case that needs distance-ranked epsilons: B's lie must
+        not make A prefer its own path through B's fake node over A's lie.
+        """
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"B": 1}, "B": {"R3": 1}}
+        )
+        lies, fibs = enforce(topology, requirement)
+        assert fibs["A"].split_ratios(BLUE_PREFIX) == {"B": 1.0}
+        assert fibs["B"].split_ratios(BLUE_PREFIX) == {"R3": 1.0}
+
+    def test_mixed_requirement_switches_everyone_to_override(self):
+        topology = build_demo_topology()
+        # B must move everything to R3 (override) while A keeps B plus R1 (tie-like).
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"B": 1, "R1": 1}, "B": {"R3": 1}}
+        )
+        lies, fibs = enforce(topology, requirement)
+        assert fibs["B"].split_ratios(BLUE_PREFIX) == {"R3": 1.0}
+        assert fibs["A"].split_ratios(BLUE_PREFIX) == {"B": 0.5, "R1": 0.5}
+        # End-to-end: hashed flows from A never loop and are all delivered.
+        flows = [Flow(flow_id=i, ingress="A", prefix=BLUE_PREFIX, demand=1.0) for i in range(50)]
+        outcome = route_flows_hashed(compute_static_fibs(topology, lies), flows)
+        assert all(path.delivered and not path.looped for path in outcome.flow_paths.values())
+
+
+class TestErrors:
+    def test_requirement_at_destination_router_rejected(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"C": {"R2": 1}})
+        with pytest.raises(AugmentationError):
+            synthesize_lies(topology, requirement)
+
+    def test_invalid_epsilon_rejected(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"R1": 1}})
+        with pytest.raises(AugmentationError):
+            synthesize_lies(topology, requirement, epsilon=0.0)
+
+    def test_oversized_epsilon_rejected(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"R1": 1}, "B": {"R3": 1}}
+        )
+        with pytest.raises(AugmentationError):
+            synthesize_lies(topology, requirement, epsilon=0.6)
+
+    def test_custom_name_factory_used(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"B": {"R2": 1, "R3": 1}})
+        lies = synthesize_lies(topology, requirement, name_factory=lambda anchor: f"lie-{anchor}")
+        assert lies[0].fake_node == "lie-B"
+
+    def test_lies_target_requested_prefix_only(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"B": {"R2": 1, "R3": 1}})
+        lies, fibs = enforce(topology, requirement)
+        other = Prefix.parse("10.1.0.0/24")  # S1's prefix, untouched
+        baseline = compute_static_fibs(topology)
+        for router in topology.routers:
+            if baseline[router].has_entry(other):
+                assert fibs[router].split_ratios(other) == baseline[router].split_ratios(other)

@@ -1,0 +1,135 @@
+"""Tests for the Fibbing controller session."""
+
+import pytest
+
+from repro.core.controller import FibbingController
+from repro.core.requirements import DestinationRequirement, RequirementSet
+from repro.igp.network import IgpNetwork
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology
+from repro.util.errors import ControllerError
+
+
+PAPER_REQUIREMENT = DestinationRequirement(
+    prefix=BLUE_PREFIX, next_hops={"A": {"B": 1, "R1": 2}, "B": {"R2": 1, "R3": 1}}
+)
+
+
+class TestStaticController:
+    def test_enforce_injects_three_lies(self):
+        controller = FibbingController(build_demo_topology())
+        update = controller.enforce_requirement(PAPER_REQUIREMENT)
+        assert len(update.injected) == 3
+        assert update.withdrawn == ()
+        assert controller.active_lie_count(BLUE_PREFIX) == 3
+        assert controller.stats.messages_sent == 3
+
+    def test_static_fibs_reflect_lies(self):
+        controller = FibbingController(build_demo_topology())
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        fibs = controller.static_fibs()
+        assert fibs["A"].split_ratios(BLUE_PREFIX)["R1"] == pytest.approx(2 / 3)
+
+    def test_idempotent_enforcement_is_noop(self):
+        controller = FibbingController(build_demo_topology())
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        update = controller.enforce_requirement(PAPER_REQUIREMENT)
+        assert update.is_noop
+        assert controller.stats.messages_sent == 3  # unchanged
+
+    def test_shrinking_requirement_withdraws_lies(self):
+        controller = FibbingController(build_demo_topology())
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        smaller = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"B": {"R2": 1, "R3": 1}}
+        )
+        update = controller.enforce_requirement(smaller)
+        assert len(update.withdrawn) == 2
+        assert controller.active_lie_count(BLUE_PREFIX) == 1
+        assert controller.stats.lies_withdrawn == 2
+
+    def test_clear_prefix_removes_everything(self):
+        controller = FibbingController(build_demo_topology())
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        update = controller.clear_prefix(BLUE_PREFIX)
+        assert len(update.withdrawn) == 3
+        assert controller.active_lie_count() == 0
+        restored = controller.static_fibs()
+        assert restored["A"].split_ratios(BLUE_PREFIX) == {"B": 1.0}
+
+    def test_clear_all_covers_every_prefix(self):
+        controller = FibbingController(build_demo_topology())
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        updates = controller.clear_all()
+        assert sum(len(update.withdrawn) for update in updates) == 3
+
+    def test_enforce_set_reuses_baseline(self):
+        controller = FibbingController(build_demo_topology())
+        updates = controller.enforce(RequirementSet([PAPER_REQUIREMENT]))
+        assert len(updates) == 1
+        assert controller.stats.updates_applied == 1
+
+    def test_bytes_accounting_positive(self):
+        controller = FibbingController(build_demo_topology())
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        assert controller.stats.bytes_sent > 0
+        snapshot = controller.stats.snapshot()
+        assert snapshot["lies_injected"] == 3
+
+    def test_attachment_required_with_live_network(self):
+        topology = build_demo_topology()
+        network = IgpNetwork(topology)
+        with pytest.raises(ControllerError):
+            FibbingController(topology, network=network)
+
+    def test_unknown_attachment_rejected(self):
+        topology = build_demo_topology()
+        with pytest.raises(ControllerError):
+            FibbingController(topology, attachment="ghost")
+
+
+class TestLiveController:
+    def test_enforcement_propagates_through_the_igp(self):
+        topology = build_demo_topology()
+        network = IgpNetwork(topology)
+        network.start()
+        network.converge()
+        controller = FibbingController(topology, network=network, attachment="R3")
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        network.converge()
+        assert network.fib_of("A").split_ratios(BLUE_PREFIX)["R1"] == pytest.approx(2 / 3)
+        assert network.fib_of("B").split_ratios(BLUE_PREFIX) == {"R2": 0.5, "R3": 0.5}
+
+    def test_withdrawal_propagates_through_the_igp(self):
+        topology = build_demo_topology()
+        network = IgpNetwork(topology)
+        network.start()
+        network.converge()
+        controller = FibbingController(topology, network=network, attachment="R3")
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        network.converge()
+        controller.clear_prefix(BLUE_PREFIX)
+        network.converge()
+        assert network.fib_of("A").split_ratios(BLUE_PREFIX) == {"B": 1.0}
+        assert network.fib_of("B").split_ratios(BLUE_PREFIX) == {"R2": 1.0}
+
+    def test_update_time_uses_network_clock(self):
+        topology = build_demo_topology()
+        network = IgpNetwork(topology)
+        network.start()
+        network.converge()
+        controller = FibbingController(topology, network=network, attachment="R3")
+        update = controller.enforce_requirement(PAPER_REQUIREMENT)
+        assert update.time == network.timeline.now
+
+    def test_noop_update_sends_nothing_to_the_network(self):
+        topology = build_demo_topology()
+        network = IgpNetwork(topology)
+        network.start()
+        network.converge()
+        controller = FibbingController(topology, network=network, attachment="R3")
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        network.converge()
+        messages_before = network.flooding_stats["messages_sent"]
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        network.converge()
+        assert network.flooding_stats["messages_sent"] == messages_before

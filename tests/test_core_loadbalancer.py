@@ -1,0 +1,137 @@
+"""Tests for the on-demand load-balancing service."""
+
+import pytest
+
+from repro.core.controller import FibbingController
+from repro.core.loadbalancer import OnDemandLoadBalancer
+from repro.core.policies import LoadBalancerPolicy
+from repro.dataplane.forwarding import route_fractional
+from repro.monitoring.alarms import AlarmEvent
+from repro.monitoring.collector import LinkLoadView
+from repro.monitoring.notifications import ClientNotification, ClientRegistry
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology
+from repro.util.errors import ControllerError
+from repro.util.prefixes import Prefix
+from repro.util.units import mbps
+
+
+def registry_with_clients(count_b: int, count_a: int) -> ClientRegistry:
+    registry = ClientRegistry()
+    for _ in range(count_b):
+        registry.observe(
+            ClientNotification(time=0.0, server="S1", ingress="B", prefix=BLUE_PREFIX, bitrate=mbps(1))
+        )
+    for _ in range(count_a):
+        registry.observe(
+            ClientNotification(time=0.0, server="S2", ingress="A", prefix=BLUE_PREFIX, bitrate=mbps(1))
+        )
+    return registry
+
+
+def fake_alarm(time=20.0) -> AlarmEvent:
+    return AlarmEvent(
+        time=time,
+        hot_links=(LinkLoadView(link=("B", "R2"), rate=mbps(31), capacity=mbps(32)),),
+    )
+
+
+class TestReactions:
+    def test_first_surge_adds_ecmp_at_b_only(self):
+        topology = build_demo_topology()
+        controller = FibbingController(topology)
+        balancer = OnDemandLoadBalancer(controller, registry_with_clients(31, 0))
+        action = balancer.handle_alarm(fake_alarm())
+        assert action is not None
+        assert action.lies_injected == 1
+        assert controller.active_lies()[0].anchor == "B"
+        fibs = controller.static_fibs()
+        assert fibs["B"].split_ratios(BLUE_PREFIX) == {"R2": 0.5, "R3": 0.5}
+        assert fibs["A"].split_ratios(BLUE_PREFIX) == {"B": 1.0}
+
+    def test_second_surge_adds_uneven_split_at_a(self):
+        topology = build_demo_topology()
+        controller = FibbingController(topology)
+        balancer = OnDemandLoadBalancer(controller, registry_with_clients(31, 0))
+        balancer.handle_alarm(fake_alarm(time=18.0))
+        # 31 more clients now arrive behind A.
+        balancer.clients = registry_with_clients(31, 31)
+        action = balancer.handle_alarm(fake_alarm(time=37.0))
+        assert action.lies_injected == 2
+        assert controller.active_lie_count(BLUE_PREFIX) == 3
+        fibs = controller.static_fibs()
+        assert fibs["A"].split_ratios(BLUE_PREFIX)["R1"] == pytest.approx(2 / 3)
+        # The congestion is actually resolved in the data plane.
+        outcome = route_fractional(fibs, balancer.current_demands())
+        assert outcome.loads.max_utilization(topology) < 0.7
+
+    def test_reaction_with_no_clients_is_none(self):
+        topology = build_demo_topology()
+        controller = FibbingController(topology)
+        balancer = OnDemandLoadBalancer(controller, ClientRegistry())
+        assert balancer.handle_alarm(fake_alarm()) is None
+        assert balancer.reaction_count == 0
+
+    def test_predicted_utilization_reported(self):
+        topology = build_demo_topology()
+        controller = FibbingController(topology)
+        balancer = OnDemandLoadBalancer(controller, registry_with_clients(31, 31))
+        action = balancer.handle_alarm(fake_alarm())
+        assert action.predicted_max_utilization == pytest.approx(0.6458, abs=1e-3)
+
+    def test_repeated_identical_alarms_do_not_churn(self):
+        topology = build_demo_topology()
+        controller = FibbingController(topology)
+        balancer = OnDemandLoadBalancer(controller, registry_with_clients(31, 31))
+        first = balancer.handle_alarm(fake_alarm(time=10.0))
+        second = balancer.handle_alarm(fake_alarm(time=20.0))
+        assert first.changed_network
+        assert not second.changed_network
+        assert balancer.total_lies_injected == 3
+
+    def test_managed_prefix_filter(self):
+        topology = build_demo_topology()
+        controller = FibbingController(topology)
+        other = Prefix.parse("10.1.0.0/24")
+        balancer = OnDemandLoadBalancer(
+            controller, registry_with_clients(31, 0), managed_prefixes=[other]
+        )
+        assert balancer.handle_alarm(fake_alarm()) is None
+
+    def test_rebalance_now_without_alarm(self):
+        topology = build_demo_topology()
+        controller = FibbingController(topology)
+        balancer = OnDemandLoadBalancer(controller, registry_with_clients(31, 31))
+        action = balancer.rebalance_now(time=5.0)
+        assert action is not None
+        assert action.time == 5.0
+        assert controller.active_lie_count() == 3
+
+
+class TestPolicy:
+    def test_max_ecmp_entries_bound_split_granularity(self):
+        topology = build_demo_topology()
+        controller = FibbingController(topology)
+        policy = LoadBalancerPolicy(max_ecmp_entries=2)
+        balancer = OnDemandLoadBalancer(controller, registry_with_clients(31, 31), policy=policy)
+        balancer.handle_alarm(fake_alarm())
+        fibs = controller.static_fibs(max_ecmp=2)
+        ratios = fibs["A"].split_ratios(BLUE_PREFIX)
+        # With only 2 entries the best approximation of 1/3-2/3 is 1/2-1/2.
+        assert ratios == {"B": 0.5, "R1": 0.5}
+
+    def test_policy_validation(self):
+        with pytest.raises(ControllerError):
+            LoadBalancerPolicy(utilization_threshold=0.5, clear_threshold=0.9)
+        with pytest.raises(ControllerError):
+            LoadBalancerPolicy(max_ecmp_entries=0)
+        with pytest.raises(Exception):
+            LoadBalancerPolicy(epsilon=0.0)
+
+    def test_merge_report_attached_to_action(self):
+        topology = build_demo_topology()
+        controller = FibbingController(topology)
+        balancer = OnDemandLoadBalancer(controller, registry_with_clients(31, 31))
+        action = balancer.handle_alarm(fake_alarm())
+        # The LP constrains every on-path router; the merger prunes the
+        # transit routers whose default forwarding already matches.
+        assert action.merge_report.routers_pruned >= 3

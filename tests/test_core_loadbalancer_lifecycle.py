@@ -1,0 +1,116 @@
+"""Tests for the load balancer's lie lifecycle: stale-lie cleanup and failures."""
+
+import pytest
+
+from repro.core.controller import FibbingController
+from repro.core.loadbalancer import OnDemandLoadBalancer
+from repro.monitoring.alarms import AlarmEvent
+from repro.monitoring.collector import LinkLoadView
+from repro.monitoring.notifications import ClientNotification, ClientRegistry
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology
+from repro.util.units import mbps
+
+
+def registry_with_clients(count_b: int, count_a: int = 0) -> ClientRegistry:
+    registry = ClientRegistry()
+    for ingress, count in (("B", count_b), ("A", count_a)):
+        for _ in range(count):
+            registry.observe(
+                ClientNotification(
+                    time=0.0, server="S", ingress=ingress, prefix=BLUE_PREFIX, bitrate=mbps(1)
+                )
+            )
+    return registry
+
+
+def alarm(time=10.0) -> AlarmEvent:
+    return AlarmEvent(
+        time=time,
+        hot_links=(LinkLoadView(link=("B", "R2"), rate=mbps(31), capacity=mbps(32)),),
+    )
+
+
+class TestStaleLieCleanup:
+    def test_lies_withdrawn_when_demand_disappears(self):
+        controller = FibbingController(build_demo_topology())
+        balancer = OnDemandLoadBalancer(controller, registry_with_clients(31, 31))
+        balancer.handle_alarm(alarm(time=10.0))
+        assert controller.active_lie_count() == 3
+
+        # Every client leaves; the next evaluation must retire all lies.
+        balancer.clients = ClientRegistry()
+        action = balancer.handle_alarm(alarm(time=20.0))
+        assert action is not None
+        assert action.lies_withdrawn == 3
+        assert controller.active_lie_count() == 0
+
+    def test_no_action_when_nothing_installed_and_no_demand(self):
+        controller = FibbingController(build_demo_topology())
+        balancer = OnDemandLoadBalancer(controller, ClientRegistry())
+        assert balancer.handle_alarm(alarm()) is None
+
+    def test_shrinking_demand_shrinks_the_lie_set(self):
+        controller = FibbingController(build_demo_topology())
+        balancer = OnDemandLoadBalancer(controller, registry_with_clients(31, 31))
+        balancer.handle_alarm(alarm(time=10.0))
+        assert controller.active_lie_count() == 3
+
+        # Only the clients behind B remain: A's uneven split is no longer
+        # needed and its two lies are withdrawn, B's single lie stays.
+        balancer.clients = registry_with_clients(31, 0)
+        action = balancer.handle_alarm(alarm(time=20.0))
+        assert controller.active_lie_count() == 1
+        assert controller.active_lies()[0].anchor == "B"
+        assert action.lies_withdrawn == 2
+
+    def test_unmanaged_prefixes_never_touched(self):
+        from repro.core.requirements import DestinationRequirement
+        from repro.util.prefixes import Prefix
+
+        topology = build_demo_topology()
+        other = Prefix.parse("10.1.0.0/24")  # S1's prefix, announced by B
+        controller = FibbingController(topology)
+        # Manually installed lies for a prefix outside the balancer's scope.
+        controller.enforce_requirement(
+            DestinationRequirement(prefix=other, next_hops={"R2": {"B": 1, "R3": 1}})
+        )
+        installed_before = controller.active_lie_count(other)
+        balancer = OnDemandLoadBalancer(
+            controller, ClientRegistry(), managed_prefixes=[BLUE_PREFIX]
+        )
+        balancer.handle_alarm(alarm())
+        assert controller.active_lie_count(other) == installed_before
+
+
+class TestTopologyChangeHandling:
+    def test_failure_triggers_requirement_refresh(self):
+        """After R1-R4 fails, the 1/3-2/3 split at A is useless (R1 is a dead
+        end toward C); handle_topology_change recomputes and retires it."""
+        topology = build_demo_topology()
+        controller = FibbingController(topology)
+        balancer = OnDemandLoadBalancer(controller, registry_with_clients(31, 31))
+        balancer.handle_alarm(alarm(time=10.0))
+        assert controller.active_lie_count() == 3
+
+        topology.remove_link("R1", "R4")
+        action = balancer.handle_topology_change(time=12.0)
+        assert action is not None
+        fibs = controller.static_fibs()
+        # No forwarding loops: every router's blue-prefix traffic reaches C.
+        from repro.dataplane.demand import TrafficMatrix
+        from repro.dataplane.forwarding import route_fractional
+
+        outcome = route_fractional(fibs, balancer.current_demands())
+        assert outcome.undeliverable == 0.0
+        # A no longer sends anything toward R1 for the blue prefix.
+        assert "R1" not in fibs["A"].split_ratios(BLUE_PREFIX)
+
+    def test_topology_change_with_no_demand_only_cleans_up(self):
+        topology = build_demo_topology()
+        controller = FibbingController(topology)
+        balancer = OnDemandLoadBalancer(controller, registry_with_clients(31))
+        balancer.handle_alarm(alarm(time=5.0))
+        assert controller.active_lie_count() == 1
+        balancer.clients = ClientRegistry()
+        balancer.handle_topology_change(time=6.0)
+        assert controller.active_lie_count() == 0

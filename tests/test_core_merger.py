@@ -1,0 +1,124 @@
+"""Tests for the lie merger (requirement reduction)."""
+
+import pytest
+
+from repro.core.augmentation import synthesize_lies
+from repro.core.merger import LieMerger, reduce_weights
+from repro.core.requirements import DestinationRequirement, RequirementSet
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology
+from repro.topologies.zoo import grid
+from repro.util.errors import ControllerError
+from repro.util.prefixes import Prefix
+
+
+class TestReduceWeights:
+    def test_divides_by_gcd(self):
+        assert reduce_weights({"a": 2, "b": 4}) == {"a": 1, "b": 2}
+
+    def test_coprime_weights_unchanged(self):
+        assert reduce_weights({"a": 3, "b": 5}) == {"a": 3, "b": 5}
+
+    def test_zero_weights_dropped(self):
+        assert reduce_weights({"a": 4, "b": 0}) == {"a": 1}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ControllerError):
+            reduce_weights({})
+
+
+class TestMergerPruning:
+    def test_default_requirements_are_pruned(self):
+        """Requirements matching what the IGP already does produce no lies."""
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX,
+            next_hops={
+                "A": {"B": 1, "R1": 2},
+                "B": {"R2": 1, "R3": 1},
+                "R1": {"R4": 1},
+                "R2": {"C": 1},
+                "R3": {"C": 1},
+                "R4": {"C": 1},
+            },
+        )
+        merger = LieMerger(topology)
+        reduced, report = merger.optimize(RequirementSet([requirement]))
+        only = list(reduced)[0]
+        assert only.routers == ["A", "B"]
+        assert report.routers_pruned == 4
+        assert report.entries_saved == 4
+
+    def test_pruned_requirement_still_produces_paper_lies(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX,
+            next_hops={"A": {"B": 1, "R1": 2}, "B": {"R2": 1, "R3": 1}, "R4": {"C": 1}},
+        )
+        reduced, _ = LieMerger(topology).optimize(RequirementSet([requirement]))
+        lies = []
+        for req in reduced:
+            lies.extend(synthesize_lies(topology, req))
+        assert len(lies) == 3
+
+    def test_existing_ecmp_prune(self):
+        topology = grid(2, 2, with_loopbacks=False)
+        prefix = Prefix.parse("198.51.100.0/24")
+        topology.attach_prefix("G1_1", prefix)
+        requirement = DestinationRequirement(
+            prefix=prefix, next_hops={"G0_0": {"G0_1": 2, "G1_0": 2}}
+        )
+        reduced, report = LieMerger(topology).optimize(RequirementSet([requirement]))
+        assert len(reduced) == 0
+        assert report.routers_pruned == 1
+
+    def test_weight_reduction_before_pruning(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"B": {"R2": 2, "R3": 2}}
+        )
+        reduced, _ = LieMerger(topology).optimize(RequirementSet([requirement]))
+        assert list(reduced)[0].weights_at("B") == {"R2": 1, "R3": 1}
+
+    def test_report_per_prefix_accounting(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"B": 2, "R1": 4}}
+        )
+        _, report = LieMerger(topology).optimize(RequirementSet([requirement]))
+        before, after = report.per_prefix[str(BLUE_PREFIX)]
+        assert before == 6
+        assert after == 3
+
+    def test_empty_requirement_set(self):
+        topology = build_demo_topology()
+        reduced, report = LieMerger(topology).optimize(RequirementSet())
+        assert len(reduced) == 0
+        assert report.routers_examined == 0
+
+
+class TestToleranceShrinking:
+    def test_tolerance_zero_keeps_exact_weights(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"B": 5, "R1": 11}}
+        )
+        reduced, _ = LieMerger(topology, tolerance=0.0).optimize(RequirementSet([requirement]))
+        assert list(reduced)[0].weights_at("A") == {"B": 5, "R1": 11}
+
+    def test_tolerance_allows_coarser_split(self):
+        topology = build_demo_topology()
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"B": 5, "R1": 11}}
+        )
+        reduced, _ = LieMerger(topology, tolerance=0.15).optimize(RequirementSet([requirement]))
+        weights = list(reduced)[0].weights_at("A")
+        assert sum(weights.values()) < 16
+        # 5/16 ~ 0.31, so a 1:2 split (0.33) is within the tolerance.
+        assert weights == {"B": 1, "R1": 2}
+
+    def test_invalid_parameters_rejected(self):
+        topology = build_demo_topology()
+        with pytest.raises(Exception):
+            LieMerger(topology, tolerance=-0.1)
+        with pytest.raises(ControllerError):
+            LieMerger(topology, max_entries=0)

@@ -1,0 +1,158 @@
+"""Tests for the min-max link-utilisation LP."""
+
+import pytest
+
+from repro.core.optimizer import MinMaxLoadOptimizer
+from repro.dataplane.demand import TrafficMatrix
+from repro.dataplane.forwarding import route_fractional
+from repro.dataplane.linkstats import LinkLoads
+from repro.igp.network import compute_static_fibs
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology
+from repro.topologies.random import random_topology
+from repro.topologies.zoo import dumbbell
+from repro.util.errors import ControllerError
+from repro.util.prefixes import Prefix
+from repro.util.units import mbps
+
+
+class TestDemoInstance:
+    def test_fig2_steady_state_objective(self, fig2_demands):
+        """The min-max optimum of the t>35s situation is (31+31/3)/2 / 32."""
+        optimizer = MinMaxLoadOptimizer(build_demo_topology())
+        result = optimizer.optimize(fig2_demands)
+        expected = (mbps(31) + mbps(31) / 3) / 2 / mbps(32)
+        assert result.objective == pytest.approx(expected, rel=1e-4)
+
+    def test_fractions_match_paper_splits(self, fig2_demands):
+        optimizer = MinMaxLoadOptimizer(build_demo_topology())
+        fractions = optimizer.optimize(fig2_demands).to_fractions()[BLUE_PREFIX]
+        assert fractions["A"]["B"] == pytest.approx(1 / 3, abs=1e-3)
+        assert fractions["A"]["R1"] == pytest.approx(2 / 3, abs=1e-3)
+        assert fractions["B"]["R2"] == pytest.approx(0.5, abs=1e-3)
+        assert fractions["B"]["R3"] == pytest.approx(0.5, abs=1e-3)
+
+    def test_flow_conservation_holds(self, fig2_demands):
+        optimizer = MinMaxLoadOptimizer(build_demo_topology())
+        result = optimizer.optimize(fig2_demands)
+        flows = result.flows[BLUE_PREFIX]
+        for router in ["A", "B", "R1", "R2", "R3", "R4"]:
+            inbound = sum(v for (s, t), v in flows.items() if t == router)
+            outbound = sum(v for (s, t), v in flows.items() if s == router)
+            demand = fig2_demands.rate(router, BLUE_PREFIX)
+            assert outbound - inbound == pytest.approx(demand, rel=1e-6, abs=1.0)
+
+    def test_optimum_beats_default_routing(self, fig2_demands):
+        topology = build_demo_topology()
+        optimizer = MinMaxLoadOptimizer(topology)
+        optimum = optimizer.optimize(fig2_demands).objective
+        default = route_fractional(
+            compute_static_fibs(topology), fig2_demands
+        ).loads.max_utilization(topology)
+        assert optimum < default
+
+    def test_single_prefix_subset_optimisation(self, fig2_demands):
+        optimizer = MinMaxLoadOptimizer(build_demo_topology())
+        result = optimizer.optimize(fig2_demands, prefixes=[BLUE_PREFIX])
+        assert result.prefixes == (BLUE_PREFIX,)
+
+    def test_link_loads_view(self, fig2_demands):
+        optimizer = MinMaxLoadOptimizer(build_demo_topology())
+        loads = optimizer.optimize(fig2_demands).link_loads()
+        assert loads.max_utilization(build_demo_topology()) == pytest.approx(0.6458, abs=1e-3)
+
+
+class TestPathStretch:
+    def test_unrestricted_lp_spreads_single_source_over_three_paths(self):
+        demands = TrafficMatrix.from_dict({("B", BLUE_PREFIX): mbps(31)})
+        optimizer = MinMaxLoadOptimizer(build_demo_topology())
+        fractions = optimizer.optimize(demands).to_fractions()[BLUE_PREFIX]
+        # Without a stretch limit the LP also detours through A-R1-R4.
+        assert len(fractions["B"]) == 3
+
+    def test_stretch_one_keeps_only_reasonable_paths(self):
+        demands = TrafficMatrix.from_dict({("B", BLUE_PREFIX): mbps(31)})
+        optimizer = MinMaxLoadOptimizer(build_demo_topology(), max_stretch=1.0)
+        fractions = optimizer.optimize(demands).to_fractions()[BLUE_PREFIX]
+        assert set(fractions["B"]) == {"R2", "R3"}
+        assert fractions["B"]["R2"] == pytest.approx(0.5, abs=1e-3)
+
+    def test_stretch_zero_forces_shortest_paths(self):
+        demands = TrafficMatrix.from_dict({("A", BLUE_PREFIX): mbps(10)})
+        optimizer = MinMaxLoadOptimizer(build_demo_topology(), max_stretch=0.0)
+        fractions = optimizer.optimize(demands).to_fractions()[BLUE_PREFIX]
+        assert fractions["A"] == {"B": 1.0}
+
+    def test_negative_stretch_rejected(self):
+        with pytest.raises(ControllerError):
+            MinMaxLoadOptimizer(build_demo_topology(), max_stretch=-1.0)
+
+
+class TestGeneralProperties:
+    def test_objective_can_exceed_one_when_overloaded(self):
+        topology = dumbbell(pairs=1, edge_capacity=mbps(10))
+        prefix = topology.attachments_of("Dst0")[0].prefix
+        demands = TrafficMatrix.from_dict({("Src0", prefix): mbps(20)})
+        result = MinMaxLoadOptimizer(topology).optimize(demands)
+        assert result.objective > 1.0
+
+    def test_background_load_shifts_optimum(self):
+        topology = build_demo_topology()
+        demands = TrafficMatrix.from_dict({("B", BLUE_PREFIX): mbps(10)})
+        background = LinkLoads()
+        background.add("B", "R2", mbps(30))
+        with_background = MinMaxLoadOptimizer(topology, background=background).optimize(demands)
+        without = MinMaxLoadOptimizer(topology).optimize(demands)
+        assert with_background.objective > without.objective
+        # With a nearly full B-R2, most demand must move to B-R3.
+        fractions = with_background.to_fractions()[BLUE_PREFIX]
+        assert fractions["B"].get("R3", 0.0) > 0.5
+
+    def test_unknown_prefix_rejected(self):
+        optimizer = MinMaxLoadOptimizer(build_demo_topology())
+        demands = TrafficMatrix.from_dict({("A", "203.0.113.0/24"): 1.0})
+        with pytest.raises(Exception):
+            optimizer.optimize(demands)
+
+    def test_empty_demands_rejected(self):
+        optimizer = MinMaxLoadOptimizer(build_demo_topology())
+        with pytest.raises(ControllerError):
+            optimizer.optimize(TrafficMatrix())
+
+    def test_solution_has_no_cycles(self):
+        for seed in range(3):
+            topology = random_topology(10, seed=seed)
+            prefix = topology.prefixes[0]
+            ingresses = [r for r in topology.routers if r != topology.prefix_attachments(prefix)[0].router]
+            demands = TrafficMatrix.from_dict({(ingresses[0], prefix): mbps(5), (ingresses[1], prefix): mbps(5)})
+            result = MinMaxLoadOptimizer(topology).optimize(demands)
+            flows = result.flows[prefix]
+            # Kahn-style check: positive-flow subgraph must be a DAG.
+            nodes = {n for link in flows for n in link}
+            edges = {link for link, v in flows.items() if v > 1e-6}
+            removed = True
+            while removed and edges:
+                removed = False
+                sinks = {n for n in nodes if not any(s == n for s, _ in edges)}
+                new_edges = {(s, t) for (s, t) in edges if t not in sinks and s not in sinks}
+                if new_edges != edges:
+                    edges = new_edges
+                    removed = True
+                nodes = {n for link in edges for n in link}
+            assert not edges, f"cycle remaining in LP solution for seed {seed}"
+
+    def test_objective_never_above_worst_single_path(self, fig2_demands):
+        """Optimal min-max cannot be worse than any feasible routing."""
+        topology = build_demo_topology()
+        result = MinMaxLoadOptimizer(topology).optimize(fig2_demands)
+        default_util = route_fractional(
+            compute_static_fibs(topology), fig2_demands
+        ).loads.max_utilization(topology)
+        assert result.objective <= default_util + 1e-9
+
+    def test_min_fraction_filtering(self, fig2_demands):
+        optimizer = MinMaxLoadOptimizer(build_demo_topology())
+        result = optimizer.optimize(fig2_demands)
+        coarse = result.to_fractions(min_fraction=0.4)
+        # At A, the 1/3 share toward B falls below the 0.4 threshold and is
+        # dropped; the remaining fraction is renormalised to 1.0.
+        assert coarse[BLUE_PREFIX]["A"] == {"R1": pytest.approx(1.0)}

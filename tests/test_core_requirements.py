@@ -1,0 +1,155 @@
+"""Tests for forwarding requirements and their validation."""
+
+import pytest
+
+from repro.core.requirements import DestinationRequirement, RequirementSet
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology
+from repro.util.errors import ControllerError
+from repro.util.prefixes import Prefix
+
+OTHER_PREFIX = Prefix.parse("10.9.0.0/24")
+
+
+class TestConstruction:
+    def test_basic_requirement(self):
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"B": 1, "R1": 2}, "B": {"R2": 1, "R3": 1}}
+        )
+        assert requirement.routers == ["A", "B"]
+        assert requirement.weights_at("A") == {"B": 1, "R1": 2}
+        assert requirement.total_entries() == 5
+
+    def test_from_fractions_uses_approximation(self):
+        requirement = DestinationRequirement.from_fractions(
+            BLUE_PREFIX, {"A": {"B": 1 / 3, "R1": 2 / 3}}, max_entries=16
+        )
+        assert requirement.weights_at("A") == {"B": 1, "R1": 2}
+
+    def test_from_fractions_skips_empty_routers(self):
+        requirement = DestinationRequirement.from_fractions(BLUE_PREFIX, {"A": {}})
+        assert requirement.routers == []
+
+    def test_empty_next_hops_rejected(self):
+        with pytest.raises(ControllerError):
+            DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {}})
+
+    def test_non_integer_weight_rejected(self):
+        with pytest.raises(ControllerError):
+            DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 1.5}})
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ControllerError):
+            DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 0}})
+
+    def test_self_next_hop_rejected(self):
+        with pytest.raises(ControllerError):
+            DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"A": 1}})
+
+    def test_weights_at_unconstrained_router_raises(self):
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 1}})
+        with pytest.raises(ControllerError):
+            requirement.weights_at("R4")
+
+    def test_without_drops_routers(self):
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"B": 1}, "B": {"R2": 1}}
+        )
+        reduced = requirement.without(["A"])
+        assert reduced.routers == ["B"]
+
+    def test_iteration_yields_router_weight_pairs(self):
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 2}})
+        assert list(requirement) == [("A", {"B": 2})]
+
+
+class TestValidation:
+    def test_paper_requirement_validates(self):
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"B": 1, "R1": 2}, "B": {"R2": 1, "R3": 1}}
+        )
+        requirement.validate(build_demo_topology())
+
+    def test_unknown_router_rejected(self):
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"Z9": {"B": 1}})
+        with pytest.raises(ControllerError):
+            requirement.validate(build_demo_topology())
+
+    def test_unknown_next_hop_rejected(self):
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"Z9": 1}})
+        with pytest.raises(ControllerError):
+            requirement.validate(build_demo_topology())
+
+    def test_non_adjacent_next_hop_rejected(self):
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"C": 1}})
+        with pytest.raises(ControllerError, match="neighbor"):
+            requirement.validate(build_demo_topology())
+
+    def test_loop_rejected(self):
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"B": 1}, "B": {"A": 1}}
+        )
+        with pytest.raises(ControllerError, match="loop"):
+            requirement.validate(build_demo_topology())
+
+    def test_stranded_traffic_rejected(self):
+        # A forwards only to R1, but R1 is forced to send everything back
+        # toward nodes that never reach C... build a dead-end by forcing R1->A.
+        requirement = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"R1": 1}, "R1": {"A": 1}}
+        )
+        with pytest.raises(ControllerError):
+            requirement.validate(build_demo_topology())
+
+    def test_unannounced_prefix_rejected(self):
+        requirement = DestinationRequirement(
+            prefix=Prefix.parse("203.0.113.0/24"), next_hops={"A": {"B": 1}}
+        )
+        with pytest.raises(Exception):
+            requirement.validate(build_demo_topology())
+
+
+class TestRequirementSet:
+    def test_add_get_remove(self):
+        requirement = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 1}})
+        bundle = RequirementSet([requirement])
+        assert bundle.get(BLUE_PREFIX) is requirement
+        assert BLUE_PREFIX in bundle
+        bundle.remove(BLUE_PREFIX)
+        assert bundle.get(BLUE_PREFIX) is None
+        with pytest.raises(ControllerError):
+            bundle.remove(BLUE_PREFIX)
+
+    def test_add_replaces_same_prefix(self):
+        first = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 1}})
+        second = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"B": {"R2": 1}})
+        bundle = RequirementSet([first])
+        bundle.add(second)
+        assert len(bundle) == 1
+        assert bundle.get(BLUE_PREFIX) is second
+
+    def test_total_entries_sums_over_prefixes(self):
+        bundle = RequirementSet(
+            [
+                DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 2}}),
+                DestinationRequirement(prefix=OTHER_PREFIX, next_hops={"B": {"R2": 1, "R3": 1}}),
+            ]
+        )
+        assert bundle.total_entries() == 4
+
+    def test_validate_checks_every_requirement(self):
+        bundle = RequirementSet(
+            [DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"C": 1}})]
+        )
+        with pytest.raises(ControllerError):
+            bundle.validate(build_demo_topology())
+
+    def test_iteration_sorted_by_prefix(self):
+        topology = build_demo_topology()
+        topology.attach_prefix("R4", OTHER_PREFIX)
+        bundle = RequirementSet(
+            [
+                DestinationRequirement(prefix=OTHER_PREFIX, next_hops={"A": {"B": 1}}),
+                DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 1}}),
+            ]
+        )
+        assert [req.prefix for req in bundle] == sorted([BLUE_PREFIX, OTHER_PREFIX])

@@ -1,0 +1,83 @@
+"""Tests for splitting-ratio approximation."""
+
+import pytest
+
+from repro.core.splitting import approximate_ratios, split_error, weights_to_fractions
+from repro.util.errors import ControllerError, ValidationError
+
+
+class TestApproximateRatios:
+    def test_exact_one_third_two_thirds(self):
+        assert approximate_ratios({"B": 1 / 3, "R1": 2 / 3}, max_entries=16) == {"B": 1, "R1": 2}
+
+    def test_even_split_uses_two_entries(self):
+        assert approximate_ratios({"R2": 0.5, "R3": 0.5}, max_entries=16) == {"R2": 1, "R3": 1}
+
+    def test_single_next_hop(self):
+        assert approximate_ratios({"X": 1.0}, max_entries=16) == {"X": 1}
+
+    def test_unnormalized_input_accepted(self):
+        assert approximate_ratios({"X": 20.0, "Y": 10.0}, max_entries=16) == {"X": 2, "Y": 1}
+
+    def test_prefers_fewest_entries_among_equal_error(self):
+        # 0.5/0.5 is representable with 2, 4, 6, ... entries; 2 must win.
+        weights = approximate_ratios({"X": 0.5, "Y": 0.5}, max_entries=32)
+        assert sum(weights.values()) == 2
+
+    def test_respects_table_size_of_one(self):
+        weights = approximate_ratios({"X": 0.6, "Y": 0.4}, max_entries=1)
+        assert weights == {"X": 1}
+
+    def test_small_table_approximates(self):
+        weights = approximate_ratios({"X": 0.7, "Y": 0.3}, max_entries=4)
+        assert sum(weights.values()) <= 4
+        assert split_error({"X": 0.7, "Y": 0.3}, weights) <= 0.2
+
+    def test_larger_table_never_increases_error(self):
+        target = {"a": 0.55, "b": 0.30, "c": 0.15}
+        previous_error = None
+        for size in [2, 4, 8, 16, 32]:
+            error = split_error(target, approximate_ratios(target, max_entries=size))
+            if previous_error is not None:
+                assert error <= previous_error + 1e-12
+            previous_error = error
+
+    def test_exact_sixteenths_with_large_table(self):
+        target = {"a": 5 / 16, "b": 11 / 16}
+        weights = approximate_ratios(target, max_entries=16)
+        assert split_error(target, weights) == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_fraction_dropped(self):
+        weights = approximate_ratios({"X": 0.8, "Y": 0.2, "Z": 0.0}, max_entries=8)
+        assert "Z" not in weights
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            approximate_ratios({"X": 0.0}, max_entries=4)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            approximate_ratios({"X": -0.5, "Y": 1.5}, max_entries=4)
+
+    def test_invalid_table_size_rejected(self):
+        with pytest.raises(ControllerError):
+            approximate_ratios({"X": 1.0}, max_entries=0)
+
+
+class TestErrorAndFractions:
+    def test_weights_to_fractions_normalises(self):
+        assert weights_to_fractions({"a": 1, "b": 3}) == {"a": 0.25, "b": 0.75}
+
+    def test_weights_to_fractions_rejects_zero_total(self):
+        with pytest.raises(ValidationError):
+            weights_to_fractions({"a": 0})
+
+    def test_split_error_zero_for_exact_match(self):
+        assert split_error({"a": 0.25, "b": 0.75}, {"a": 1, "b": 3}) == pytest.approx(0.0)
+
+    def test_split_error_two_for_disjoint_supports(self):
+        assert split_error({"a": 1.0}, {"b": 1}) == pytest.approx(2.0)
+
+    def test_split_error_is_symmetric_in_magnitude(self):
+        error = split_error({"a": 0.5, "b": 0.5}, {"a": 3, "b": 1})
+        assert error == pytest.approx(0.5)

@@ -1,0 +1,83 @@
+"""Tests for the controller's requirement verification."""
+
+import pytest
+
+from repro.core.controller import FibbingController
+from repro.core.requirements import DestinationRequirement
+from repro.igp.network import IgpNetwork
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology
+from repro.util.prefixes import Prefix
+
+PAPER_REQUIREMENT = DestinationRequirement(
+    prefix=BLUE_PREFIX, next_hops={"A": {"B": 1, "R1": 2}, "B": {"R2": 1, "R3": 1}}
+)
+
+
+class TestStaticVerification:
+    def test_enforced_requirement_verifies_clean(self):
+        controller = FibbingController(build_demo_topology())
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        assert controller.verify_requirement(PAPER_REQUIREMENT) == []
+
+    def test_unenforced_requirement_reports_violations(self):
+        controller = FibbingController(build_demo_topology())
+        violations = controller.verify_requirement(PAPER_REQUIREMENT)
+        assert violations
+        assert any("A" in violation for violation in violations)
+
+    def test_wrong_ratio_detected(self):
+        controller = FibbingController(build_demo_topology())
+        # Enforce an even split at A, then verify against the 1/3-2/3 target.
+        even = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 1, "R1": 1}})
+        controller.enforce_requirement(even)
+        violations = controller.verify_requirement(
+            DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 1, "R1": 2}})
+        )
+        # One violation per mis-weighted next hop (B and R1).
+        assert len(violations) == 2
+        assert all("share" in violation for violation in violations)
+
+    def test_missing_route_detected(self):
+        topology = build_demo_topology()
+        controller = FibbingController(topology)
+        unknown = Prefix.parse("198.18.0.0/24")
+        topology.attach_prefix("C", unknown)
+        requirement = DestinationRequirement(prefix=unknown, next_hops={"A": {"B": 1}})
+        # Do not enforce; instead verify against FIBs computed from a
+        # disconnected copy where the prefix is unreachable from A.
+        empty_fibs = {}
+        violations = controller.verify_requirement(requirement, fibs=empty_fibs)
+        assert violations == [f"A: no FIB entry for {unknown}"]
+
+    def test_tolerance_applies(self):
+        controller = FibbingController(build_demo_topology())
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        # With an absurdly loose tolerance, even a wrong target "verifies"
+        # as long as the next-hop sets agree.
+        loose = controller.verify_requirement(
+            DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 2, "R1": 3}}),
+            tolerance=1.0,
+        )
+        assert loose == []
+
+
+class TestLiveVerification:
+    def test_live_network_verification_after_convergence(self):
+        topology = build_demo_topology()
+        network = IgpNetwork(topology)
+        network.start()
+        network.converge()
+        controller = FibbingController(topology, network=network, attachment="R3")
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        network.converge()
+        assert controller.verify_requirement(PAPER_REQUIREMENT) == []
+
+    def test_live_verification_fails_before_convergence(self):
+        topology = build_demo_topology()
+        network = IgpNetwork(topology)
+        network.start()
+        network.converge()
+        controller = FibbingController(topology, network=network, attachment="R3")
+        controller.enforce_requirement(PAPER_REQUIREMENT)
+        # The lies have been injected but the flooding has not run yet.
+        assert controller.verify_requirement(PAPER_REQUIREMENT) != []

@@ -1,0 +1,50 @@
+"""Tests for the simulation event log."""
+
+import pytest
+
+from repro.dataplane.events import EventLog, FlowEvent, SimulationEvent
+
+
+class TestEventLog:
+    def test_record_and_list(self):
+        log = EventLog()
+        first = SimulationEvent(time=1.0, kind="flow-arrival", details="flow 0")
+        second = SimulationEvent(time=2.0, kind="routing-change")
+        log.record(first)
+        log.record(second)
+        assert log.all() == [first, second]
+        assert len(log) == 2
+
+    def test_filter_by_kind(self):
+        log = EventLog()
+        log.record(SimulationEvent(time=1.0, kind="flow-arrival"))
+        log.record(SimulationEvent(time=2.0, kind="routing-change"))
+        log.record(SimulationEvent(time=3.0, kind="flow-arrival"))
+        arrivals = log.of_kind("flow-arrival")
+        assert len(arrivals) == 2
+        assert all(event.kind == "flow-arrival" for event in arrivals)
+
+    def test_first_of_kind(self):
+        log = EventLog()
+        assert log.first_of_kind("flow-arrival") is None
+        log.record(SimulationEvent(time=5.0, kind="flow-arrival"))
+        log.record(SimulationEvent(time=9.0, kind="flow-arrival"))
+        assert log.first_of_kind("flow-arrival").time == 5.0
+
+    def test_iteration_preserves_order(self):
+        log = EventLog()
+        for time in [1.0, 2.0, 3.0]:
+            log.record(SimulationEvent(time=time, kind="sample"))
+        assert [event.time for event in log] == [1.0, 2.0, 3.0]
+
+    def test_string_rendering(self):
+        event = SimulationEvent(time=12.345, kind="flow-arrival", details="S1 video")
+        text = str(event)
+        assert "12.345" in text
+        assert "flow-arrival" in text
+        assert "S1 video" in text
+
+    def test_flow_event_carries_flow_id(self):
+        event = FlowEvent(time=1.0, kind="flow-arrival", details="", flow_id=7)
+        assert event.flow_id == 7
+        assert isinstance(event, SimulationEvent)

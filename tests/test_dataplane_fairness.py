@@ -1,0 +1,95 @@
+"""Tests for max-min fair allocation (progressive filling)."""
+
+import pytest
+
+from repro.dataplane.fairness import max_min_fair_allocation
+from repro.util.errors import ValidationError
+
+LINK = ("X", "Y")
+LINK2 = ("Y", "Z")
+
+
+class TestBasicSharing:
+    def test_single_flow_gets_its_demand_when_capacity_allows(self):
+        rates = max_min_fair_allocation({0: [LINK]}, {0: 10.0}, {LINK: 100.0})
+        assert rates[0] == pytest.approx(10.0)
+
+    def test_single_flow_capped_by_capacity(self):
+        rates = max_min_fair_allocation({0: [LINK]}, {0: 200.0}, {LINK: 100.0})
+        assert rates[0] == pytest.approx(100.0)
+
+    def test_two_flows_share_bottleneck_evenly(self):
+        rates = max_min_fair_allocation(
+            {0: [LINK], 1: [LINK]}, {0: 100.0, 1: 100.0}, {LINK: 100.0}
+        )
+        assert rates[0] == pytest.approx(50.0)
+        assert rates[1] == pytest.approx(50.0)
+
+    def test_small_demand_frees_capacity_for_others(self):
+        rates = max_min_fair_allocation(
+            {0: [LINK], 1: [LINK]}, {0: 10.0, 1: 1000.0}, {LINK: 100.0}
+        )
+        assert rates[0] == pytest.approx(10.0)
+        assert rates[1] == pytest.approx(90.0)
+
+    def test_flow_with_empty_path_gets_demand(self):
+        rates = max_min_fair_allocation({0: []}, {0: 42.0}, {})
+        assert rates[0] == 42.0
+
+    def test_zero_demand_flow_gets_zero(self):
+        rates = max_min_fair_allocation({0: [LINK]}, {0: 0.0}, {LINK: 10.0})
+        assert rates[0] == 0.0
+
+
+class TestMultiHop:
+    def test_bottleneck_is_the_tightest_link(self):
+        rates = max_min_fair_allocation(
+            {0: [LINK, LINK2]}, {0: 100.0}, {LINK: 80.0, LINK2: 30.0}
+        )
+        assert rates[0] == pytest.approx(30.0)
+
+    def test_classic_three_flow_example(self):
+        """Two links; flow A uses both, flows B and C use one each.
+
+        The textbook max-min solution gives the long flow the smaller fair
+        share of its two bottlenecks.
+        """
+        flows = {0: [LINK, LINK2], 1: [LINK], 2: [LINK2]}
+        demands = {0: 100.0, 1: 100.0, 2: 100.0}
+        capacities = {LINK: 100.0, LINK2: 60.0}
+        rates = max_min_fair_allocation(flows, demands, capacities)
+        assert rates[0] == pytest.approx(30.0)
+        assert rates[2] == pytest.approx(30.0)
+        assert rates[1] == pytest.approx(70.0)
+
+    def test_no_link_oversubscribed(self):
+        flows = {i: [LINK, LINK2] for i in range(7)}
+        demands = {i: 50.0 for i in range(7)}
+        capacities = {LINK: 100.0, LINK2: 140.0}
+        rates = max_min_fair_allocation(flows, demands, capacities)
+        assert sum(rates.values()) <= 100.0 + 1e-6
+        assert all(rate >= 0 for rate in rates.values())
+
+    def test_total_equals_capacity_when_saturated(self):
+        flows = {i: [LINK] for i in range(10)}
+        demands = {i: 100.0 for i in range(10)}
+        rates = max_min_fair_allocation(flows, demands, {LINK: 64.0})
+        assert sum(rates.values()) == pytest.approx(64.0)
+        assert all(rate == pytest.approx(6.4) for rate in rates.values())
+
+
+class TestValidation:
+    def test_missing_demand_rejected(self):
+        with pytest.raises(ValidationError):
+            max_min_fair_allocation({0: [LINK]}, {}, {LINK: 10.0})
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ValidationError):
+            max_min_fair_allocation({0: [LINK]}, {0: 1.0}, {})
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValidationError):
+            max_min_fair_allocation({0: [LINK]}, {0: -1.0}, {LINK: 10.0})
+
+    def test_empty_input_gives_empty_output(self):
+        assert max_min_fair_allocation({}, {}, {}) == {}

@@ -1,0 +1,100 @@
+"""Tests for repro.dataplane.linkstats."""
+
+import pytest
+
+from repro.dataplane.linkstats import LinkLoads, LinkUtilization
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology
+from repro.util.errors import ValidationError
+
+
+class TestLinkLoads:
+    def test_add_and_read(self):
+        loads = LinkLoads()
+        loads.add("A", "B", 10.0)
+        loads.add("A", "B", 5.0)
+        assert loads.load("A", "B") == 15.0
+        assert loads.load("B", "A") == 0.0
+
+    def test_per_prefix_breakdown(self):
+        loads = LinkLoads()
+        loads.add("A", "B", 10.0, prefix=BLUE_PREFIX)
+        loads.add("A", "B", 4.0)
+        assert loads.per_prefix("A", "B") == {BLUE_PREFIX: 10.0}
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            LinkLoads().add("A", "B", -1.0)
+
+    def test_links_listing_excludes_zero(self):
+        loads = LinkLoads()
+        loads.add("A", "B", 0.0)
+        loads.add("B", "C", 3.0)
+        assert loads.links() == [("B", "C")]
+
+    def test_total_and_len(self):
+        loads = LinkLoads()
+        loads.add("A", "B", 1.0)
+        loads.add("B", "C", 2.0)
+        assert loads.total() == 3.0
+        assert len(loads) == 2
+
+    def test_merge_combines_loads(self):
+        first = LinkLoads()
+        first.add("A", "B", 1.0, prefix=BLUE_PREFIX)
+        second = LinkLoads()
+        second.add("A", "B", 2.0)
+        second.add("B", "C", 5.0)
+        merged = first.merge(second)
+        assert merged.load("A", "B") == 3.0
+        assert merged.load("B", "C") == 5.0
+        # Originals are untouched.
+        assert first.load("A", "B") == 1.0
+
+    def test_iteration_sorted(self):
+        loads = LinkLoads()
+        loads.add("B", "C", 1.0)
+        loads.add("A", "B", 1.0)
+        assert [key for key, _ in loads] == [("A", "B"), ("B", "C")]
+
+
+class TestUtilization:
+    def test_utilization_against_demo_capacities(self):
+        topology = build_demo_topology(capacity=100.0)
+        loads = LinkLoads()
+        loads.add("B", "R2", 50.0)
+        view = loads.utilization_of(topology, "B", "R2")
+        assert view.utilization == pytest.approx(0.5)
+        assert not view.overloaded
+
+    def test_overloaded_link_detected(self):
+        topology = build_demo_topology(capacity=100.0)
+        loads = LinkLoads()
+        loads.add("B", "R2", 150.0)
+        assert loads.utilization_of(topology, "B", "R2").overloaded
+        hot = loads.overloaded_links(topology)
+        assert [view.link for view in hot] == [("B", "R2")]
+
+    def test_max_utilization(self):
+        topology = build_demo_topology(capacity=100.0)
+        loads = LinkLoads()
+        loads.add("B", "R2", 80.0)
+        loads.add("A", "B", 20.0)
+        assert loads.max_utilization(topology) == pytest.approx(0.8)
+
+    def test_max_utilization_empty_is_zero(self):
+        assert LinkLoads().max_utilization(build_demo_topology()) == 0.0
+
+    def test_utilizations_cover_every_directed_link(self):
+        topology = build_demo_topology()
+        views = LinkLoads().utilizations(topology)
+        assert len(views) == topology.num_links
+
+    def test_unknown_link_raises(self):
+        from repro.util.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            LinkLoads().utilization_of(build_demo_topology(), "A", "C")
+
+    def test_zero_capacity_guard(self):
+        view = LinkUtilization(link=("A", "B"), load=10.0, capacity=0.0)
+        assert view.utilization == 0.0

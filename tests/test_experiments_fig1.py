@@ -1,0 +1,66 @@
+"""Tests for the Fig. 1 experiment harness (the static load numbers)."""
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+
+
+class TestBaseline:
+    def test_baseline_max_load_is_200(self):
+        result = run_fig1(with_fibbing=False)
+        assert result.max_load == pytest.approx(200.0)
+
+    def test_baseline_overlap_on_b_r2_c(self):
+        result = run_fig1(with_fibbing=False)
+        assert result.load_of("B", "R2") == pytest.approx(200.0)
+        assert result.load_of("R2", "C") == pytest.approx(200.0)
+        assert result.load_of("A", "B") == pytest.approx(100.0)
+
+    def test_baseline_alternate_paths_unused(self):
+        result = run_fig1(with_fibbing=False)
+        assert result.load_of("A", "R1") == 0.0
+        assert result.load_of("B", "R3") == 0.0
+        assert result.load_of("R4", "C") == 0.0
+
+    def test_baseline_has_no_lies_and_single_paths(self):
+        result = run_fig1(with_fibbing=False)
+        assert result.lie_count == 0
+        assert result.split_at_a == {"B": 1.0}
+        assert result.split_at_b == {"R2": 1.0}
+
+
+class TestFibbed:
+    def test_fibbed_max_load_drops_to_67(self):
+        result = run_fig1(with_fibbing=True)
+        assert result.max_load == pytest.approx(200.0 / 3, rel=1e-6)
+
+    def test_fibbed_per_link_loads_match_fig1d(self):
+        result = run_fig1(with_fibbing=True)
+        for link in [("A", "R1"), ("B", "R2"), ("B", "R3"), ("R1", "R4"), ("R4", "C"), ("R2", "C"), ("R3", "C")]:
+            assert result.load_of(*link) == pytest.approx(200.0 / 3, rel=1e-6)
+        assert result.load_of("A", "B") == pytest.approx(100.0 / 3, rel=1e-6)
+
+    def test_fibbed_splits_match_fig1c(self):
+        result = run_fig1(with_fibbing=True)
+        assert result.split_at_a["B"] == pytest.approx(1 / 3)
+        assert result.split_at_a["R1"] == pytest.approx(2 / 3)
+        assert result.split_at_b == {"R2": 0.5, "R3": 0.5}
+        assert result.lie_count == 3
+
+    def test_improvement_factor_is_three(self):
+        baseline = run_fig1(with_fibbing=False)
+        fibbed = run_fig1(with_fibbing=True)
+        assert baseline.max_load / fibbed.max_load == pytest.approx(3.0, rel=1e-6)
+
+
+class TestControllerPipeline:
+    def test_controller_pipeline_reproduces_paper_lies(self):
+        result = run_fig1(with_fibbing=True, use_controller_pipeline=True)
+        assert result.lie_count == 3
+        assert result.max_load == pytest.approx(200.0 / 3, rel=1e-3)
+
+    def test_pipeline_and_paper_lies_agree(self):
+        paper = run_fig1(with_fibbing=True, use_controller_pipeline=False)
+        pipeline = run_fig1(with_fibbing=True, use_controller_pipeline=True)
+        assert paper.split_at_a["R1"] == pytest.approx(pipeline.split_at_a["R1"], abs=1e-6)
+        assert paper.split_at_b == pipeline.split_at_b

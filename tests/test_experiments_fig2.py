@@ -1,0 +1,122 @@
+"""Integration tests for the Fig. 2 experiment harness (full closed loop).
+
+These are the heaviest tests of the suite (each runs the complete simulated
+demo); they assert the qualitative shape the paper reports rather than exact
+byte counts.
+"""
+
+import pytest
+
+from repro.experiments.fig2 import reaction_times, run_demo_timeseries
+
+
+@pytest.fixture(scope="module")
+def with_controller():
+    return run_demo_timeseries(with_controller=True)
+
+
+@pytest.fixture(scope="module")
+def without_controller():
+    return run_demo_timeseries(with_controller=False)
+
+
+class TestControllerBehaviour:
+    def test_exactly_the_paper_lie_set_is_installed(self, with_controller):
+        assert with_controller.lies_active == 3
+        assert with_controller.controller_messages == 3
+
+    def test_two_reactions_in_order(self, with_controller):
+        actions = with_controller.actions
+        assert len(actions) == 2
+        assert actions[0].lies_injected == 1  # ECMP at B after the first surge
+        assert actions[1].lies_injected == 2  # uneven split at A after the second
+        assert actions[0].time < actions[1].time
+
+    def test_first_reaction_happens_between_the_surges(self, with_controller):
+        first_action = with_controller.actions[0].time - with_controller.epoch
+        assert 15.0 < first_action < 35.0
+
+    def test_second_reaction_happens_after_t35(self, with_controller):
+        second_action = with_controller.actions[1].time - with_controller.epoch
+        assert 35.0 < second_action < 45.0
+
+    def test_alarms_precede_actions(self, with_controller):
+        assert len(with_controller.alarms) >= 2
+        assert with_controller.alarms[0].time <= with_controller.actions[0].time
+
+    def test_reaction_times_are_short(self, with_controller):
+        times = reaction_times(with_controller, threshold=0.95)
+        assert times
+        assert all(t <= 5.0 for t in times)
+
+    def test_sessions_match_schedule(self, with_controller):
+        assert with_controller.sessions_started == 62
+
+
+class TestThroughputSeries:
+    def test_paths_activate_in_the_paper_order(self, with_controller):
+        """B-R2 first, then B-R3 (after ~t=18), then A-R1 (after ~t=35)."""
+
+        def first_active(source, target, threshold=1e5):
+            for time, value in with_controller.series_of(source, target):
+                if value > threshold:
+                    return time
+            return float("inf")
+
+        t_b_r2 = first_active("B", "R2")
+        t_b_r3 = first_active("B", "R3")
+        t_a_r1 = first_active("A", "R1")
+        assert t_b_r2 < t_b_r3 < t_a_r1
+        assert t_b_r3 > 15.0
+        assert t_a_r1 > 35.0
+
+    def test_final_throughputs_are_balanced(self, with_controller):
+        final_a_r1 = with_controller.final_throughput("A", "R1")
+        final_b_r2 = with_controller.final_throughput("B", "R2")
+        final_b_r3 = with_controller.final_throughput("B", "R3")
+        # All three links carry a significant share and none is saturated
+        # (capacity is 4e6 byte/s).
+        for value in [final_a_r1, final_b_r2, final_b_r3]:
+            assert 1e6 < value < 4e6
+        # Together they carry most of the 62 Mbit/s ~ 7.75 MB/s of video.
+        assert final_a_r1 + final_b_r2 + final_b_r3 > 5.5e6
+
+    def test_no_link_stays_saturated_with_the_controller(self, with_controller):
+        # After the last reaction settles, sampled utilisation stays below 0.95.
+        settle = with_controller.actions[-1].time - with_controller.epoch + 3.0
+        late = [value for time, value in with_controller.max_utilization_series if time >= settle]
+        assert late
+        assert max(late) < 0.95
+
+    def test_monitored_series_cover_the_whole_run(self, with_controller):
+        series = with_controller.series_of("B", "R2")
+        assert series[0][0] <= 2.0
+        assert series[-1][0] >= with_controller.duration - 2.0
+
+
+class TestSmoothVersusStutter:
+    def test_with_controller_playback_is_smooth(self, with_controller):
+        assert with_controller.qoe.all_smooth
+        assert with_controller.qoe.total_stall_time == 0.0
+
+    def test_without_controller_playback_stutters(self, without_controller):
+        assert without_controller.qoe.stalled_sessions > 30
+        assert without_controller.qoe.mean_rebuffer_ratio > 0.15
+
+    def test_without_controller_no_lies_and_no_actions(self, without_controller):
+        assert without_controller.lies_active == 0
+        assert without_controller.actions == []
+
+    def test_without_controller_alternate_paths_stay_idle(self, without_controller):
+        assert without_controller.final_throughput("A", "R1") == 0.0
+        assert without_controller.final_throughput("B", "R3") == 0.0
+
+    def test_controller_strictly_improves_qoe(self, with_controller, without_controller):
+        assert (
+            with_controller.qoe.smooth_fraction
+            > without_controller.qoe.smooth_fraction
+        )
+        assert (
+            with_controller.qoe.mean_rebuffer_ratio
+            < without_controller.qoe.mean_rebuffer_ratio
+        )

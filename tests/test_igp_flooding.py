@@ -1,0 +1,79 @@
+"""Tests for the LSA flooding fabric."""
+
+import pytest
+
+from repro.igp.flooding import FloodingFabric
+from repro.igp.lsa import RouterLsa
+from repro.igp.network import IgpNetwork
+from repro.topologies.demo import build_demo_topology
+from repro.util.errors import TopologyError
+from repro.util.timeline import Timeline
+
+
+class TestFabricBasics:
+    def test_unbound_fabric_refuses_to_send(self):
+        fabric = FloodingFabric(build_demo_topology(), Timeline())
+        with pytest.raises(TopologyError):
+            fabric.send("A", "B", RouterLsa(origin="A"))
+
+    def test_injection_at_unknown_router_rejected(self):
+        fabric = FloodingFabric(build_demo_topology(), Timeline())
+        fabric.bind(lambda router, lsa, neighbor: None)
+        with pytest.raises(TopologyError):
+            fabric.inject("ghost", RouterLsa(origin="ctrl"))
+
+    def test_delivery_happens_after_link_delay(self):
+        topology = build_demo_topology()
+        timeline = Timeline()
+        fabric = FloodingFabric(topology, timeline, processing_delay=0.002)
+        deliveries = []
+        fabric.bind(lambda router, lsa, neighbor: deliveries.append((timeline.now, router, neighbor)))
+        fabric.send("A", "B", RouterLsa(origin="A"))
+        assert deliveries == []  # nothing delivered before the timeline runs
+        timeline.run_all()
+        assert len(deliveries) == 1
+        time, router, neighbor = deliveries[0]
+        assert router == "B" and neighbor == "A"
+        assert time == pytest.approx(topology.link("A", "B").delay + 0.002)
+
+    def test_flood_from_skips_excluded_neighbor(self):
+        topology = build_demo_topology()
+        timeline = Timeline()
+        fabric = FloodingFabric(topology, timeline)
+        deliveries = []
+        fabric.bind(lambda router, lsa, neighbor: deliveries.append(router))
+        fabric.flood_from("B", RouterLsa(origin="B"), exclude="A")
+        timeline.run_all()
+        assert sorted(deliveries) == ["R2", "R3"]
+
+    def test_stats_count_messages_and_bytes(self):
+        topology = build_demo_topology()
+        timeline = Timeline()
+        fabric = FloodingFabric(topology, timeline)
+        fabric.bind(lambda router, lsa, neighbor: None)
+        fabric.flood_from("A", RouterLsa(origin="A", links=(("B", 1.0),)))
+        stats = fabric.stats.snapshot()
+        assert stats["messages_sent"] == 2  # A has two neighbors: B and R1
+        assert stats["bytes_sent"] > 0
+
+
+class TestDomainWideFlooding:
+    def test_every_router_learns_every_router_lsa(self):
+        network = IgpNetwork(build_demo_topology())
+        network.start()
+        network.converge()
+        for name, process in network.routers.items():
+            for other in network.topology.routers:
+                assert process.lsdb.get(RouterLsa(origin=other).key) is not None, (
+                    f"{name} never learnt the router LSA of {other}"
+                )
+
+    def test_duplicates_are_suppressed_not_reflooded(self):
+        network = IgpNetwork(build_demo_topology())
+        network.start()
+        network.converge()
+        stats = network.flooding_stats
+        # Flooding over a meshy topology necessarily delivers duplicates, but
+        # they must be absorbed (suppressed) rather than re-flooded forever.
+        assert stats["duplicates_suppressed"] > 0
+        assert stats["deliveries"] == stats["messages_sent"]

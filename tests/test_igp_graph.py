@@ -1,0 +1,158 @@
+"""Tests for repro.igp.graph."""
+
+import pytest
+
+from repro.igp.graph import ComputationGraph
+from repro.igp.lsa import FakeNodeLsa, PrefixLsa, RouterLsa
+from repro.igp.topology import Topology
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology, demo_lies
+from repro.util.errors import TopologyError
+from repro.util.prefixes import Prefix
+
+PREFIX = Prefix.parse("10.0.0.0/24")
+
+
+class TestConstruction:
+    def test_add_edge_and_lookup(self):
+        graph = ComputationGraph()
+        graph.add_edge("A", "B", 2.0)
+        assert graph.edge_cost("A", "B") == 2.0
+        assert graph.has_node("A") and graph.has_node("B")
+
+    def test_edge_cost_must_be_positive(self):
+        graph = ComputationGraph()
+        with pytest.raises(TopologyError):
+            graph.add_edge("A", "B", 0)
+
+    def test_missing_edge_raises(self):
+        graph = ComputationGraph()
+        graph.add_edge("A", "B", 1.0)
+        with pytest.raises(TopologyError):
+            graph.edge_cost("B", "A")
+
+    def test_announce_keeps_cheapest(self):
+        graph = ComputationGraph()
+        graph.add_node("C")
+        graph.announce("C", PREFIX, 5.0)
+        graph.announce("C", PREFIX, 2.0)
+        graph.announce("C", PREFIX, 9.0)
+        assert graph.announcers(PREFIX) == {"C": 2.0}
+
+    def test_negative_announcement_rejected(self):
+        graph = ComputationGraph()
+        graph.add_node("C")
+        with pytest.raises(TopologyError):
+            graph.announce("C", PREFIX, -1.0)
+
+    def test_fake_node_requires_existing_anchor(self):
+        graph = ComputationGraph()
+        with pytest.raises(TopologyError):
+            graph.add_fake_node("f1", "ghost", 1.0, PREFIX, 1.0, "B")
+
+    def test_duplicate_fake_node_rejected(self):
+        graph = ComputationGraph()
+        graph.add_edge("A", "B", 1.0)
+        graph.add_fake_node("f1", "A", 1.0, PREFIX, 1.0, "B")
+        with pytest.raises(TopologyError):
+            graph.add_fake_node("f1", "A", 1.0, PREFIX, 1.0, "B")
+
+    def test_fake_info_for_real_node_raises(self):
+        graph = ComputationGraph()
+        graph.add_node("A")
+        with pytest.raises(TopologyError):
+            graph.fake_info("A")
+
+
+class TestFromTopology:
+    def test_demo_topology_nodes_and_edges(self):
+        graph = ComputationGraph.from_topology(build_demo_topology())
+        assert set(graph.real_nodes) == {"A", "B", "C", "R1", "R2", "R3", "R4"}
+        assert graph.edge_cost("A", "R1") == 2
+        assert graph.edge_cost("B", "R2") == 1
+
+    def test_demo_topology_announcements(self):
+        graph = ComputationGraph.from_topology(build_demo_topology())
+        assert "C" in graph.announcers(BLUE_PREFIX)
+
+    def test_lies_become_fake_nodes(self):
+        graph = ComputationGraph.from_topology(build_demo_topology(), demo_lies())
+        assert len(graph.fake_nodes) == 3
+        assert graph.is_fake("fB")
+        info = graph.fake_info("fB")
+        assert info.anchor == "B"
+        assert info.forwarding_address == "R3"
+
+    def test_withdrawn_lies_are_skipped(self):
+        lies = [lie.withdraw() for lie in demo_lies()]
+        graph = ComputationGraph.from_topology(build_demo_topology(), lies)
+        assert graph.fake_nodes == {}
+
+    def test_prefix_listing_includes_all_prefixes(self):
+        graph = ComputationGraph.from_topology(build_demo_topology())
+        assert BLUE_PREFIX in graph.prefixes
+
+
+class TestFromLsdb:
+    def test_two_way_check_requires_both_directions(self):
+        lsas = [
+            RouterLsa(origin="A", links=(("B", 1.0),)),
+            RouterLsa(origin="B", links=()),
+        ]
+        graph = ComputationGraph.from_lsdb(lsas)
+        with pytest.raises(TopologyError):
+            graph.edge_cost("A", "B")
+
+    def test_bidirectional_advertisement_creates_edge(self):
+        lsas = [
+            RouterLsa(origin="A", links=(("B", 1.0),)),
+            RouterLsa(origin="B", links=(("A", 3.0),)),
+        ]
+        graph = ComputationGraph.from_lsdb(lsas)
+        assert graph.edge_cost("A", "B") == 1.0
+        assert graph.edge_cost("B", "A") == 3.0
+
+    def test_withdrawn_lsas_are_ignored(self):
+        lsas = [
+            RouterLsa(origin="A", links=(("B", 1.0),)),
+            RouterLsa(origin="B", links=(("A", 1.0),)),
+            PrefixLsa(origin="A", prefix=PREFIX, sequence=2, withdrawn=True),
+        ]
+        graph = ComputationGraph.from_lsdb(lsas)
+        assert graph.announcers(PREFIX) == {}
+
+    def test_fake_lsa_with_unknown_anchor_is_skipped(self):
+        lsas = [
+            RouterLsa(origin="A", links=(("B", 1.0),)),
+            RouterLsa(origin="B", links=(("A", 1.0),)),
+            FakeNodeLsa(
+                origin="ctrl",
+                fake_node="f1",
+                anchor="ghost",
+                link_cost=1.0,
+                prefix=PREFIX,
+                prefix_cost=1.0,
+                forwarding_address="B",
+            ),
+        ]
+        graph = ComputationGraph.from_lsdb(lsas)
+        assert graph.fake_nodes == {}
+
+    def test_fake_lsa_becomes_fake_node(self):
+        lsas = [
+            RouterLsa(origin="A", links=(("B", 1.0),)),
+            RouterLsa(origin="B", links=(("A", 1.0),)),
+            PrefixLsa(origin="B", prefix=PREFIX),
+            FakeNodeLsa(
+                origin="ctrl",
+                fake_node="f1",
+                anchor="A",
+                link_cost=1.0,
+                prefix=PREFIX,
+                prefix_cost=0.5,
+                forwarding_address="B",
+            ),
+        ]
+        graph = ComputationGraph.from_lsdb(lsas)
+        assert graph.is_fake("f1")
+        assert graph.announcers(PREFIX)["f1"] == 0.5
+        assert graph.announcements_of("f1") == {PREFIX: 0.5}

@@ -1,0 +1,119 @@
+"""Tests for repro.igp.lsa."""
+
+import pytest
+
+from repro.igp.lsa import FakeNodeLsa, LsaKey, PrefixLsa, RouterLsa
+from repro.util.errors import ValidationError
+from repro.util.prefixes import Prefix
+
+PREFIX = Prefix.parse("10.0.0.0/24")
+
+
+class TestRouterLsa:
+    def test_key_identifies_origin(self):
+        lsa = RouterLsa(origin="A", links=(("B", 1.0),))
+        assert lsa.key == LsaKey(kind="router", origin="A")
+
+    def test_size_grows_with_links(self):
+        small = RouterLsa(origin="A", links=(("B", 1.0),))
+        large = RouterLsa(origin="A", links=(("B", 1.0), ("C", 2.0), ("D", 1.0)))
+        assert large.size_bytes > small.size_bytes
+
+    def test_rejects_non_positive_cost(self):
+        with pytest.raises(ValidationError):
+            RouterLsa(origin="A", links=(("B", 0.0),))
+
+    def test_rejects_empty_neighbor(self):
+        with pytest.raises(ValidationError):
+            RouterLsa(origin="A", links=(("", 1.0),))
+
+    def test_rejects_bad_sequence(self):
+        with pytest.raises(ValidationError):
+            RouterLsa(origin="A", sequence=0)
+
+
+class TestPrefixLsa:
+    def test_key_includes_prefix(self):
+        lsa = PrefixLsa(origin="C", prefix=PREFIX, metric=0)
+        assert str(PREFIX) in str(lsa.key)
+
+    def test_same_origin_different_prefixes_have_distinct_keys(self):
+        a = PrefixLsa(origin="C", prefix=PREFIX)
+        b = PrefixLsa(origin="C", prefix=Prefix.parse("10.1.0.0/24"))
+        assert a.key != b.key
+
+    def test_negative_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            PrefixLsa(origin="C", prefix=PREFIX, metric=-1)
+
+
+class TestFakeNodeLsa:
+    def make(self, **overrides):
+        params = dict(
+            origin="ctrl",
+            fake_node="f1",
+            anchor="B",
+            link_cost=1.0,
+            prefix=PREFIX,
+            prefix_cost=1.0,
+            forwarding_address="R3",
+        )
+        params.update(overrides)
+        return FakeNodeLsa(**params)
+
+    def test_total_cost_is_link_plus_prefix(self):
+        assert self.make(link_cost=1.5, prefix_cost=0.5).total_cost == 2.0
+
+    def test_key_uses_fake_node_name(self):
+        assert "f1" in str(self.make().key)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make(fake_node="")
+        with pytest.raises(ValidationError):
+            self.make(anchor="")
+        with pytest.raises(ValidationError):
+            self.make(forwarding_address="")
+
+    def test_forwarding_address_cannot_be_fake_node(self):
+        with pytest.raises(ValidationError):
+            self.make(forwarding_address="f1")
+
+    def test_link_cost_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            self.make(link_cost=0.0)
+
+
+class TestLifecycle:
+    def test_newer_than_compares_sequences(self):
+        old = PrefixLsa(origin="C", prefix=PREFIX, sequence=1)
+        new = PrefixLsa(origin="C", prefix=PREFIX, sequence=2)
+        assert new.newer_than(old)
+        assert not old.newer_than(new)
+
+    def test_newer_than_rejects_different_keys(self):
+        a = PrefixLsa(origin="C", prefix=PREFIX)
+        b = PrefixLsa(origin="D", prefix=PREFIX)
+        with pytest.raises(ValidationError):
+            a.newer_than(b)
+
+    def test_withdraw_bumps_sequence_and_sets_flag(self):
+        lsa = PrefixLsa(origin="C", prefix=PREFIX, sequence=3)
+        withdrawn = lsa.withdraw()
+        assert withdrawn.withdrawn
+        assert withdrawn.sequence == 4
+        assert withdrawn.key == lsa.key
+
+    def test_refresh_bumps_sequence_and_clears_flag(self):
+        lsa = PrefixLsa(origin="C", prefix=PREFIX, sequence=3, withdrawn=True)
+        refreshed = lsa.refresh()
+        assert not refreshed.withdrawn
+        assert refreshed.sequence == 4
+
+    def test_lsa_keys_are_sortable(self):
+        keys = [
+            RouterLsa(origin="B").key,
+            RouterLsa(origin="A").key,
+            PrefixLsa(origin="A", prefix=PREFIX).key,
+        ]
+        assert sorted(keys)[0].kind == "prefix"

@@ -1,0 +1,95 @@
+"""Tests for repro.igp.lsdb."""
+
+import pytest
+
+from repro.igp.lsa import PrefixLsa, RouterLsa
+from repro.igp.lsdb import LinkStateDatabase
+from repro.util.prefixes import Prefix
+
+PREFIX = Prefix.parse("10.0.0.0/24")
+
+
+class TestInstall:
+    def test_fresh_lsa_changes_database(self):
+        lsdb = LinkStateDatabase("A")
+        assert lsdb.install(RouterLsa(origin="A", links=(("B", 1.0),)))
+        assert len(lsdb) == 1
+
+    def test_duplicate_sequence_is_ignored(self):
+        lsdb = LinkStateDatabase("A")
+        lsa = RouterLsa(origin="A", links=(("B", 1.0),))
+        assert lsdb.install(lsa)
+        assert not lsdb.install(lsa)
+
+    def test_older_sequence_is_ignored(self):
+        lsdb = LinkStateDatabase("A")
+        newer = RouterLsa(origin="A", links=(("B", 1.0),), sequence=5)
+        older = RouterLsa(origin="A", links=(("C", 1.0),), sequence=3)
+        lsdb.install(newer)
+        assert not lsdb.install(older)
+        assert lsdb.get(newer.key).sequence == 5
+
+    def test_newer_sequence_replaces(self):
+        lsdb = LinkStateDatabase("A")
+        lsdb.install(RouterLsa(origin="A", links=(("B", 1.0),), sequence=1))
+        assert lsdb.install(RouterLsa(origin="A", links=(("C", 1.0),), sequence=2))
+        assert lsdb.get(RouterLsa(origin="A").key).links == (("C", 1.0),)
+
+    def test_version_increments_on_change_only(self):
+        lsdb = LinkStateDatabase("A")
+        lsa = RouterLsa(origin="A", links=(("B", 1.0),))
+        lsdb.install(lsa)
+        version = lsdb.version
+        lsdb.install(lsa)
+        assert lsdb.version == version
+
+    def test_distinct_origins_coexist(self):
+        lsdb = LinkStateDatabase("A")
+        lsdb.install(RouterLsa(origin="A", links=()))
+        lsdb.install(RouterLsa(origin="B", links=()))
+        assert len(lsdb) == 2
+
+
+class TestWithdrawal:
+    def test_withdrawn_lsa_removed_from_live_view(self):
+        lsdb = LinkStateDatabase("A")
+        lsa = PrefixLsa(origin="C", prefix=PREFIX)
+        lsdb.install(lsa)
+        lsdb.install(lsa.withdraw())
+        assert lsdb.live_lsas() == []
+        assert len(lsdb.all_lsas()) == 1
+
+    def test_withdrawal_blocks_stale_reinstall(self):
+        lsdb = LinkStateDatabase("A")
+        lsa = PrefixLsa(origin="C", prefix=PREFIX, sequence=1)
+        lsdb.install(lsa.withdraw())  # sequence 2, withdrawn
+        assert not lsdb.install(lsa)  # stale sequence 1 arrives late
+        assert lsdb.live_lsas() == []
+
+    def test_reorigination_after_withdrawal(self):
+        lsdb = LinkStateDatabase("A")
+        lsa = PrefixLsa(origin="C", prefix=PREFIX, sequence=1)
+        lsdb.install(lsa)
+        withdrawn = lsa.withdraw()
+        lsdb.install(withdrawn)
+        refreshed = withdrawn.refresh()
+        assert lsdb.install(refreshed)
+        assert len(lsdb.live_lsas()) == 1
+
+
+class TestGraphView:
+    def test_graph_reflects_live_lsas(self):
+        lsdb = LinkStateDatabase("A")
+        lsdb.install(RouterLsa(origin="A", links=(("B", 1.0),)))
+        lsdb.install(RouterLsa(origin="B", links=(("A", 1.0),)))
+        lsdb.install(PrefixLsa(origin="B", prefix=PREFIX))
+        graph = lsdb.graph()
+        assert graph.edge_cost("A", "B") == 1.0
+        assert graph.announcers(PREFIX) == {"B": 0.0}
+
+    def test_contains_and_iter(self):
+        lsdb = LinkStateDatabase("A")
+        lsa = RouterLsa(origin="A", links=())
+        lsdb.install(lsa)
+        assert lsa.key in lsdb
+        assert list(lsdb) == [lsa]

@@ -1,0 +1,152 @@
+"""Tests for the event-driven IGP network (flooding, router processes, convergence)."""
+
+import pytest
+
+from repro.igp.convergence import ConvergenceTracker
+from repro.igp.network import IgpNetwork, compute_static_fibs
+from repro.igp.router import RouterTimers
+from repro.igp.topology import Topology
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology, demo_lies
+from repro.util.errors import TopologyError
+from repro.util.timeline import Timeline
+
+
+@pytest.fixture
+def converged_network():
+    network = IgpNetwork(build_demo_topology())
+    network.start()
+    network.converge()
+    return network
+
+
+class TestStartupConvergence:
+    def test_every_router_installs_a_fib(self, converged_network):
+        for router in converged_network.topology.routers:
+            assert converged_network.fib_of(router) is not None
+        assert converged_network.converged()
+
+    def test_fib_before_convergence_raises(self):
+        network = IgpNetwork(build_demo_topology())
+        with pytest.raises(TopologyError):
+            network.fib_of("A")
+
+    def test_converged_fibs_match_static_computation(self, converged_network):
+        static = compute_static_fibs(converged_network.topology)
+        for router in converged_network.topology.routers:
+            live = converged_network.fib_of(router)
+            expected = static[router]
+            for prefix in expected.prefixes:
+                assert live.split_ratios(prefix) == expected.split_ratios(prefix)
+
+    def test_convergence_takes_positive_simulated_time(self):
+        network = IgpNetwork(build_demo_topology())
+        network.start()
+        duration = network.converge()
+        assert duration > 0
+
+    def test_start_is_idempotent(self, converged_network):
+        stats_before = converged_network.flooding_stats
+        converged_network.start()
+        converged_network.converge()
+        assert converged_network.flooding_stats == stats_before
+
+    def test_flooding_stats_counters(self, converged_network):
+        stats = converged_network.flooding_stats
+        assert stats["messages_sent"] > 0
+        assert stats["bytes_sent"] > 0
+        assert stats["deliveries"] > 0
+        assert stats["duplicates_suppressed"] > 0
+
+    def test_spf_batching_limits_runs(self, converged_network):
+        # Each router must have run SPF far fewer times than the number of
+        # LSAs it received (the spf_delay hold-down batches them).
+        for process in converged_network.routers.values():
+            assert process.spf_runs < len(process.lsdb)
+
+
+class TestLieInjection:
+    def test_injected_lies_reach_every_router(self, converged_network):
+        converged_network.inject(demo_lies(), at_router="R3")
+        converged_network.converge()
+        fib_a = converged_network.fib_of("A")
+        fib_b = converged_network.fib_of("B")
+        assert fib_a.split_ratios(BLUE_PREFIX) == {
+            "B": pytest.approx(1 / 3),
+            "R1": pytest.approx(2 / 3),
+        }
+        assert fib_b.split_ratios(BLUE_PREFIX) == {"R2": 0.5, "R3": 0.5}
+
+    def test_withdrawing_lies_restores_baseline(self, converged_network):
+        lies = demo_lies()
+        converged_network.inject(lies, at_router="R3")
+        converged_network.converge()
+        converged_network.inject([lie.withdraw() for lie in lies], at_router="R3")
+        converged_network.converge()
+        assert converged_network.fib_of("A").split_ratios(BLUE_PREFIX) == {"B": 1.0}
+        assert converged_network.fib_of("B").split_ratios(BLUE_PREFIX) == {"R2": 1.0}
+
+    def test_injection_at_unknown_router_rejected(self, converged_network):
+        with pytest.raises(TopologyError):
+            converged_network.inject(demo_lies(), at_router="ghost")
+
+    def test_fib_change_listener_fires(self, converged_network):
+        changed = []
+        converged_network.on_fib_change(lambda router, fib: changed.append(router))
+        converged_network.inject(demo_lies(), at_router="R3")
+        converged_network.converge()
+        assert "A" in changed and "B" in changed
+
+
+class TestConvergenceTracker:
+    def test_episode_measures_duration_and_routers(self, converged_network):
+        tracker = ConvergenceTracker(converged_network)
+        tracker.start_episode("inject-lies")
+        converged_network.inject(demo_lies(), at_router="R3")
+        converged_network.converge()
+        episode = tracker.close_episode()
+        assert episode.duration > 0
+        assert set(episode.routers_updated) == set(converged_network.topology.routers)
+        assert tracker.durations()["inject-lies"] == episode.duration
+
+    def test_closing_without_episode_raises(self, converged_network):
+        tracker = ConvergenceTracker(converged_network)
+        from repro.util.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            tracker.close_episode()
+
+
+class TestStaticComputation:
+    def test_static_fibs_cover_all_routers(self):
+        topology = build_demo_topology()
+        fibs = compute_static_fibs(topology)
+        assert set(fibs) == set(topology.routers)
+
+    def test_static_fibs_with_lies_match_paper(self):
+        fibs = compute_static_fibs(build_demo_topology(), demo_lies())
+        assert fibs["A"].split_ratios(BLUE_PREFIX)["R1"] == pytest.approx(2 / 3)
+
+    def test_shared_timeline_can_be_supplied(self):
+        timeline = Timeline()
+        network = IgpNetwork(build_demo_topology(), timeline=timeline)
+        network.start()
+        network.converge()
+        assert timeline.now > 0
+
+    def test_custom_router_timers_slow_convergence(self):
+        fast = IgpNetwork(build_demo_topology(), timers=RouterTimers(spf_delay=0.01, fib_delay=0.01))
+        slow = IgpNetwork(build_demo_topology(), timers=RouterTimers(spf_delay=0.5, fib_delay=0.5))
+        fast.start()
+        slow.start()
+        assert slow.converge() > fast.converge()
+
+    def test_disconnected_topology_still_converges(self):
+        topology = Topology("split")
+        topology.add_routers(["A", "B", "C"])
+        topology.add_link("A", "B")
+        topology.attach_prefix("C", "10.0.0.0/24")
+        network = IgpNetwork(topology)
+        network.start()
+        network.converge()
+        # A has no route to the isolated prefix.
+        assert not network.fib_of("A").has_entry(BLUE_PREFIX)

@@ -1,0 +1,178 @@
+"""Tests for repro.igp.rib and repro.igp.fib (including fake-node resolution)."""
+
+import pytest
+
+from repro.igp.fib import Fib, FibEntry, PrefixFib, resolve_rib_to_fib
+from repro.igp.graph import ComputationGraph
+from repro.igp.lsa import FakeNodeLsa
+from repro.igp.rib import compute_rib
+from repro.igp.spf import compute_spf
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology, demo_lies
+from repro.util.errors import RoutingError
+from repro.util.prefixes import Prefix
+
+
+def demo_graph(with_lies: bool = False) -> ComputationGraph:
+    lies = demo_lies() if with_lies else ()
+    return ComputationGraph.from_topology(build_demo_topology(), lies)
+
+
+class TestRib:
+    def test_route_cost_from_a(self):
+        rib = compute_rib(demo_graph(), "A")
+        assert rib.route(BLUE_PREFIX).cost == 3
+
+    def test_route_cost_from_b(self):
+        rib = compute_rib(demo_graph(), "B")
+        assert rib.route(BLUE_PREFIX).cost == 2
+
+    def test_local_route_at_announcing_router(self):
+        rib = compute_rib(demo_graph(), "C")
+        route = rib.route(BLUE_PREFIX)
+        assert route.is_local
+        assert route.cost == 0
+
+    def test_single_contribution_without_lies(self):
+        rib = compute_rib(demo_graph(), "A")
+        route = rib.route(BLUE_PREFIX)
+        assert route.next_hop_nodes == ("B",)
+
+    def test_fake_contributions_with_lies(self):
+        rib = compute_rib(demo_graph(with_lies=True), "A")
+        route = rib.route(BLUE_PREFIX)
+        # Real path via B (announced by C), the two fake nodes anchored at A,
+        # and fB (anchored at B) which A also reaches via B at equal cost.
+        assert len(route.contributions) == 4
+        fake_next_hops = [c for c in route.contributions if c.next_hop_is_fake]
+        assert len(fake_next_hops) == 2
+        # Contributions whose next hop is the real neighbor B (via C and via
+        # fB) must later collapse into a single FIB entry.
+        via_b = [c for c in route.contributions if c.next_hop == "B"]
+        assert len(via_b) == 2
+
+    def test_missing_route_raises(self):
+        rib = compute_rib(demo_graph(), "A")
+        with pytest.raises(RoutingError):
+            rib.route(Prefix.parse("203.0.113.0/24"))
+
+    def test_has_route_and_iteration(self):
+        rib = compute_rib(demo_graph(), "A")
+        assert rib.has_route(BLUE_PREFIX)
+        assert BLUE_PREFIX in [route.prefix for route in rib]
+
+    def test_spf_source_mismatch_rejected(self):
+        graph = demo_graph()
+        spf = compute_spf(graph, "B")
+        with pytest.raises(RoutingError):
+            compute_rib(graph, "A", spf)
+
+    def test_reusing_spf_gives_same_result(self):
+        graph = demo_graph()
+        spf = compute_spf(graph, "A")
+        direct = compute_rib(graph, "A")
+        reused = compute_rib(graph, "A", spf)
+        assert direct.route(BLUE_PREFIX).cost == reused.route(BLUE_PREFIX).cost
+
+
+class TestFibResolution:
+    def test_baseline_fib_single_next_hop(self):
+        graph = demo_graph()
+        fib = resolve_rib_to_fib(graph, compute_rib(graph, "A"))
+        assert fib.split_ratios(BLUE_PREFIX) == {"B": 1.0}
+
+    def test_fib_with_lies_at_b_is_even_split(self):
+        graph = demo_graph(with_lies=True)
+        fib = resolve_rib_to_fib(graph, compute_rib(graph, "B"))
+        assert fib.split_ratios(BLUE_PREFIX) == {"R2": 0.5, "R3": 0.5}
+
+    def test_fib_with_lies_at_a_is_one_third_two_thirds(self):
+        graph = demo_graph(with_lies=True)
+        fib = resolve_rib_to_fib(graph, compute_rib(graph, "A"))
+        ratios = fib.split_ratios(BLUE_PREFIX)
+        assert ratios["B"] == pytest.approx(1 / 3)
+        assert ratios["R1"] == pytest.approx(2 / 3)
+
+    def test_fake_entries_record_their_fake_nodes(self):
+        graph = demo_graph(with_lies=True)
+        fib = resolve_rib_to_fib(graph, compute_rib(graph, "A"))
+        entry = next(e for e in fib.lookup(BLUE_PREFIX).entries if e.next_hop == "R1")
+        assert set(entry.via_fake) == {"fA1", "fA2"}
+        assert entry.weight == 2
+
+    def test_transit_routers_unaffected_by_lies(self):
+        graph = demo_graph(with_lies=True)
+        for router in ["R1", "R2", "R3", "R4"]:
+            fib = resolve_rib_to_fib(graph, compute_rib(graph, router))
+            baseline = resolve_rib_to_fib(demo_graph(), compute_rib(demo_graph(), router))
+            assert fib.split_ratios(BLUE_PREFIX) == baseline.split_ratios(BLUE_PREFIX)
+
+    def test_local_delivery_flag(self):
+        graph = demo_graph()
+        fib = resolve_rib_to_fib(graph, compute_rib(graph, "C"))
+        assert fib.delivers_locally(BLUE_PREFIX)
+
+    def test_lookup_missing_prefix_raises(self):
+        graph = demo_graph()
+        fib = resolve_rib_to_fib(graph, compute_rib(graph, "A"))
+        with pytest.raises(RoutingError):
+            fib.lookup(Prefix.parse("203.0.113.0/24"))
+
+    def test_entry_count_counts_all_prefixes(self):
+        graph = demo_graph()
+        fib = resolve_rib_to_fib(graph, compute_rib(graph, "A"))
+        assert fib.entry_count >= 2  # blue prefix + S1 prefix at least
+
+    def test_dangling_forwarding_address_rejected(self):
+        topology = build_demo_topology()
+        bad_lie = FakeNodeLsa(
+            origin="ctrl",
+            fake_node="bad",
+            anchor="A",
+            link_cost=1.0,
+            prefix=BLUE_PREFIX,
+            prefix_cost=2.0,
+            forwarding_address="R4",  # not adjacent to A
+        )
+        graph = ComputationGraph.from_topology(topology, [bad_lie])
+        with pytest.raises(RoutingError):
+            resolve_rib_to_fib(graph, compute_rib(graph, "A"))
+
+    def test_max_ecmp_truncation(self):
+        graph = demo_graph(with_lies=True)
+        fib = resolve_rib_to_fib(graph, compute_rib(graph, "A"), max_ecmp=2)
+        prefix_fib = fib.lookup(BLUE_PREFIX)
+        assert prefix_fib.truncated
+        assert prefix_fib.total_weight == 2
+        # The heavier next hop (R1) must be preserved.
+        assert "R1" in prefix_fib.split_ratios()
+
+    def test_max_ecmp_must_be_positive(self):
+        graph = demo_graph()
+        with pytest.raises(RoutingError):
+            resolve_rib_to_fib(graph, compute_rib(graph, "A"), max_ecmp=0)
+
+
+class TestFibDataStructures:
+    def test_fib_entry_weight_must_be_positive(self):
+        with pytest.raises(RoutingError):
+            FibEntry(next_hop="B", weight=0)
+
+    def test_prefix_fib_split_ratios_sum_to_one(self):
+        prefix_fib = PrefixFib(
+            prefix=BLUE_PREFIX,
+            cost=3,
+            entries=(FibEntry("B", 1), FibEntry("R1", 2)),
+        )
+        assert sum(prefix_fib.split_ratios().values()) == pytest.approx(1.0)
+        assert prefix_fib.total_weight == 3
+        assert prefix_fib.next_hops() == ("B", "R1")
+
+    def test_empty_prefix_fib_has_no_ratios(self):
+        prefix_fib = PrefixFib(prefix=BLUE_PREFIX, cost=0, entries=(), local=True)
+        assert prefix_fib.split_ratios() == {}
+
+    def test_fib_iteration_is_sorted_by_prefix(self):
+        graph = demo_graph()
+        fib = resolve_rib_to_fib(graph, compute_rib(graph, "A"))
+        prefixes = [prefix_fib.prefix for prefix_fib in fib]
+        assert prefixes == sorted(prefixes)

@@ -1,0 +1,159 @@
+"""Tests for repro.igp.spf (Dijkstra with ECMP)."""
+
+import networkx as nx
+import pytest
+
+from repro.igp.graph import ComputationGraph
+from repro.igp.spf import compute_spf
+from repro.topologies.demo import build_demo_topology
+from repro.topologies.zoo import grid
+from repro.util.errors import RoutingError
+
+
+def diamond_graph() -> ComputationGraph:
+    """A diamond with two equal-cost paths S -> T."""
+    graph = ComputationGraph()
+    graph.add_edge("S", "L", 1)
+    graph.add_edge("L", "S", 1)
+    graph.add_edge("S", "R", 1)
+    graph.add_edge("R", "S", 1)
+    graph.add_edge("L", "T", 1)
+    graph.add_edge("T", "L", 1)
+    graph.add_edge("R", "T", 1)
+    graph.add_edge("T", "R", 1)
+    return graph
+
+
+class TestDistances:
+    def test_source_distance_is_zero(self):
+        spf = compute_spf(diamond_graph(), "S")
+        assert spf.distance_to("S") == 0.0
+
+    def test_diamond_distances(self):
+        spf = compute_spf(diamond_graph(), "S")
+        assert spf.distance_to("L") == 1
+        assert spf.distance_to("T") == 2
+
+    def test_demo_topology_distances_from_a(self):
+        graph = ComputationGraph.from_topology(build_demo_topology())
+        spf = compute_spf(graph, "A")
+        assert spf.distance_to("B") == 1
+        assert spf.distance_to("R1") == 2
+        assert spf.distance_to("C") == 3
+        assert spf.distance_to("R4") == 3
+
+    def test_demo_topology_distances_from_b(self):
+        graph = ComputationGraph.from_topology(build_demo_topology())
+        spf = compute_spf(graph, "B")
+        assert spf.distance_to("C") == 2
+        assert spf.distance_to("R3") == 2
+
+    def test_unreachable_node_reported(self):
+        graph = diamond_graph()
+        graph.add_node("island")
+        spf = compute_spf(graph, "S")
+        assert not spf.reachable("island")
+        with pytest.raises(RoutingError):
+            spf.distance_to("island")
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(RoutingError):
+            compute_spf(diamond_graph(), "nope")
+
+    def test_matches_networkx_on_random_graphs(self):
+        """SPF distances must agree with networkx's Dijkstra on many seeds."""
+        from repro.topologies.random import random_topology
+
+        for seed in range(5):
+            topology = random_topology(num_routers=12, edge_probability=0.3, seed=seed, with_prefixes=False)
+            graph = ComputationGraph.from_topology(topology)
+            nx_graph = nx.DiGraph()
+            for link in topology.links:
+                nx_graph.add_edge(link.source, link.target, weight=link.weight)
+            source = topology.routers[0]
+            expected = nx.single_source_dijkstra_path_length(nx_graph, source)
+            spf = compute_spf(graph, source)
+            for node, distance in expected.items():
+                assert spf.distance_to(node) == pytest.approx(distance)
+
+
+class TestEcmpNextHops:
+    def test_diamond_has_two_next_hops(self):
+        spf = compute_spf(diamond_graph(), "S")
+        assert spf.next_hops_to("T") == frozenset({"L", "R"})
+
+    def test_direct_neighbor_next_hop_is_itself(self):
+        spf = compute_spf(diamond_graph(), "S")
+        assert spf.next_hops_to("L") == frozenset({"L"})
+
+    def test_source_has_no_next_hops(self):
+        spf = compute_spf(diamond_graph(), "S")
+        assert spf.next_hops_to("S") == frozenset()
+
+    def test_demo_single_path_next_hops(self):
+        graph = ComputationGraph.from_topology(build_demo_topology())
+        spf = compute_spf(graph, "A")
+        assert spf.next_hops_to("C") == frozenset({"B"})
+
+    def test_grid_corner_to_corner_uses_both_directions(self):
+        graph = ComputationGraph.from_topology(grid(3, 3, with_loopbacks=False))
+        spf = compute_spf(graph, "G0_0")
+        assert spf.next_hops_to("G2_2") == frozenset({"G0_1", "G1_0"})
+
+    def test_next_hops_of_unreachable_raise(self):
+        graph = diamond_graph()
+        graph.add_node("island")
+        spf = compute_spf(graph, "S")
+        with pytest.raises(RoutingError):
+            spf.next_hops_to("island")
+
+
+class TestPathEnumeration:
+    def test_diamond_has_two_paths(self):
+        spf = compute_spf(diamond_graph(), "S")
+        paths = spf.paths_to("T")
+        assert paths == [("S", "L", "T"), ("S", "R", "T")]
+
+    def test_paths_all_have_equal_cost(self):
+        graph = ComputationGraph.from_topology(grid(3, 3, with_loopbacks=False))
+        spf = compute_spf(graph, "G0_0")
+        paths = spf.paths_to("G2_2")
+        assert len(paths) == 6  # binomial(4, 2) lattice paths
+        assert all(len(path) == 5 for path in paths)
+
+    def test_paths_respect_limit(self):
+        graph = ComputationGraph.from_topology(grid(3, 3, with_loopbacks=False))
+        spf = compute_spf(graph, "G0_0")
+        assert len(spf.paths_to("G2_2", limit=2)) == 2
+
+    def test_path_to_unreachable_raises(self):
+        graph = diamond_graph()
+        graph.add_node("island")
+        spf = compute_spf(graph, "S")
+        with pytest.raises(RoutingError):
+            spf.paths_to("island")
+
+    def test_contains_operator(self):
+        spf = compute_spf(diamond_graph(), "S")
+        assert "T" in spf
+        assert "nothere" not in spf
+
+
+class TestFakeNodesInSpf:
+    def test_fake_node_is_reachable_from_anchor(self):
+        graph = ComputationGraph.from_topology(build_demo_topology())
+        from repro.topologies.demo import demo_lies
+
+        graph = ComputationGraph.from_topology(build_demo_topology(), demo_lies())
+        spf = compute_spf(graph, "B")
+        assert spf.distance_to("fB") == 1.0
+        assert spf.next_hops_to("fB") == frozenset({"fB"})
+
+    def test_other_routers_reach_fake_node_through_anchor(self):
+        from repro.topologies.demo import demo_lies
+
+        graph = ComputationGraph.from_topology(build_demo_topology(), demo_lies())
+        spf = compute_spf(graph, "R2")
+        # R2 reaches fB via B (cost 1 to B + 1 fake link).
+        assert spf.distance_to("fB") == 2.0
+        assert spf.next_hops_to("fB") == frozenset({"B"})

@@ -1,0 +1,199 @@
+"""Tests for the monitoring substrate: counters, poller, collector, alarms, notifications."""
+
+import pytest
+
+from repro.dataplane.engine import DataPlaneEngine
+from repro.igp.network import compute_static_fibs
+from repro.monitoring.alarms import UtilizationAlarm
+from repro.monitoring.collector import LoadCollector
+from repro.monitoring.counters import SnmpAgent, build_agents
+from repro.monitoring.notifications import ClientNotification, ClientRegistry, NotificationBus
+from repro.monitoring.poller import SnmpPoller
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology
+from repro.util.errors import MonitoringError
+from repro.util.timeline import Timeline
+from repro.util.units import mbps
+
+
+@pytest.fixture
+def monitored_engine():
+    topology = build_demo_topology()
+    fibs = compute_static_fibs(topology)
+    timeline = Timeline()
+    engine = DataPlaneEngine(topology, lambda: fibs, timeline, sample_interval=1.0)
+    engine.start()
+    return topology, timeline, engine
+
+
+class TestSnmpAgents:
+    def test_agent_lists_interfaces(self, monitored_engine):
+        topology, _, engine = monitored_engine
+        agent = SnmpAgent("B", topology, engine)
+        assert agent.interfaces == ["A", "R2", "R3"]
+
+    def test_agent_reads_counters(self, monitored_engine):
+        topology, timeline, engine = monitored_engine
+        engine.add_flow("B", BLUE_PREFIX, mbps(8))
+        timeline.run_until(2.0)
+        agent = SnmpAgent("B", topology, engine)
+        stat = agent.read_interface("R2")
+        assert stat.out_octets == pytest.approx(2e6, rel=0.01)
+        assert stat.interface == "B->R2"
+
+    def test_unknown_interface_rejected(self, monitored_engine):
+        topology, _, engine = monitored_engine
+        agent = SnmpAgent("B", topology, engine)
+        with pytest.raises(MonitoringError):
+            agent.read_interface("C")
+
+    def test_unknown_router_rejected(self, monitored_engine):
+        topology, _, engine = monitored_engine
+        with pytest.raises(MonitoringError):
+            SnmpAgent("ghost", topology, engine)
+
+    def test_build_agents_covers_all_routers(self, monitored_engine):
+        topology, _, engine = monitored_engine
+        agents = build_agents(topology, engine)
+        assert set(agents) == set(topology.routers)
+
+
+class TestPoller:
+    def test_poller_measures_rates(self, monitored_engine):
+        topology, timeline, engine = monitored_engine
+        poller = SnmpPoller(build_agents(topology, engine), timeline, poll_interval=1.0)
+        poller.start()
+        engine.add_flow("B", BLUE_PREFIX, mbps(8))
+        timeline.run_until(3.0)
+        assert poller.polls_performed == 3
+        last = poller.samples[-1]
+        assert last.rate_of("B", "R2") == pytest.approx(mbps(8), rel=0.02)
+        assert last.rate_of("A", "R1") == 0.0
+
+    def test_poller_interval_respected(self, monitored_engine):
+        topology, timeline, engine = monitored_engine
+        poller = SnmpPoller(build_agents(topology, engine), timeline, poll_interval=5.0)
+        poller.start()
+        timeline.run_until(12.0)
+        assert poller.polls_performed == 2
+
+    def test_listeners_receive_samples(self, monitored_engine):
+        topology, timeline, engine = monitored_engine
+        poller = SnmpPoller(build_agents(topology, engine), timeline, poll_interval=1.0)
+        seen = []
+        poller.on_sample(lambda sample: seen.append(sample.time))
+        poller.start()
+        timeline.run_until(2.0)
+        assert seen == [1.0, 2.0]
+
+    def test_empty_agent_set_rejected(self, monitored_engine):
+        _, timeline, _ = monitored_engine
+        with pytest.raises(MonitoringError):
+            SnmpPoller({}, timeline)
+
+
+class TestCollectorAndAlarm:
+    def wire(self, monitored_engine, threshold=0.9, cooldown=3.0, alpha=1.0):
+        topology, timeline, engine = monitored_engine
+        poller = SnmpPoller(build_agents(topology, engine), timeline, poll_interval=1.0)
+        collector = LoadCollector(topology, alpha=alpha)
+        alarm = UtilizationAlarm(collector, raise_threshold=threshold, cooldown=cooldown)
+        alarm.wire(poller)
+        poller.start()
+        return topology, timeline, engine, collector, alarm
+
+    def test_collector_tracks_utilization(self, monitored_engine):
+        topology, timeline, engine, collector, _ = self.wire(monitored_engine)
+        engine.add_flow("B", BLUE_PREFIX, mbps(16))
+        timeline.run_until(3.0)
+        assert collector.utilization("B", "R2") == pytest.approx(0.5, rel=0.05)
+        assert collector.max_utilization() == pytest.approx(0.5, rel=0.05)
+
+    def test_collector_unknown_link_rejected(self, monitored_engine):
+        _, _, _, collector, _ = self.wire(monitored_engine)
+        with pytest.raises(MonitoringError):
+            collector.utilization("A", "C")
+
+    def test_alarm_fires_above_threshold(self, monitored_engine):
+        topology, timeline, engine, _, alarm = self.wire(monitored_engine)
+        for _ in range(31):
+            engine.add_flow("B", BLUE_PREFIX, mbps(1))
+        timeline.run_until(5.0)
+        assert len(alarm.events) >= 1
+        assert ("B", "R2") in [view.link for view in alarm.events[0].hot_links]
+
+    def test_alarm_silent_below_threshold(self, monitored_engine):
+        topology, timeline, engine, _, alarm = self.wire(monitored_engine)
+        for _ in range(10):
+            engine.add_flow("B", BLUE_PREFIX, mbps(1))
+        timeline.run_until(5.0)
+        assert alarm.events == []
+
+    def test_alarm_cooldown_limits_rate(self, monitored_engine):
+        topology, timeline, engine, _, alarm = self.wire(monitored_engine, cooldown=100.0)
+        for _ in range(40):
+            engine.add_flow("B", BLUE_PREFIX, mbps(1))
+        timeline.run_until(20.0)
+        assert len(alarm.events) == 1
+
+    def test_alarm_refires_after_cooldown_if_still_hot(self, monitored_engine):
+        topology, timeline, engine, _, alarm = self.wire(monitored_engine, cooldown=3.0)
+        for _ in range(40):
+            engine.add_flow("B", BLUE_PREFIX, mbps(1))
+        timeline.run_until(20.0)
+        assert len(alarm.events) >= 3
+
+    def test_invalid_thresholds_rejected(self, monitored_engine):
+        topology, _, _ = monitored_engine
+        collector = LoadCollector(topology)
+        with pytest.raises(MonitoringError):
+            UtilizationAlarm(collector, raise_threshold=0.5, clear_threshold=0.9)
+
+
+class TestNotifications:
+    def make_notification(self, delta=1, ingress="B"):
+        return ClientNotification(
+            time=1.0, server="S1", ingress=ingress, prefix=BLUE_PREFIX, bitrate=mbps(1), delta=delta
+        )
+
+    def test_bus_delivers_to_subscribers(self):
+        bus = NotificationBus()
+        seen = []
+        bus.subscribe(seen.append)
+        notification = self.make_notification()
+        bus.publish(notification)
+        assert seen == [notification]
+        assert bus.published == [notification]
+
+    def test_registry_counts_clients(self):
+        registry = ClientRegistry()
+        registry.observe(self.make_notification())
+        registry.observe(self.make_notification())
+        registry.observe(self.make_notification(delta=-1))
+        assert registry.client_count("B", BLUE_PREFIX) == 1
+        assert registry.total_clients() == 1
+
+    def test_registry_rejects_unmatched_departure(self):
+        registry = ClientRegistry()
+        with pytest.raises(MonitoringError):
+            registry.observe(self.make_notification(delta=-1))
+
+    def test_demand_matrix_scales_with_clients(self):
+        registry = ClientRegistry()
+        for _ in range(5):
+            registry.observe(self.make_notification())
+        for _ in range(3):
+            registry.observe(self.make_notification(ingress="A"))
+        matrix = registry.demand_matrix()
+        assert matrix.rate("B", BLUE_PREFIX) == pytest.approx(mbps(5))
+        assert matrix.rate("A", BLUE_PREFIX) == pytest.approx(mbps(3))
+
+    def test_registry_attaches_to_bus(self):
+        bus = NotificationBus()
+        registry = ClientRegistry()
+        registry.attach(bus)
+        bus.publish(self.make_notification())
+        assert registry.total_clients() == 1
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(MonitoringError):
+            self.make_notification(delta=0)

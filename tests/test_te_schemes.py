@@ -1,0 +1,160 @@
+"""Tests for the traffic-engineering baselines."""
+
+import pytest
+
+from repro.core.policies import LoadBalancerPolicy
+from repro.dataplane.demand import TrafficMatrix
+from repro.te import (
+    EcmpRouting,
+    FibbingTe,
+    MplsRsvpTe,
+    OptimalMultiCommodityFlow,
+    SingleShortestPath,
+    WeightOptimizer,
+    compare_outcomes,
+)
+from repro.topologies.demo import BLUE_PREFIX, build_demo_topology
+from repro.topologies.random import random_topology
+from repro.util.units import mbps
+
+
+class TestSingleShortestPathAndEcmp:
+    def test_single_path_piles_up_traffic(self, fig2_demands):
+        outcome = SingleShortestPath().route(build_demo_topology(), fig2_demands)
+        assert outcome.max_utilization == pytest.approx(62 / 32, rel=1e-3)
+        assert outcome.control_state == 0
+        assert outcome.delivery_fraction == 1.0
+
+    def test_ecmp_equals_single_path_on_demo(self, fig2_demands):
+        """The demo weights give unique shortest paths, so ECMP cannot help."""
+        ecmp = EcmpRouting().route(build_demo_topology(), fig2_demands)
+        single = SingleShortestPath().route(build_demo_topology(), fig2_demands)
+        assert ecmp.max_utilization == pytest.approx(single.max_utilization)
+
+    def test_ecmp_uses_equal_cost_paths_when_available(self):
+        from repro.topologies.zoo import grid
+
+        topology = grid(2, 2, with_loopbacks=True)
+        prefix = topology.attachments_of("G1_1")[0].prefix
+        demands = TrafficMatrix.from_dict({("G0_0", prefix): mbps(10)})
+        ecmp = EcmpRouting().route(topology, demands)
+        single = SingleShortestPath().route(topology, demands)
+        assert ecmp.max_utilization < single.max_utilization
+
+    def test_no_data_plane_overhead(self, fig2_demands):
+        for scheme in [SingleShortestPath(), EcmpRouting()]:
+            outcome = scheme.route(build_demo_topology(), fig2_demands)
+            assert outcome.per_packet_overhead_bytes == 0
+
+
+class TestWeightOptimizer:
+    def test_optimizer_improves_or_matches_default(self, fig2_demands):
+        topology = build_demo_topology()
+        default = EcmpRouting().route(topology, fig2_demands).max_utilization
+        optimized = WeightOptimizer(iterations=60, seed=1).route(topology, fig2_demands)
+        assert optimized.max_utilization <= default + 1e-9
+
+    def test_original_topology_is_not_mutated(self, fig2_demands):
+        topology = build_demo_topology()
+        weights_before = {link.key: link.weight for link in topology.links}
+        WeightOptimizer(iterations=30, seed=0).route(topology, fig2_demands)
+        assert {link.key: link.weight for link in topology.links} == weights_before
+
+    def test_control_state_counts_weight_changes(self, fig2_demands):
+        scheme = WeightOptimizer(iterations=60, seed=1)
+        outcome = scheme.route(build_demo_topology(), fig2_demands)
+        assert outcome.control_state == len(scheme.changes)
+        assert outcome.control_messages == 2 * len(scheme.changes)
+
+    def test_zero_iterations_equals_default(self, fig2_demands):
+        topology = build_demo_topology()
+        outcome = WeightOptimizer(iterations=0).route(topology, fig2_demands)
+        default = EcmpRouting().route(topology, fig2_demands).max_utilization
+        assert outcome.max_utilization == pytest.approx(default)
+
+
+class TestMpls:
+    def test_mpls_matches_lp_optimum(self, fig2_demands):
+        topology = build_demo_topology()
+        mpls = MplsRsvpTe().route(topology, fig2_demands)
+        optimum = OptimalMultiCommodityFlow().route(topology, fig2_demands)
+        assert mpls.max_utilization == pytest.approx(optimum.max_utilization, rel=1e-3)
+
+    def test_mpls_needs_tunnels_and_signaling(self, fig2_demands):
+        scheme = MplsRsvpTe()
+        outcome = scheme.route(build_demo_topology(), fig2_demands)
+        assert outcome.control_state >= 3  # at least one tunnel per used path
+        assert outcome.control_messages > outcome.control_state
+        assert outcome.per_packet_overhead_bytes == 4
+
+    def test_tunnel_rates_cover_demands(self, fig2_demands):
+        scheme = MplsRsvpTe()
+        scheme.route(build_demo_topology(), fig2_demands)
+        total = sum(tunnel.rate for tunnel in scheme.tunnels)
+        assert total == pytest.approx(fig2_demands.total(), rel=1e-6)
+
+    def test_tunnels_follow_existing_links(self, fig2_demands):
+        topology = build_demo_topology()
+        scheme = MplsRsvpTe()
+        scheme.route(topology, fig2_demands)
+        for tunnel in scheme.tunnels:
+            for source, target in tunnel.links:
+                assert topology.has_link(source, target)
+
+
+class TestFibbingScheme:
+    def test_fibbing_close_to_optimum_on_demo(self, fig2_demands):
+        topology = build_demo_topology()
+        fibbing = FibbingTe().route(topology, fig2_demands)
+        optimum = OptimalMultiCommodityFlow().route(topology, fig2_demands)
+        assert fibbing.max_utilization == pytest.approx(optimum.max_utilization, rel=0.02)
+
+    def test_fibbing_state_is_fake_lsas_not_tunnels(self, fig2_demands):
+        scheme = FibbingTe()
+        outcome = scheme.route(build_demo_topology(), fig2_demands)
+        assert outcome.control_state == 3
+        assert outcome.per_packet_overhead_bytes == 0
+
+    def test_fibbing_uses_fewer_messages_than_mpls_on_demo(self, fig2_demands):
+        topology = build_demo_topology()
+        fibbing = FibbingTe().route(topology, fig2_demands)
+        mpls = MplsRsvpTe().route(topology, fig2_demands)
+        assert fibbing.control_messages < mpls.control_messages
+
+    def test_fibbing_beats_plain_igp_on_random_instances(self):
+        for seed in range(2):
+            topology = random_topology(8, seed=seed)
+            prefix = topology.prefixes[0]
+            destination = topology.prefix_attachments(prefix)[0].router
+            sources = [router for router in topology.routers if router != destination][:3]
+            demands = TrafficMatrix.from_dict(
+                {(source, prefix): mbps(20) for source in sources}
+            )
+            fibbing = FibbingTe().route(topology, demands)
+            plain = EcmpRouting().route(topology, demands)
+            assert fibbing.max_utilization <= plain.max_utilization + 1e-9
+
+    def test_fibbing_respects_small_ecmp_table(self, fig2_demands):
+        policy = LoadBalancerPolicy(max_ecmp_entries=2)
+        outcome = FibbingTe(policy=policy).route(build_demo_topology(), fig2_demands)
+        # A 1/2-1/2 approximation at A is worse than the optimum but must
+        # still beat the single-path baseline.
+        single = SingleShortestPath().route(build_demo_topology(), fig2_demands)
+        assert outcome.max_utilization < single.max_utilization
+
+
+class TestComparison:
+    def test_compare_outcomes_sorted_by_utilization(self, fig2_demands):
+        topology = build_demo_topology()
+        outcomes = [
+            SingleShortestPath().route(topology, fig2_demands),
+            FibbingTe().route(topology, fig2_demands),
+            OptimalMultiCommodityFlow().route(topology, fig2_demands),
+        ]
+        rows = compare_outcomes(outcomes)
+        assert rows[0]["max_utilization"] <= rows[-1]["max_utilization"]
+        assert {row["scheme"] for row in rows} == {
+            "single-shortest-path",
+            "fibbing",
+            "optimal-mcf",
+        }

@@ -1,0 +1,124 @@
+"""Tests for repro.util.stats."""
+
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.stats import Ewma, RunningStats, TimeWeightedAverage, maximum, mean, percentile
+
+
+class TestMeanMaxPercentile:
+    def test_mean_of_values(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+
+    def test_mean_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            mean([])
+
+    def test_maximum_with_default(self):
+        assert maximum([], default=7.0) == 7.0
+        assert maximum([1, 9, 3]) == 9
+
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4], 0.5) == 2.5
+
+    def test_percentile_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 9
+
+    def test_percentile_single_value(self):
+        assert percentile([42], 0.3) == 42
+
+    def test_percentile_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            percentile([], 0.5)
+
+    def test_percentile_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            percentile([1, 2], 1.5)
+
+
+class TestEwma:
+    def test_first_sample_sets_value(self):
+        ewma = Ewma(alpha=0.5)
+        assert not ewma.initialized
+        assert ewma.update(10.0) == 10.0
+        assert ewma.initialized
+
+    def test_smoothing_behaviour(self):
+        ewma = Ewma(alpha=0.5, initial=0.0)
+        assert ewma.update(10.0) == 5.0
+        assert ewma.update(10.0) == 7.5
+
+    def test_alpha_one_tracks_exactly(self):
+        ewma = Ewma(alpha=1.0)
+        ewma.update(3.0)
+        assert ewma.update(8.0) == 8.0
+
+    def test_zero_alpha_rejected(self):
+        with pytest.raises(ValidationError):
+            Ewma(alpha=0.0)
+
+    def test_reset_forgets_history(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.update(10.0)
+        ewma.reset()
+        assert not ewma.initialized
+        assert ewma.value == 0.0
+
+
+class TestRunningStats:
+    def test_count_mean_minmax(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 6.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 6.0
+
+    def test_variance_and_stddev(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.variance == pytest.approx(4.0)
+        assert stats.stddev == pytest.approx(2.0)
+
+    def test_empty_stats_are_safe(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        summary = stats.as_dict()
+        assert summary["count"] == 0
+        assert summary["min"] == 0.0
+
+    def test_as_dict_round_trip(self):
+        stats = RunningStats()
+        stats.add(3.0)
+        summary = stats.as_dict()
+        assert summary["count"] == 1
+        assert summary["mean"] == 3.0
+
+
+class TestTimeWeightedAverage:
+    def test_piecewise_constant_average(self):
+        twa = TimeWeightedAverage()
+        twa.observe(0.0, 10.0)
+        twa.observe(5.0, 0.0)  # 10.0 held for 5 seconds
+        average = twa.finish(10.0)  # 0.0 held for 5 seconds
+        assert average == pytest.approx(5.0)
+
+    def test_rejects_time_going_backwards(self):
+        twa = TimeWeightedAverage()
+        twa.observe(5.0, 1.0)
+        with pytest.raises(ValidationError):
+            twa.observe(4.0, 1.0)
+
+    def test_zero_duration_average_is_zero(self):
+        twa = TimeWeightedAverage()
+        twa.observe(1.0, 3.0)
+        assert twa.average == 0.0
+
+    def test_samples_are_recorded(self):
+        twa = TimeWeightedAverage()
+        twa.observe(0.0, 1.0)
+        twa.observe(1.0, 2.0)
+        assert twa.samples == [(0.0, 1.0), (1.0, 2.0)]

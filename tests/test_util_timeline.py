@@ -1,0 +1,133 @@
+"""Tests for repro.util.timeline."""
+
+import pytest
+
+from repro.util.errors import SimulationError, ValidationError
+from repro.util.timeline import Timeline
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        timeline = Timeline()
+        fired = []
+        timeline.schedule(2.0, lambda: fired.append("late"))
+        timeline.schedule(1.0, lambda: fired.append("early"))
+        timeline.run_all()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_insertion_order(self):
+        timeline = Timeline()
+        fired = []
+        for name in ["first", "second", "third"]:
+            timeline.schedule(1.0, lambda name=name: fired.append(name))
+        timeline.run_all()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        timeline = Timeline()
+        timeline.schedule(3.5, lambda: None)
+        timeline.run_all()
+        assert timeline.now == 3.5
+
+    def test_schedule_in_uses_relative_delay(self):
+        timeline = Timeline(start=10.0)
+        event = timeline.schedule_in(2.0, lambda: None)
+        assert event.time == 12.0
+
+    def test_scheduling_in_the_past_rejected(self):
+        timeline = Timeline(start=5.0)
+        with pytest.raises(ValidationError):
+            timeline.schedule(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        timeline = Timeline()
+        with pytest.raises(ValidationError):
+            timeline.schedule_in(-1.0, lambda: None)
+
+    def test_scheduling_at_current_time_allowed(self):
+        timeline = Timeline(start=5.0)
+        fired = []
+        timeline.schedule(5.0, lambda: fired.append(True))
+        timeline.run_all()
+        assert fired == [True]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        timeline = Timeline()
+        fired = []
+        event = timeline.schedule(1.0, lambda: fired.append(True))
+        event.cancel()
+        timeline.run_all()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        timeline = Timeline()
+        event = timeline.schedule(1.0, lambda: None)
+        timeline.schedule(2.0, lambda: None)
+        assert timeline.pending == 2
+        event.cancel()
+        assert timeline.pending == 1
+
+
+class TestRunUntil:
+    def test_run_until_executes_only_due_events(self):
+        timeline = Timeline()
+        fired = []
+        timeline.schedule(1.0, lambda: fired.append(1))
+        timeline.schedule(5.0, lambda: fired.append(5))
+        executed = timeline.run_until(3.0)
+        assert executed == 1
+        assert fired == [1]
+        assert timeline.now == 3.0
+
+    def test_run_until_includes_boundary_events(self):
+        timeline = Timeline()
+        fired = []
+        timeline.schedule(3.0, lambda: fired.append(3))
+        timeline.run_until(3.0)
+        assert fired == [3]
+
+    def test_run_until_cannot_go_backwards(self):
+        timeline = Timeline(start=5.0)
+        with pytest.raises(ValidationError):
+            timeline.run_until(4.0)
+
+    def test_events_can_schedule_more_events(self):
+        timeline = Timeline()
+        fired = []
+
+        def chain():
+            fired.append(timeline.now)
+            if timeline.now < 3.0:
+                timeline.schedule_in(1.0, chain)
+
+        timeline.schedule(1.0, chain)
+        timeline.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_runaway_loop_is_detected(self):
+        timeline = Timeline()
+
+        def reschedule():
+            timeline.schedule_in(0.0, reschedule)
+
+        timeline.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            timeline.run_until(1.0, max_events=100)
+
+    def test_peek_time_returns_next_event(self):
+        timeline = Timeline()
+        assert timeline.peek_time() is None
+        timeline.schedule(4.0, lambda: None)
+        assert timeline.peek_time() == 4.0
+
+    def test_fired_counter(self):
+        timeline = Timeline()
+        timeline.schedule(1.0, lambda: None)
+        timeline.schedule(2.0, lambda: None)
+        timeline.run_all()
+        assert timeline.fired == 2
+
+    def test_step_returns_none_when_empty(self):
+        assert Timeline().step() is None

@@ -1,0 +1,182 @@
+"""Tests for the streaming service, QoE aggregation and flash-crowd schedules."""
+
+import pytest
+
+from repro.dataplane.engine import DataPlaneEngine
+from repro.igp.network import compute_static_fibs
+from repro.monitoring.notifications import ClientRegistry, NotificationBus
+from repro.topologies.demo import BLUE_PREFIX, build_demo_scenario, build_demo_topology, demo_lies
+from repro.util.errors import SimulationError, ValidationError
+from repro.util.prefixes import Prefix
+from repro.util.timeline import Timeline
+from repro.util.units import mbps
+from repro.video.catalog import Video, VideoCatalog
+from repro.video.flashcrowd import ArrivalEvent, apply_schedule, demo_schedule, poisson_arrivals
+from repro.video.qoe import aggregate_qoe, session_qoe
+from repro.video.server import StreamingService, VideoServer
+
+
+def make_service(fibs=None, capacity=None):
+    topology = build_demo_topology() if capacity is None else build_demo_topology(capacity)
+    if fibs is None:
+        fibs = compute_static_fibs(topology)
+    timeline = Timeline()
+    engine = DataPlaneEngine(topology, lambda: fibs, timeline, sample_interval=1.0)
+    engine.start()
+    bus = NotificationBus()
+    service = StreamingService(engine, bus=bus)
+    catalog = VideoCatalog([Video(title="clip", bitrate=mbps(1), duration=20.0)])
+    service.add_server(VideoServer(name="S1", ingress="B", catalog=catalog))
+    service.add_server(VideoServer(name="S2", ingress="A", catalog=catalog))
+    return topology, timeline, engine, bus, service
+
+
+class TestStreamingService:
+    def test_start_session_creates_flow_and_notification(self):
+        _, _, engine, bus, service = make_service()
+        session = service.start_session("S1", "clip", BLUE_PREFIX)
+        assert session.flow_id in engine.flows
+        assert len(bus.published) == 1
+        assert bus.published[0].delta == 1
+        assert bus.published[0].ingress == "B"
+
+    def test_unknown_server_rejected(self):
+        _, _, _, _, service = make_service()
+        with pytest.raises(SimulationError):
+            service.start_session("S9", "clip", BLUE_PREFIX)
+
+    def test_duplicate_server_rejected(self):
+        _, _, _, _, service = make_service()
+        with pytest.raises(SimulationError):
+            service.add_server(VideoServer(name="S1", ingress="B", catalog=VideoCatalog.default()))
+
+    def test_server_on_unknown_router_rejected(self):
+        _, _, _, _, service = make_service()
+        with pytest.raises(SimulationError):
+            service.add_server(VideoServer(name="S3", ingress="ghost", catalog=VideoCatalog.default()))
+
+    def test_session_finishes_when_video_ends(self):
+        _, timeline, engine, bus, service = make_service()
+        session = service.start_session("S1", "clip", BLUE_PREFIX)
+        timeline.run_until(40.0)
+        assert session.client.finished
+        assert session.closed
+        assert session.flow_id not in engine.flows
+        # A departure notification was published at completion.
+        assert bus.published[-1].delta == -1
+
+    def test_end_session_manually(self):
+        _, _, engine, _, service = make_service()
+        session = service.start_session("S1", "clip", BLUE_PREFIX)
+        service.end_session(session.session_id)
+        assert session.flow_id not in engine.flows
+        with pytest.raises(SimulationError):
+            service.end_session(session.session_id)
+
+    def test_sessions_listing(self):
+        _, timeline, _, _, service = make_service()
+        service.start_session("S1", "clip", BLUE_PREFIX)
+        service.start_session("S2", "clip", BLUE_PREFIX)
+        assert len(service.active_sessions) == 2
+        timeline.run_until(40.0)
+        assert len(service.active_sessions) == 0
+        assert len(service.finished_sessions) == 2
+        assert len(service.all_sessions) == 2
+        assert len(service.clients()) == 2
+
+    def test_uncongested_playback_is_smooth(self):
+        _, timeline, _, _, service = make_service()
+        for _ in range(5):
+            service.start_session("S1", "clip", BLUE_PREFIX)
+        timeline.run_until(45.0)
+        report = aggregate_qoe(service.clients())
+        assert report.all_smooth
+        assert report.completed_sessions == 5
+
+    def test_congested_playback_stalls_without_fibbing(self):
+        _, timeline, _, _, service = make_service()
+        for _ in range(40):  # 40 Mbit/s demand through a 32 Mbit/s link
+            service.start_session("S1", "clip", BLUE_PREFIX)
+        timeline.run_until(60.0)
+        report = aggregate_qoe(service.clients())
+        assert report.stalled_sessions > 0
+        assert report.mean_rebuffer_ratio > 0.05
+
+    def test_fibbing_fibs_keep_same_load_smooth(self):
+        topology = build_demo_topology()
+        fibs = compute_static_fibs(topology, demo_lies())
+        _, timeline, _, _, service = make_service(fibs=fibs)
+        for _ in range(40):
+            service.start_session("S1", "clip", BLUE_PREFIX)
+        timeline.run_until(60.0)
+        report = aggregate_qoe(service.clients())
+        # Spread over B-R2 and B-R3, 40 Mbit/s fits comfortably.
+        assert report.stalled_sessions <= 2
+
+    def test_client_registry_follows_session_lifecycle(self):
+        _, timeline, _, bus, service = make_service()
+        registry = ClientRegistry()
+        registry.attach(bus)
+        service.start_session("S1", "clip", BLUE_PREFIX)
+        assert registry.total_clients() == 1
+        timeline.run_until(40.0)
+        assert registry.total_clients() == 0
+
+
+class TestQoeAggregation:
+    def test_aggregate_requires_sessions(self):
+        with pytest.raises(ValidationError):
+            aggregate_qoe([])
+
+    def test_session_qoe_fields(self):
+        _, timeline, _, _, service = make_service()
+        session = service.start_session("S1", "clip", BLUE_PREFIX)
+        timeline.run_until(40.0)
+        qoe = session_qoe(session.client)
+        assert qoe.completed
+        assert qoe.smooth
+        assert qoe.rebuffer_ratio == 0.0
+
+    def test_report_summary_mentions_sessions(self):
+        _, timeline, _, _, service = make_service()
+        service.start_session("S1", "clip", BLUE_PREFIX)
+        timeline.run_until(40.0)
+        report = aggregate_qoe(service.clients())
+        assert "1 sessions" in report.summary()
+        assert report.smooth_fraction == 1.0
+
+
+class TestSchedules:
+    def test_demo_schedule_matches_paper(self):
+        schedule = demo_schedule(build_demo_scenario())
+        assert [(event.time, event.server, event.count) for event in schedule] == [
+            (0.0, "S1", 1),
+            (15.0, "S1", 30),
+            (35.0, "S2", 31),
+        ]
+
+    def test_apply_schedule_starts_sessions_at_the_right_times(self):
+        _, timeline, _, _, service = make_service()
+        schedule = [
+            ArrivalEvent(time=1.0, server="S1", count=2, video_title="clip"),
+            ArrivalEvent(time=5.0, server="S2", count=3, video_title="clip"),
+        ]
+        total = apply_schedule(service, timeline, schedule, BLUE_PREFIX)
+        assert total == 5
+        timeline.run_until(2.0)
+        assert len(service.active_sessions) == 2
+        timeline.run_until(6.0)
+        assert len(service.active_sessions) == 5
+
+    def test_poisson_arrivals_deterministic_and_bounded(self):
+        first = poisson_arrivals("S1", rate_per_second=2.0, start=10.0, duration=20.0, seed=3)
+        second = poisson_arrivals("S1", rate_per_second=2.0, start=10.0, duration=20.0, seed=3)
+        assert [event.time for event in first] == [event.time for event in second]
+        assert all(10.0 <= event.time < 30.0 for event in first)
+        assert len(first) > 10  # expectation is 40 arrivals
+
+    def test_arrival_event_validation(self):
+        with pytest.raises(ValidationError):
+            ArrivalEvent(time=-1.0, server="S1", count=1)
+        with pytest.raises(ValidationError):
+            ArrivalEvent(time=0.0, server="S1", count=0)

@@ -1,0 +1,26 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast bench bench-quick golden
+
+## Tier-1 verification: the full test suite plus benchmarks-as-tests.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Tests only (skips the benchmarks directory).
+test-fast:
+	$(PYTHON) -m pytest tests/ -q
+
+## Full benchmark run; reproduced tables/series are appended under
+## benchmarks/results/<test-name>.txt.
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+## Reduced smoke-mode benchmarks (what CI runs).
+bench-quick:
+	BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/ -q
+
+## Regenerate the golden regression snapshots (only when a change is meant
+## to alter experiment numbers — say so in the commit message).
+golden:
+	$(PYTHON) tests/golden/generate.py

@@ -6,6 +6,10 @@ pytest-benchmark, each benchmark *prints* the reproduced rows/series and
 appends them to ``benchmarks/results/<name>.txt`` so the regenerated numbers
 are inspectable after a ``pytest benchmarks/ --benchmark-only`` run, whose
 default output capture would otherwise hide them.
+
+Setting ``BENCH_QUICK=1`` in the environment switches the suite into a
+reduced smoke mode (smaller sweeps and topologies) suitable for CI; the
+``make bench-quick`` target wraps this.
 """
 
 from __future__ import annotations

@@ -6,11 +6,15 @@ core size, several simultaneously rebalanced destinations, comparing the lie
 count produced by the raw LP requirements against the merged ones.
 """
 
+import os
+
 import pytest
 
 from repro.experiments.scaling import run_lie_scaling
 
-CORE_SIZES = (4, 6, 8)
+# BENCH_QUICK=1 (the CI smoke mode, see `make bench-quick`) trims the sweep.
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+CORE_SIZES = (4,) if QUICK else (4, 6, 8)
 
 
 def test_lie_count_scaling(benchmark, report):

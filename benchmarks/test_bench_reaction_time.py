@@ -7,12 +7,16 @@ falls back below the alarm threshold, plus how long the video sessions
 stalled in total.
 """
 
+import os
+
 import pytest
 
 from repro.core.policies import LoadBalancerPolicy
 from repro.experiments.fig2 import reaction_times, run_demo_timeseries
 
-POLL_INTERVALS = (0.5, 1.0, 2.0)
+# BENCH_QUICK=1 (the CI smoke mode, see `make bench-quick`) trims the sweep.
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+POLL_INTERVALS = (1.0,) if QUICK else (0.5, 1.0, 2.0)
 
 
 def test_reaction_time_vs_poll_interval(benchmark, report):

@@ -20,9 +20,10 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.core.augmentation import DEFAULT_EPSILON, synthesize_lies
 from repro.core.lies import LieRegistry, LieUpdate
 from repro.core.requirements import DestinationRequirement, RequirementSet
-from repro.igp.fib import Fib
+from repro.igp.fib import DEFAULT_MAX_ECMP, Fib
 from repro.igp.lsa import FakeNodeLsa, Lsa
 from repro.igp.network import IgpNetwork, compute_static_fibs
+from repro.igp.spf_cache import SpfCache, SpfCounters
 from repro.igp.topology import Topology
 from repro.util.errors import ControllerError
 from repro.util.prefixes import Prefix
@@ -32,13 +33,18 @@ __all__ = ["ControllerStats", "ControllerUpdate", "FibbingController"]
 
 @dataclass
 class ControllerStats:
-    """Control-plane overhead counters."""
+    """Control-plane overhead counters, plus SPF-cache effectiveness."""
 
     lies_injected: int = 0
     lies_withdrawn: int = 0
     messages_sent: int = 0
     bytes_sent: int = 0
     updates_applied: int = 0
+    spf_cache_hits: int = 0
+    spf_incremental_updates: int = 0
+    spf_full_recomputes: int = 0
+    spf_fallbacks: int = 0
+    fib_cache_hits: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict copy for reporting."""
@@ -48,6 +54,11 @@ class ControllerStats:
             "messages_sent": self.messages_sent,
             "bytes_sent": self.bytes_sent,
             "updates_applied": self.updates_applied,
+            "spf_cache_hits": self.spf_cache_hits,
+            "spf_incremental_updates": self.spf_incremental_updates,
+            "spf_full_recomputes": self.spf_full_recomputes,
+            "spf_fallbacks": self.spf_fallbacks,
+            "fib_cache_hits": self.fib_cache_hits,
         }
 
 
@@ -87,9 +98,15 @@ class FibbingController:
         self.network = network
         self.epsilon = epsilon
         self.registry = LieRegistry(controller=name)
-        self.stats = ControllerStats()
+        self._stats = ControllerStats()
         self.updates: List[ControllerUpdate] = []
         self._lie_counter = 0
+        # Two SPF cache lineages: the lie-free baseline view (used when
+        # synthesising lies) and the lied-to view (used to predict/verify the
+        # converged FIBs).  Keeping them separate means alternating between
+        # the two states never ping-pongs the delta log.
+        self.baseline_spf_cache = SpfCache()
+        self._lied_spf_cache = SpfCache()
         if network is not None and attachment is None:
             raise ControllerError(
                 "an attachment router must be given when the controller drives a live network"
@@ -97,6 +114,18 @@ class FibbingController:
         if attachment is not None and not topology.has_router(attachment):
             raise ControllerError(f"attachment router {attachment!r} is not in the topology")
         self.attachment = attachment
+
+    @property
+    def stats(self) -> ControllerStats:
+        """Controller counters; the SPF-cache fields are refreshed on read.
+
+        The refresh happens at read time because other components may share
+        the controller's caches (the load balancer hands
+        ``baseline_spf_cache`` to its merger) and advance the counters
+        without going through a controller method.
+        """
+        self._sync_spf_stats()
+        return self._stats
 
     # ------------------------------------------------------------------ #
     # Requirement enforcement
@@ -107,6 +136,38 @@ class FibbingController:
         baseline_fibs: Optional[Mapping[str, Fib]] = None,
     ) -> ControllerUpdate:
         """Make the network forward as ``requirement`` asks; returns the applied diff."""
+        if baseline_fibs is None:
+            baseline_fibs = self.baseline_fibs()
+        plan = self._plan_requirement(requirement, baseline_fibs)
+        return self._apply(plan)
+
+    def enforce(self, requirements: RequirementSet | Iterable[DestinationRequirement]) -> List[ControllerUpdate]:
+        """Enforce several requirements as one batched update wave.
+
+        The baseline FIBs are computed once (served from the controller's
+        SPF cache when nothing changed), the per-prefix lie diffs are planned
+        against the registry, and every resulting LSA is shipped to the
+        network in a single injection so the IGP routers see one burst and
+        run one SPF/FIB recomputation wave instead of one per requirement.
+        """
+        baseline_fibs = self.baseline_fibs()
+        # Plans are made and committed sequentially (so a later requirement
+        # for the same prefix sees the earlier one's lies and withdraws
+        # them); only the network sends are deferred into the single wave.
+        plans: List[LieUpdate] = []
+        now = self._now()
+        for requirement in requirements:
+            plan = self._plan_requirement(requirement, baseline_fibs)
+            self.registry.commit(plan, now=now)
+            plans.append(plan)
+        return self._apply_batch(plans, already_committed=True)
+
+    def _plan_requirement(
+        self,
+        requirement: DestinationRequirement,
+        baseline_fibs: Mapping[str, Fib],
+    ) -> LieUpdate:
+        """Synthesise the lies for one requirement and diff them vs the registry."""
         desired = synthesize_lies(
             topology=self.topology,
             requirement=requirement,
@@ -115,16 +176,13 @@ class FibbingController:
             baseline_fibs=baseline_fibs,
             name_factory=self._make_lie_name,
         )
-        plan = self.registry.plan_update(requirement.prefix, desired)
-        return self._apply(plan)
+        return self.registry.plan_update(requirement.prefix, desired)
 
-    def enforce(self, requirements: RequirementSet | Iterable[DestinationRequirement]) -> List[ControllerUpdate]:
-        """Enforce several requirements; the baseline FIBs are computed once."""
-        baseline_fibs = compute_static_fibs(self.topology)
-        applied = []
-        for requirement in requirements:
-            applied.append(self.enforce_requirement(requirement, baseline_fibs))
-        return applied
+    def baseline_fibs(self, max_ecmp: int = DEFAULT_MAX_ECMP) -> Dict[str, Fib]:
+        """Lie-free FIBs of the current topology, served from the SPF cache."""
+        return compute_static_fibs(
+            self.topology, max_ecmp=max_ecmp, cache=self.baseline_spf_cache
+        )
 
     def clear_prefix(self, prefix: Prefix) -> ControllerUpdate:
         """Withdraw every lie programmed for ``prefix``."""
@@ -146,9 +204,20 @@ class FibbingController:
         """How many lies are currently active (optionally per prefix)."""
         return self.registry.active_count(prefix)
 
-    def static_fibs(self, max_ecmp: int = 16) -> Dict[str, Fib]:
-        """Converged FIBs of every router under the currently active lies."""
-        return compute_static_fibs(self.topology, self.active_lies(), max_ecmp=max_ecmp)
+    def static_fibs(self, max_ecmp: int = DEFAULT_MAX_ECMP) -> Dict[str, Fib]:
+        """Converged FIBs of every router under the currently active lies.
+
+        Served through the controller's versioned SPF cache: when neither the
+        topology nor the lie set changed since the previous call the cached
+        FIB set is returned outright, and after a lie churn only the affected
+        SPF subtrees are repaired.
+        """
+        return compute_static_fibs(
+            self.topology,
+            self.active_lies(),
+            max_ecmp=max_ecmp,
+            cache=self._lied_spf_cache,
+        )
 
     def current_fibs(self) -> Dict[str, Fib]:
         """FIBs to verify against: the live network's if attached, else static."""
@@ -209,27 +278,59 @@ class FibbingController:
         return 0.0
 
     def _apply(self, plan: LieUpdate) -> ControllerUpdate:
+        return self._apply_batch([plan])[0]
+
+    def _apply_batch(
+        self, plans: List[LieUpdate], already_committed: bool = False
+    ) -> List[ControllerUpdate]:
+        """Ship several per-prefix plans as one LSA wave and commit them.
+
+        All inject/withdraw LSAs of the whole batch enter the network through
+        a single :meth:`~repro.igp.network.IgpNetwork.inject` call, so the
+        routers' SPF hold-down timers coalesce the burst into one
+        recomputation wave.
+        """
         now = self._now()
-        to_send: List[Lsa] = list(plan.to_inject)
-        to_send.extend(lsa.withdraw() for lsa in plan.to_withdraw)
+        to_send: List[Lsa] = []
+        plan_messages: List[List[Lsa]] = []
+        for plan in plans:
+            messages: List[Lsa] = list(plan.to_inject)
+            messages.extend(lsa.withdraw() for lsa in plan.to_withdraw)
+            plan_messages.append(messages)
+            to_send.extend(messages)
         if self.network is not None and to_send:
             assert self.attachment is not None  # enforced in __init__
             self.network.inject(to_send, at_router=self.attachment)
-        self.registry.commit(plan, now=now)
 
-        update = ControllerUpdate(
-            time=now,
-            injected=plan.to_inject,
-            withdrawn=plan.to_withdraw,
-            unchanged=plan.unchanged,
-        )
-        self.updates.append(update)
-        self.stats.updates_applied += 1
-        self.stats.lies_injected += len(plan.to_inject)
-        self.stats.lies_withdrawn += len(plan.to_withdraw)
-        self.stats.messages_sent += len(to_send)
-        self.stats.bytes_sent += sum(lsa.size_bytes for lsa in to_send)
-        return update
+        applied: List[ControllerUpdate] = []
+        for plan, messages in zip(plans, plan_messages):
+            if not already_committed:
+                self.registry.commit(plan, now=now)
+            update = ControllerUpdate(
+                time=now,
+                injected=plan.to_inject,
+                withdrawn=plan.to_withdraw,
+                unchanged=plan.unchanged,
+            )
+            self.updates.append(update)
+            applied.append(update)
+            self._stats.updates_applied += 1
+            self._stats.lies_injected += len(plan.to_inject)
+            self._stats.lies_withdrawn += len(plan.to_withdraw)
+            self._stats.messages_sent += len(messages)
+            self._stats.bytes_sent += sum(lsa.size_bytes for lsa in messages)
+        return applied
+
+    def _sync_spf_stats(self) -> None:
+        """Mirror the SPF cache counters into :class:`ControllerStats`."""
+        total = SpfCounters()
+        total.merge(self.baseline_spf_cache.counters)
+        total.merge(self._lied_spf_cache.counters)
+        self._stats.spf_cache_hits = total.hits
+        self._stats.spf_incremental_updates = total.incremental_updates
+        self._stats.spf_full_recomputes = total.full_recomputes
+        self._stats.spf_fallbacks = total.fallbacks
+        self._stats.fib_cache_hits = total.fib_cache_hits
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -85,6 +85,7 @@ class OnDemandLoadBalancer:
             controller.topology,
             tolerance=policy.merge_tolerance,
             max_entries=policy.max_ecmp_entries,
+            spf_cache=controller.baseline_spf_cache,
         )
         self.actions: List[RebalanceAction] = []
 

@@ -27,6 +27,7 @@ from repro.core.requirements import DestinationRequirement, RequirementSet
 from repro.core.splitting import approximate_ratios, split_error, weights_to_fractions
 from repro.igp.fib import Fib
 from repro.igp.network import compute_static_fibs
+from repro.igp.spf_cache import SpfCache
 from repro.igp.topology import Topology
 from repro.util.errors import ControllerError
 from repro.util.validation import check_non_negative
@@ -73,12 +74,17 @@ class LieMerger:
         topology: Topology,
         tolerance: float = 0.0,
         max_entries: int = 16,
+        spf_cache: Optional[SpfCache] = None,
     ) -> None:
         self.topology = topology
         self.tolerance = check_non_negative(tolerance, "tolerance")
         if max_entries < 1:
             raise ControllerError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        # Baseline (lie-free) FIBs are recomputed on every optimisation pass;
+        # sharing a versioned SPF cache (e.g. the controller's) makes the
+        # repeated passes of a reactive control loop nearly free.
+        self.spf_cache = spf_cache if spf_cache is not None else SpfCache()
 
     # ------------------------------------------------------------------ #
     # Single requirement
@@ -91,7 +97,7 @@ class LieMerger:
     ) -> DestinationRequirement:
         """Return an equivalent (or tolerance-close) requirement with fewer entries."""
         if baseline_fibs is None:
-            baseline_fibs = compute_static_fibs(self.topology)
+            baseline_fibs = compute_static_fibs(self.topology, cache=self.spf_cache)
         if report is None:
             report = MergeReport()
 
@@ -123,7 +129,7 @@ class LieMerger:
         self, requirements: RequirementSet
     ) -> Tuple[RequirementSet, MergeReport]:
         """Optimise every requirement of a set; returns the new set and a report."""
-        baseline_fibs = compute_static_fibs(self.topology)
+        baseline_fibs = compute_static_fibs(self.topology, cache=self.spf_cache)
         report = MergeReport()
         optimized = RequirementSet()
         for requirement in requirements:

@@ -17,7 +17,12 @@ the demo depends on:
     The computation graph a router derives from its LSDB (real and fake
     nodes, directed weighted edges, per-node prefix announcements).
 ``spf``
-    Dijkstra shortest-path-first with full ECMP next-hop sets.
+    Dijkstra shortest-path-first with full ECMP next-hop sets, plus the
+    incremental repair (``update_spf``) that re-relaxes only the subtree
+    affected by a batch of edge deltas.
+``spf_cache``
+    Per-source SPF results keyed by computation-graph version, replayed
+    through the dirty-edge delta log on change.
 ``rib`` / ``fib``
     Per-prefix routes and forwarding entries; the FIB resolves fake
     next-hops to physical ones, preserving multiplicity (this is what gives
@@ -43,8 +48,9 @@ from repro.igp.lsa import (
     FakeNodeLsa,
     LsaKey,
 )
-from repro.igp.graph import ComputationGraph
-from repro.igp.spf import ShortestPaths, compute_spf
+from repro.igp.graph import ComputationGraph, EdgeDelta
+from repro.igp.spf import ShortestPaths, compute_spf, update_spf
+from repro.igp.spf_cache import SpfCache, SpfCounters
 from repro.igp.rib import Route, Rib
 from repro.igp.fib import Fib, FibEntry, resolve_rib_to_fib
 from repro.igp.lsdb import LinkStateDatabase
@@ -64,8 +70,12 @@ __all__ = [
     "FakeNodeLsa",
     "LsaKey",
     "ComputationGraph",
+    "EdgeDelta",
     "ShortestPaths",
     "compute_spf",
+    "update_spf",
+    "SpfCache",
+    "SpfCounters",
     "Route",
     "Rib",
     "Fib",

@@ -22,7 +22,29 @@ from repro.igp.topology import Topology
 from repro.util.errors import TopologyError
 from repro.util.prefixes import Prefix
 
-__all__ = ["ComputationGraph", "FakeNodeInfo"]
+__all__ = ["ComputationGraph", "EdgeDelta", "FakeNodeInfo"]
+
+#: Bounds on the dirty-edge delta log.  When either is exceeded the oldest
+#: steps are dropped and caches pinned to versions before the drop must fall
+#: back to a full SPF recomputation.
+_MAX_LOG_STEPS = 256
+_MAX_LOG_EDGES = 4096
+
+
+@dataclass(frozen=True)
+class EdgeDelta:
+    """One directed-edge change between two graph versions.
+
+    ``old_cost is None`` means the edge did not exist before; ``new_cost is
+    None`` means it no longer exists.  Node insertions and removals are fully
+    described by the deltas of their incident edges (an isolated node never
+    affects SPF).
+    """
+
+    source: str
+    target: str
+    old_cost: Optional[float]
+    new_cost: Optional[float]
 
 
 @dataclass(frozen=True)
@@ -39,15 +61,121 @@ class ComputationGraph:
 
     def __init__(self) -> None:
         self._edges: Dict[str, Dict[str, float]] = {}
+        self._redges: Dict[str, Dict[str, float]] = {}
         self._announcements: Dict[str, Dict[Prefix, float]] = {}
         self._fake_nodes: Dict[str, FakeNodeInfo] = {}
+        self._version = 0
+        # Dirty-edge delta log: (version-after-step, edge deltas of the step).
+        # ``_history_base`` is the oldest version the log can still replay
+        # from; ``deltas_since`` answers ``None`` for anything older.
+        # ``_recording`` is switched off while the builder classmethods run —
+        # a freshly built graph has no usable history, so logging every
+        # construction edge only to discard it would dominate rebuild time.
+        self._delta_log: List[Tuple[int, Tuple[EdgeDelta, ...]]] = []
+        self._log_edges = 0
+        self._history_base = 0
+        self._recording = True
+
+    # ------------------------------------------------------------------ #
+    # Versioning / delta log
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every effective mutation."""
+        return self._version
+
+    def _record(self, deltas: Tuple[EdgeDelta, ...]) -> None:
+        """Bump the version and append one delta step to the log."""
+        self._version += 1
+        if not self._recording:
+            return
+        self._delta_log.append((self._version, deltas))
+        self._log_edges += len(deltas)
+        self._trim_log()
+
+    def _trim_log(self) -> None:
+        while self._delta_log and (
+            len(self._delta_log) > _MAX_LOG_STEPS or self._log_edges > _MAX_LOG_EDGES
+        ):
+            version, step = self._delta_log.pop(0)
+            self._log_edges -= len(step)
+            self._history_base = version
+
+    def _reset_history(self) -> None:
+        """Forget the construction-time log (used by the builder classmethods)."""
+        self._version = 0
+        self._delta_log = []
+        self._log_edges = 0
+        self._history_base = 0
+        self._recording = True
+
+    def deltas_since(self, version: int) -> Optional[Tuple[EdgeDelta, ...]]:
+        """Edge changes between graph state ``version`` and now.
+
+        Returns ``()`` when the graph is unchanged, and ``None`` when the
+        delta log no longer reaches back far enough (the caller must then
+        recompute from scratch).
+        """
+        if version == self._version:
+            return ()
+        if version < self._history_base or version > self._version:
+            return None
+        collected: List[EdgeDelta] = []
+        for step_version, step in self._delta_log:
+            if step_version > version:
+                collected.extend(step)
+        return tuple(collected)
+
+    def continue_from(self, previous: "ComputationGraph") -> None:
+        """Chain this (freshly built) graph to ``previous``'s version history.
+
+        When the two states are identical the previous version and delta log
+        are adopted unchanged, so caches keyed by version keep hitting.
+        Otherwise the edge diff is appended as a single delta step on top of
+        the previous history.  This is how rebuild-from-scratch call sites
+        (``LinkStateDatabase.graph``, ``compute_static_fibs``) get
+        incremental SPF without mutating a live graph in place.
+        """
+        if previous is self:
+            return
+        deltas: List[EdgeDelta] = []
+        for source, targets in previous._edges.items():
+            new_targets = self._edges.get(source, {})
+            for target, old_cost in targets.items():
+                new_cost = new_targets.get(target)
+                if new_cost is None or new_cost != old_cost:
+                    deltas.append(EdgeDelta(source, target, old_cost, new_cost))
+        for source, targets in self._edges.items():
+            old_targets = previous._edges.get(source, {})
+            for target, cost in targets.items():
+                if target not in old_targets:
+                    deltas.append(EdgeDelta(source, target, None, cost))
+        same_state = (
+            not deltas
+            and self._edges == previous._edges
+            and self._announcements == previous._announcements
+            and self._fake_nodes == previous._fake_nodes
+        )
+        self._history_base = previous._history_base
+        self._delta_log = list(previous._delta_log)
+        self._log_edges = previous._log_edges
+        if same_state:
+            self._version = previous._version
+        else:
+            self._version = previous._version + 1
+            self._delta_log.append((self._version, tuple(deltas)))
+            self._log_edges += len(deltas)
+            self._trim_log()
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
     def add_node(self, name: str) -> None:
         """Ensure ``name`` exists in the graph (idempotent)."""
-        self._edges.setdefault(name, {})
+        if name not in self._edges:
+            self._edges[name] = {}
+            self._redges[name] = {}
+            self._version += 1
 
     def add_edge(self, source: str, target: str, cost: float) -> None:
         """Add (or overwrite) the directed edge ``source -> target`` at ``cost``."""
@@ -55,7 +183,22 @@ class ComputationGraph:
             raise TopologyError(f"edge {source}->{target} must have positive cost, got {cost}")
         self.add_node(source)
         self.add_node(target)
-        self._edges[source][target] = float(cost)
+        cost = float(cost)
+        old = self._edges[source].get(target)
+        if old == cost:
+            return
+        self._edges[source][target] = cost
+        self._redges[target][source] = cost
+        self._record((EdgeDelta(source, target, old, cost),))
+
+    def remove_edge(self, source: str, target: str) -> None:
+        """Remove the directed edge ``source -> target`` (raises if absent)."""
+        try:
+            old = self._edges[source].pop(target)
+        except KeyError:
+            raise TopologyError(f"no edge {source}->{target}") from None
+        del self._redges[target][source]
+        self._record((EdgeDelta(source, target, old, None),))
 
     def announce(self, node: str, prefix: Prefix, cost: float) -> None:
         """Record that ``node`` announces ``prefix`` at metric ``cost``.
@@ -70,6 +213,7 @@ class ComputationGraph:
         current = announcements.get(prefix)
         if current is None or cost < current:
             announcements[prefix] = float(cost)
+            self._version += 1
 
     def add_fake_node(
         self,
@@ -96,6 +240,26 @@ class ComputationGraph:
         self._fake_nodes[name] = FakeNodeInfo(
             name=name, anchor=anchor, forwarding_address=forwarding_address
         )
+        self._version += 1
+
+    def remove_fake_node(self, name: str) -> None:
+        """Remove a fake node, its fake links and its announcements."""
+        if name not in self._fake_nodes:
+            raise TopologyError(f"{name!r} is not a fake node")
+        del self._fake_nodes[name]
+        deltas: List[EdgeDelta] = []
+        for target, cost in list(self._edges.get(name, {}).items()):
+            del self._edges[name][target]
+            del self._redges[target][name]
+            deltas.append(EdgeDelta(name, target, cost, None))
+        for source, cost in list(self._redges.get(name, {}).items()):
+            del self._edges[source][name]
+            del self._redges[name][source]
+            deltas.append(EdgeDelta(source, name, cost, None))
+        self._edges.pop(name, None)
+        self._redges.pop(name, None)
+        self._announcements.pop(name, None)
+        self._record(tuple(deltas))
 
     # ------------------------------------------------------------------ #
     # Builders
@@ -109,6 +273,7 @@ class ComputationGraph:
         controller vouches for the link.
         """
         graph = cls()
+        graph._recording = False  # no usable history during construction
         router_lsas: List[RouterLsa] = []
         prefix_lsas: List[PrefixLsa] = []
         fake_lsas: List[FakeNodeLsa] = []
@@ -146,6 +311,7 @@ class ComputationGraph:
                     prefix_cost=lsa.prefix_cost,
                     forwarding_address=lsa.forwarding_address,
                 )
+        graph._reset_history()
         return graph
 
     @classmethod
@@ -156,6 +322,7 @@ class ComputationGraph:
     ) -> "ComputationGraph":
         """Build the graph straight from the physical topology plus optional lies."""
         graph = cls()
+        graph._recording = False  # no usable history during construction
         for router in topology.routers:
             graph.add_node(router)
         for link in topology.links:
@@ -174,6 +341,7 @@ class ComputationGraph:
                 prefix_cost=lie.prefix_cost,
                 forwarding_address=lie.forwarding_address,
             )
+        graph._reset_history()
         return graph
 
     # ------------------------------------------------------------------ #
@@ -213,6 +381,13 @@ class ComputationGraph:
         """Outgoing edges of ``node`` as a ``{neighbor: cost}`` mapping."""
         try:
             return self._edges[node]
+        except KeyError:
+            raise TopologyError(f"unknown node {node!r}") from None
+
+    def predecessors_of(self, node: str) -> Mapping[str, float]:
+        """Incoming edges of ``node`` as a ``{neighbor: cost}`` mapping."""
+        try:
+            return self._redges[node]
         except KeyError:
             raise TopologyError(f"unknown node {node!r}") from None
 

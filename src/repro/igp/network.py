@@ -27,6 +27,7 @@ from repro.igp.lsa import FakeNodeLsa, Lsa, PrefixLsa, RouterLsa
 from repro.igp.rib import compute_rib
 from repro.igp.router import RouterProcess, RouterTimers
 from repro.igp.spf import compute_spf
+from repro.igp.spf_cache import SpfCache, SpfCounters
 from repro.igp.topology import Topology
 from repro.util.errors import TopologyError
 from repro.util.timeline import Timeline
@@ -196,6 +197,21 @@ class IgpNetwork:
         """Flooding counters (messages, bytes, duplicates) for overhead accounting."""
         return self.fabric.stats.snapshot()
 
+    @property
+    def spf_stats(self) -> Dict[str, int]:
+        """Aggregated SPF-cache counters of every router process.
+
+        ``spf_cache_hits`` are runs served without recomputation,
+        ``spf_incremental_updates`` replayed only the dirty-edge deltas,
+        ``spf_full_recomputes`` ran Dijkstra from scratch and
+        ``spf_fallbacks`` are incremental attempts that bailed out to a full
+        run because the change touched too much of the graph.
+        """
+        total = SpfCounters()
+        for process in self.routers.values():
+            total.merge(process.spf_cache.counters)
+        return total.snapshot()
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"IgpNetwork(topology={self.topology.name!r}, routers={len(self.routers)}, "
@@ -207,6 +223,7 @@ def compute_static_fibs(
     topology: Topology,
     lies: Iterable[FakeNodeLsa] = (),
     max_ecmp: int = DEFAULT_MAX_ECMP,
+    cache: Optional[SpfCache] = None,
 ) -> Dict[str, Fib]:
     """Compute the converged FIB of every router without event simulation.
 
@@ -214,12 +231,31 @@ def compute_static_fibs(
     (physical topology plus the given lies), exactly what the event-driven
     control plane converges to.  Baselines and static benchmarks use it to
     avoid paying the flooding simulation cost.
+
+    When a :class:`~repro.igp.spf_cache.SpfCache` is supplied, successive
+    calls pay only for what changed: the rebuilt graph is chained to the
+    cache's version lineage, per-source SPF runs are repaired incrementally
+    from the dirty-edge deltas, and a call at an unchanged version returns
+    the previously resolved FIB set outright.
     """
     lies = list(lies)
     graph = ComputationGraph.from_topology(topology, lies)
-    fibs: Dict[str, Fib] = {}
+    if cache is None:
+        fibs: Dict[str, Fib] = {}
+        for router in topology.routers:
+            spf = compute_spf(graph, router)
+            rib = compute_rib(graph, router, spf)
+            fibs[router] = resolve_rib_to_fib(graph, rib, max_ecmp=max_ecmp)
+        return fibs
+
+    graph = cache.observe(graph)
+    cached = cache.cached_fibs(graph.version, max_ecmp)
+    if cached is not None:
+        return dict(cached)
+    fibs = {}
     for router in topology.routers:
-        spf = compute_spf(graph, router)
+        spf = cache.spf(graph, router)
         rib = compute_rib(graph, router, spf)
         fibs[router] = resolve_rib_to_fib(graph, rib, max_ecmp=max_ecmp)
-    return fibs
+    cache.store_fibs(graph.version, max_ecmp, fibs)
+    return dict(fibs)

@@ -14,14 +14,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.igp.graph import ComputationGraph
-from repro.igp.spf import ShortestPaths, compute_spf
+from repro.igp.spf import ShortestPaths, compute_spf, cost_tolerance
 from repro.util.errors import RoutingError
 from repro.util.prefixes import Prefix
 
 __all__ = ["RouteContribution", "Route", "Rib", "compute_rib"]
-
-#: Tolerance used when comparing total route costs (see spf._COST_EPSILON).
-_COST_EPSILON = 1e-9
 
 
 @dataclass(frozen=True)
@@ -130,8 +127,10 @@ def compute_rib(
             continue
 
         contributions: List[RouteContribution] = []
+        # Same relative tolerance as SPF's ECMP detection, so announcers tied
+        # at large path costs are not dropped over float rounding.
         for announcer, total in sorted(candidates):
-            if total > best_cost + _COST_EPSILON:
+            if total > best_cost + cost_tolerance(best_cost):
                 continue
             announcer_is_fake = graph.is_fake(announcer)
             if announcer == router:

@@ -18,7 +18,7 @@ from repro.igp.flooding import FloodingFabric
 from repro.igp.lsa import Lsa
 from repro.igp.lsdb import LinkStateDatabase
 from repro.igp.rib import Rib, compute_rib
-from repro.igp.spf import compute_spf
+from repro.igp.spf_cache import SpfCache
 from repro.util.timeline import Timeline
 from repro.util.validation import check_non_negative
 
@@ -63,7 +63,13 @@ class RouterProcess:
         self.rib: Optional[Rib] = None
         self.fib_version = 0
         self.spf_runs = 0
+        #: Versioned SPF result cache: SPF runs triggered by LSDB changes that
+        #: leave the computation graph identical (refreshes) are free, and
+        #: changed graphs are repaired from the dirty-edge deltas instead of
+        #: rerunning Dijkstra from scratch.
+        self.spf_cache = SpfCache()
         self._spf_scheduled = False
+        self._fib_graph_version: Optional[int] = None
         self._fib_listeners: List[Callable[[str, Fib], None]] = []
 
     # ------------------------------------------------------------------ #
@@ -102,17 +108,28 @@ class RouterProcess:
             self.timers.spf_delay, self._run_spf, label=f"spf:{self.name}"
         )
 
+    @property
+    def graph_version(self) -> Optional[int]:
+        """Version of the computation graph behind the last computed FIB."""
+        return self._fib_graph_version
+
     def _run_spf(self) -> None:
         self._spf_scheduled = False
         self.spf_runs += 1
-        graph = self.lsdb.graph()
+        graph = self.spf_cache.observe(self.lsdb.graph())
         if not graph.has_node(self.name):
             # The router has not yet heard its own router LSA; nothing to compute.
             return
-        spf = compute_spf(graph, self.name)
+        if self._fib_graph_version == graph.version:
+            # The LSDB change did not alter the computation graph (e.g. an
+            # LSA refresh): the installed or pending FIB is already correct.
+            self.spf_cache.counters.hits += 1
+            return
+        spf = self.spf_cache.spf(graph, self.name)
         rib = compute_rib(graph, self.name, spf)
         fib = resolve_rib_to_fib(graph, rib, max_ecmp=self.max_ecmp)
         self.rib = rib
+        self._fib_graph_version = graph.version
         self.timeline.schedule_in(
             self.timers.fib_delay,
             lambda: self._install_fib(fib),

@@ -10,13 +10,17 @@ deployment: it only ever sees (interface, octet-counter) pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.dataplane.engine import DataPlaneEngine
+from repro.igp.spf_cache import SpfCounters
 from repro.igp.topology import Topology
 from repro.util.errors import MonitoringError
 
-__all__ = ["InterfaceStat", "SnmpAgent", "build_agents"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.igp.network import IgpNetwork
+
+__all__ = ["InterfaceStat", "SnmpAgent", "build_agents", "collect_spf_counters"]
 
 
 @dataclass(frozen=True)
@@ -65,3 +69,21 @@ class SnmpAgent:
 def build_agents(topology: Topology, engine: DataPlaneEngine) -> Dict[str, SnmpAgent]:
     """One SNMP agent per router of the topology."""
     return {router: SnmpAgent(router, topology, engine) for router in topology.routers}
+
+
+def collect_spf_counters(network: "IgpNetwork") -> Dict[str, Dict[str, int]]:
+    """Per-router SPF cache counters, plus the domain-wide aggregate.
+
+    This is the monitoring-plane view of the incremental SPF engine: for
+    every router it reports how many SPF triggers were served from cache,
+    repaired incrementally from the dirty-edge delta log, recomputed in full,
+    or fell back after an oversized delta.  The ``"total"`` entry matches
+    :attr:`repro.igp.network.IgpNetwork.spf_stats`.
+    """
+    per_router: Dict[str, Dict[str, int]] = {}
+    total = SpfCounters()
+    for name, process in sorted(network.routers.items()):
+        per_router[name] = process.spf_cache.counters.snapshot()
+        total.merge(process.spf_cache.counters)
+    per_router["total"] = total.snapshot()
+    return per_router

@@ -19,7 +19,6 @@ from repro.core.policies import LoadBalancerPolicy
 from repro.core.requirements import DestinationRequirement, RequirementSet
 from repro.dataplane.demand import TrafficMatrix
 from repro.dataplane.forwarding import route_fractional
-from repro.igp.network import compute_static_fibs
 from repro.igp.topology import Topology
 from repro.te.base import TrafficEngineeringScheme
 from repro.te.metrics import TeOutcome
@@ -62,9 +61,7 @@ class FibbingTe(TrafficEngineeringScheme):
         controller.enforce(reduced)
         self.controller = controller
 
-        fibs = compute_static_fibs(
-            topology, controller.active_lies(), max_ecmp=self.policy.max_ecmp_entries
-        )
+        fibs = controller.static_fibs(max_ecmp=self.policy.max_ecmp_entries)
         outcome = route_fractional(fibs, demands)
         return TeOutcome(
             scheme=self.name,

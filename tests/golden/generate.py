@@ -1,0 +1,79 @@
+"""Regenerate the golden regression snapshots in this directory.
+
+The snapshots pin down externally observable numbers of the experiments —
+the Fig. 1 link-load vectors and the optimality-gap study — so that engine
+refactors (e.g. the incremental SPF cache) cannot silently drift behaviour.
+
+Run from the repository root:
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+Only regenerate when a change is *supposed* to alter these numbers, and say
+so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+
+
+def fig1_snapshot() -> dict:
+    from repro.experiments.fig1 import run_fig1
+
+    states = {
+        "baseline": run_fig1(with_fibbing=False),
+        "paper_lies": run_fig1(with_fibbing=True),
+        "controller_pipeline": run_fig1(with_fibbing=True, use_controller_pipeline=True),
+    }
+    return {
+        key: {
+            "label": result.label,
+            "max_load": result.max_load,
+            "lie_count": result.lie_count,
+            "split_at_a": result.split_at_a,
+            "split_at_b": result.split_at_b,
+            "link_loads": {
+                f"{source}->{target}": load
+                for (source, target), load in sorted(result.link_loads.items())
+            },
+        }
+        for key, result in states.items()
+    }
+
+
+def optimality_snapshot() -> dict:
+    from repro.experiments.optimality import run_optimality_study
+
+    rows = run_optimality_study(seeds=(0, 1, 2), num_routers=10, destinations=3)
+    return {
+        "rows": [
+            {
+                "seed": row.seed,
+                "scheme": row.scheme,
+                "max_utilization": row.max_utilization,
+                "optimal_utilization": row.optimal_utilization,
+                "gap": row.gap,
+                "delivery_fraction": row.delivery_fraction,
+                "control_state": row.control_state,
+            }
+            for row in rows
+        ]
+    }
+
+
+def main() -> None:
+    snapshots = {
+        "fig1_loads.json": fig1_snapshot(),
+        "optimality_gaps.json": optimality_snapshot(),
+    }
+    for name, payload in snapshots.items():
+        path = GOLDEN_DIR / name
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,29 @@ class TestStaticController:
         assert update.is_noop
         assert controller.stats.messages_sent == 3  # unchanged
 
+    def test_batched_enforce_handles_duplicate_prefixes(self):
+        # Later requirements for the same prefix must see (and withdraw) the
+        # lies of earlier ones in the same batch, exactly like sequential
+        # enforce_requirement calls would.
+        controller = FibbingController(build_demo_topology())
+        smaller = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"B": {"R2": 1, "R3": 1}}
+        )
+        updates = controller.enforce([PAPER_REQUIREMENT, smaller])
+        assert len(updates) == 2
+        assert len(updates[1].withdrawn) == 2
+        assert controller.active_lie_count(BLUE_PREFIX) == 1
+
+        sequential = FibbingController(build_demo_topology())
+        sequential.enforce_requirement(PAPER_REQUIREMENT)
+        sequential.enforce_requirement(smaller)
+        batch_fibs = controller.static_fibs()
+        seq_fibs = sequential.static_fibs()
+        for router in ("A", "B"):
+            assert batch_fibs[router].split_ratios(BLUE_PREFIX) == seq_fibs[
+                router
+            ].split_ratios(BLUE_PREFIX)
+
     def test_shrinking_requirement_withdraws_lies(self):
         controller = FibbingController(build_demo_topology())
         controller.enforce_requirement(PAPER_REQUIREMENT)

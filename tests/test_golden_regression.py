@@ -1,0 +1,70 @@
+"""Golden regression tests: the experiments must reproduce the seed numbers.
+
+The JSON snapshots under ``tests/golden/`` were captured from the original
+(pre-incremental-SPF) engine.  These tests rerun the Fig. 1 experiment and
+the optimality-gap study and require bit-for-bit identical numbers, so any
+engine refactor that silently changes routing behaviour is caught here
+rather than in a benchmark eyeball.  Regenerate with
+``PYTHONPATH=src python tests/golden/generate.py`` only when a change is
+*meant* to move these numbers.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.optimality import run_optimality_study
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def load_golden(name):
+    return json.loads((GOLDEN_DIR / name).read_text())
+
+
+class TestFig1Golden:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load_golden("fig1_loads.json")
+
+    @pytest.mark.parametrize(
+        "key,kwargs",
+        [
+            ("baseline", dict(with_fibbing=False)),
+            ("paper_lies", dict(with_fibbing=True)),
+            (
+                "controller_pipeline",
+                dict(with_fibbing=True, use_controller_pipeline=True),
+            ),
+        ],
+    )
+    def test_link_load_vectors_are_bit_identical(self, golden, key, kwargs):
+        expected = golden[key]
+        result = run_fig1(**kwargs)
+        assert result.label == expected["label"]
+        assert result.lie_count == expected["lie_count"]
+        assert result.max_load == expected["max_load"]
+        assert result.split_at_a == expected["split_at_a"]
+        assert result.split_at_b == expected["split_at_b"]
+        actual_loads = {
+            f"{source}->{target}": load
+            for (source, target), load in result.link_loads.items()
+        }
+        assert actual_loads == expected["link_loads"]
+
+
+class TestOptimalityGolden:
+    def test_gap_numbers_are_bit_identical(self):
+        expected = load_golden("optimality_gaps.json")["rows"]
+        rows = run_optimality_study(seeds=(0, 1, 2), num_routers=10, destinations=3)
+        assert len(rows) == len(expected)
+        for row, want in zip(rows, expected):
+            assert row.seed == want["seed"]
+            assert row.scheme == want["scheme"]
+            assert row.max_utilization == want["max_utilization"]
+            assert row.optimal_utilization == want["optimal_utilization"]
+            assert row.gap == want["gap"]
+            assert row.delivery_fraction == want["delivery_fraction"]
+            assert row.control_state == want["control_state"]

@@ -5,7 +5,9 @@ import pytest
 from repro.igp.convergence import ConvergenceTracker
 from repro.igp.network import IgpNetwork, compute_static_fibs
 from repro.igp.router import RouterTimers
+from repro.igp.spf_cache import SpfCache
 from repro.igp.topology import Topology
+from repro.monitoring.counters import collect_spf_counters
 from repro.topologies.demo import BLUE_PREFIX, build_demo_topology, demo_lies
 from repro.util.errors import TopologyError
 from repro.util.timeline import Timeline
@@ -114,6 +116,131 @@ class TestConvergenceTracker:
 
         with pytest.raises(SimulationError):
             tracker.close_episode()
+
+
+class TestSpfCacheInvalidation:
+    """The versioned SPF caches must bump on every event and never go stale."""
+
+    def graph_versions(self, network):
+        return {name: process.graph_version for name, process in network.routers.items()}
+
+    def test_graph_version_bumps_on_inject(self, converged_network):
+        before = self.graph_versions(converged_network)
+        converged_network.inject(demo_lies(), at_router="R3")
+        converged_network.converge()
+        after = self.graph_versions(converged_network)
+        for router, version in after.items():
+            assert version > before[router], router
+
+    def test_graph_version_bumps_on_fail_link(self, converged_network):
+        before = self.graph_versions(converged_network)
+        converged_network.fail_link("R1", "R4")
+        converged_network.converge()
+        after = self.graph_versions(converged_network)
+        for router, version in after.items():
+            assert version > before[router], router
+
+    def test_graph_version_bumps_on_change_weight(self, converged_network):
+        before = self.graph_versions(converged_network)
+        converged_network.change_weight("A", "B", 7)
+        converged_network.converge()
+        after = self.graph_versions(converged_network)
+        for router, version in after.items():
+            assert version > before[router], router
+
+    def test_no_stale_fibs_after_event_sequence(self, converged_network):
+        """Cached SPF state must never leak into the FIBs after any event."""
+        converged_network.inject(demo_lies(), at_router="R3")
+        converged_network.converge()
+        converged_network.change_weight("A", "R1", 5)
+        converged_network.converge()
+        converged_network.fail_link("B", "R2")
+        converged_network.converge()
+        oracle = compute_static_fibs(converged_network.topology, demo_lies())
+        for router in converged_network.topology.routers:
+            live = converged_network.fib_of(router)
+            expected = oracle[router]
+            assert set(live.prefixes) == set(expected.prefixes), router
+            for prefix in expected.prefixes:
+                assert live.split_ratios(prefix) == expected.split_ratios(prefix), (
+                    router,
+                    prefix,
+                )
+
+    def test_lie_injection_is_repaired_incrementally(self, converged_network):
+        full_before = converged_network.spf_stats["spf_full_recomputes"]
+        converged_network.inject(demo_lies(), at_router="R3")
+        converged_network.converge()
+        stats = converged_network.spf_stats
+        # Adding fake nodes only grows the graph: no router needed a full rerun.
+        assert stats["spf_full_recomputes"] == full_before
+        assert stats["spf_incremental_updates"] >= len(converged_network.routers)
+
+    def test_spf_counters_reconcile_with_runs_and_flooding(self, converged_network):
+        converged_network.inject(demo_lies(), at_router="R3")
+        converged_network.converge()
+        converged_network.change_weight("A", "B", 9)
+        converged_network.converge()
+        stats = converged_network.spf_stats
+        lookups = (
+            stats["spf_cache_hits"]
+            + stats["spf_incremental_updates"]
+            + stats["spf_full_recomputes"]
+            + stats["spf_fallbacks"]
+        )
+        total_runs = sum(p.spf_runs for p in converged_network.routers.values())
+        # Every SPF trigger is served by at most one cache lookup, and SPF
+        # triggers only come from effective LSDB changes, which in turn only
+        # come from delivered (non-duplicate) floods or self-origination.
+        assert 0 < lookups <= total_runs
+        flooding = converged_network.flooding_stats
+        lsdb_changes = sum(len(p.lsdb) for p in converged_network.routers.values())
+        assert flooding["deliveries"] >= lookups - lsdb_changes
+
+    def test_monitoring_view_matches_network_aggregate(self, converged_network):
+        converged_network.inject(demo_lies(), at_router="R3")
+        converged_network.converge()
+        per_router = collect_spf_counters(converged_network)
+        aggregate = converged_network.spf_stats
+        assert per_router["total"] == aggregate
+        for key, value in aggregate.items():
+            assert value == sum(
+                counters[key] for name, counters in per_router.items() if name != "total"
+            )
+
+    def test_refresh_without_graph_change_is_a_pure_hit(self, converged_network):
+        router = converged_network.routers["A"]
+        hits_before = router.spf_cache.counters.hits
+        fib_version_before = router.fib_version
+        # Re-originating the same router LSA (sequence bump, same content)
+        # must not recompute or reinstall anything.
+        router.originate([converged_network._router_lsa("A")])
+        converged_network.converge()
+        assert router.spf_cache.counters.hits > hits_before
+        assert router.fib_version == fib_version_before
+
+    def test_static_cache_serves_fib_set_without_recompute(self):
+        topology = build_demo_topology()
+        cache = SpfCache()
+        first = compute_static_fibs(topology, cache=cache)
+        full_after_first = cache.counters.full_recomputes
+        second = compute_static_fibs(topology, cache=cache)
+        assert cache.counters.fib_cache_hits == 1
+        assert cache.counters.full_recomputes == full_after_first
+        for router in topology.routers:
+            for prefix in first[router].prefixes:
+                assert first[router].split_ratios(prefix) == second[router].split_ratios(prefix)
+
+    def test_static_cache_never_serves_stale_results(self):
+        topology = build_demo_topology()
+        cache = SpfCache()
+        compute_static_fibs(topology, cache=cache)
+        topology.set_weight("A", "B", 50)
+        cached = compute_static_fibs(topology, cache=cache)
+        fresh = compute_static_fibs(topology)
+        for router in topology.routers:
+            for prefix in fresh[router].prefixes:
+                assert cached[router].split_ratios(prefix) == fresh[router].split_ratios(prefix)
 
 
 class TestStaticComputation:

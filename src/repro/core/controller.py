@@ -23,6 +23,7 @@ from repro.core.requirements import DestinationRequirement, RequirementSet
 from repro.igp.fib import DEFAULT_MAX_ECMP, Fib
 from repro.igp.lsa import FakeNodeLsa, Lsa
 from repro.igp.network import IgpNetwork, compute_static_fibs
+from repro.igp.rib_cache import RibCache, RibCounters
 from repro.igp.spf_cache import SpfCache, SpfCounters
 from repro.igp.topology import Topology
 from repro.util.errors import ControllerError
@@ -33,7 +34,7 @@ __all__ = ["ControllerStats", "ControllerUpdate", "FibbingController"]
 
 @dataclass
 class ControllerStats:
-    """Control-plane overhead counters, plus SPF-cache effectiveness."""
+    """Control-plane overhead counters, plus SPF/RIB-cache effectiveness."""
 
     lies_injected: int = 0
     lies_withdrawn: int = 0
@@ -45,6 +46,12 @@ class ControllerStats:
     spf_full_recomputes: int = 0
     spf_fallbacks: int = 0
     fib_cache_hits: int = 0
+    rib_cache_hits: int = 0
+    rib_incremental_updates: int = 0
+    rib_full_recomputes: int = 0
+    rib_fallbacks: int = 0
+    rib_prefixes_repaired: int = 0
+    rib_prefixes_reused: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict copy for reporting."""
@@ -59,6 +66,12 @@ class ControllerStats:
             "spf_full_recomputes": self.spf_full_recomputes,
             "spf_fallbacks": self.spf_fallbacks,
             "fib_cache_hits": self.fib_cache_hits,
+            "rib_cache_hits": self.rib_cache_hits,
+            "rib_incremental_updates": self.rib_incremental_updates,
+            "rib_full_recomputes": self.rib_full_recomputes,
+            "rib_fallbacks": self.rib_fallbacks,
+            "rib_prefixes_repaired": self.rib_prefixes_repaired,
+            "rib_prefixes_reused": self.rib_prefixes_reused,
         }
 
 
@@ -101,12 +114,13 @@ class FibbingController:
         self._stats = ControllerStats()
         self.updates: List[ControllerUpdate] = []
         self._lie_counter = 0
-        # Two SPF cache lineages: the lie-free baseline view (used when
+        # Two route-cache lineages: the lie-free baseline view (used when
         # synthesising lies) and the lied-to view (used to predict/verify the
         # converged FIBs).  Keeping them separate means alternating between
-        # the two states never ping-pongs the delta log.
-        self.baseline_spf_cache = SpfCache()
-        self._lied_spf_cache = SpfCache()
+        # the two states never ping-pongs the delta log.  Each RibCache owns
+        # its SpfCache, so one object covers the SPF -> RIB -> FIB pipeline.
+        self.baseline_route_cache = RibCache()
+        self._lied_route_cache = RibCache()
         if network is not None and attachment is None:
             raise ControllerError(
                 "an attachment router must be given when the controller drives a live network"
@@ -116,12 +130,17 @@ class FibbingController:
         self.attachment = attachment
 
     @property
+    def baseline_spf_cache(self) -> SpfCache:
+        """The baseline lineage's SPF cache (kept for API compatibility)."""
+        return self.baseline_route_cache.spf_cache
+
+    @property
     def stats(self) -> ControllerStats:
-        """Controller counters; the SPF-cache fields are refreshed on read.
+        """Controller counters; the SPF/RIB-cache fields are refreshed on read.
 
         The refresh happens at read time because other components may share
         the controller's caches (the load balancer hands
-        ``baseline_spf_cache`` to its merger) and advance the counters
+        ``baseline_route_cache`` to its merger) and advance the counters
         without going through a controller method.
         """
         self._sync_spf_stats()
@@ -179,9 +198,9 @@ class FibbingController:
         return self.registry.plan_update(requirement.prefix, desired)
 
     def baseline_fibs(self, max_ecmp: int = DEFAULT_MAX_ECMP) -> Dict[str, Fib]:
-        """Lie-free FIBs of the current topology, served from the SPF cache."""
+        """Lie-free FIBs of the current topology, served from the route cache."""
         return compute_static_fibs(
-            self.topology, max_ecmp=max_ecmp, cache=self.baseline_spf_cache
+            self.topology, max_ecmp=max_ecmp, rib_cache=self.baseline_route_cache
         )
 
     def clear_prefix(self, prefix: Prefix) -> ControllerUpdate:
@@ -207,16 +226,16 @@ class FibbingController:
     def static_fibs(self, max_ecmp: int = DEFAULT_MAX_ECMP) -> Dict[str, Fib]:
         """Converged FIBs of every router under the currently active lies.
 
-        Served through the controller's versioned SPF cache: when neither the
-        topology nor the lie set changed since the previous call the cached
-        FIB set is returned outright, and after a lie churn only the affected
-        SPF subtrees are repaired.
+        Served through the controller's versioned route cache: when neither
+        the topology nor the lie set changed since the previous call the
+        cached FIB set is returned outright, and after a lie churn only the
+        affected SPF subtrees and dirty prefixes are repaired.
         """
         return compute_static_fibs(
             self.topology,
             self.active_lies(),
             max_ecmp=max_ecmp,
-            cache=self._lied_spf_cache,
+            rib_cache=self._lied_route_cache,
         )
 
     def current_fibs(self) -> Dict[str, Fib]:
@@ -322,15 +341,23 @@ class FibbingController:
         return applied
 
     def _sync_spf_stats(self) -> None:
-        """Mirror the SPF cache counters into :class:`ControllerStats`."""
+        """Mirror the SPF and RIB cache counters into :class:`ControllerStats`."""
         total = SpfCounters()
-        total.merge(self.baseline_spf_cache.counters)
-        total.merge(self._lied_spf_cache.counters)
+        rib_total = RibCounters()
+        for route_cache in (self.baseline_route_cache, self._lied_route_cache):
+            total.merge(route_cache.spf_cache.counters)
+            rib_total.merge(route_cache.counters)
         self._stats.spf_cache_hits = total.hits
         self._stats.spf_incremental_updates = total.incremental_updates
         self._stats.spf_full_recomputes = total.full_recomputes
         self._stats.spf_fallbacks = total.fallbacks
         self._stats.fib_cache_hits = total.fib_cache_hits
+        self._stats.rib_cache_hits = rib_total.hits
+        self._stats.rib_incremental_updates = rib_total.incremental_updates
+        self._stats.rib_full_recomputes = rib_total.full_recomputes
+        self._stats.rib_fallbacks = rib_total.fallbacks
+        self._stats.rib_prefixes_repaired = rib_total.prefixes_repaired
+        self._stats.rib_prefixes_reused = rib_total.prefixes_reused
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

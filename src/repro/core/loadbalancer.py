@@ -85,7 +85,7 @@ class OnDemandLoadBalancer:
             controller.topology,
             tolerance=policy.merge_tolerance,
             max_entries=policy.max_ecmp_entries,
-            spf_cache=controller.baseline_spf_cache,
+            rib_cache=controller.baseline_route_cache,
         )
         self.actions: List[RebalanceAction] = []
 

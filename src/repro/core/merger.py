@@ -27,6 +27,7 @@ from repro.core.requirements import DestinationRequirement, RequirementSet
 from repro.core.splitting import approximate_ratios, split_error, weights_to_fractions
 from repro.igp.fib import Fib
 from repro.igp.network import compute_static_fibs
+from repro.igp.rib_cache import RibCache
 from repro.igp.spf_cache import SpfCache
 from repro.igp.topology import Topology
 from repro.util.errors import ControllerError
@@ -75,6 +76,7 @@ class LieMerger:
         tolerance: float = 0.0,
         max_entries: int = 16,
         spf_cache: Optional[SpfCache] = None,
+        rib_cache: Optional[RibCache] = None,
     ) -> None:
         self.topology = topology
         self.tolerance = check_non_negative(tolerance, "tolerance")
@@ -82,9 +84,13 @@ class LieMerger:
             raise ControllerError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         # Baseline (lie-free) FIBs are recomputed on every optimisation pass;
-        # sharing a versioned SPF cache (e.g. the controller's) makes the
-        # repeated passes of a reactive control loop nearly free.
-        self.spf_cache = spf_cache if spf_cache is not None else SpfCache()
+        # sharing a versioned route cache (e.g. the controller's) makes the
+        # repeated passes of a reactive control loop nearly free.  A bare
+        # ``spf_cache`` is accepted for compatibility and wrapped.
+        if rib_cache is None:
+            rib_cache = RibCache(spf_cache=spf_cache)
+        self.rib_cache = rib_cache
+        self.spf_cache = rib_cache.spf_cache
 
     # ------------------------------------------------------------------ #
     # Single requirement
@@ -97,7 +103,7 @@ class LieMerger:
     ) -> DestinationRequirement:
         """Return an equivalent (or tolerance-close) requirement with fewer entries."""
         if baseline_fibs is None:
-            baseline_fibs = compute_static_fibs(self.topology, cache=self.spf_cache)
+            baseline_fibs = compute_static_fibs(self.topology, rib_cache=self.rib_cache)
         if report is None:
             report = MergeReport()
 
@@ -129,7 +135,7 @@ class LieMerger:
         self, requirements: RequirementSet
     ) -> Tuple[RequirementSet, MergeReport]:
         """Optimise every requirement of a set; returns the new set and a report."""
-        baseline_fibs = compute_static_fibs(self.topology, cache=self.spf_cache)
+        baseline_fibs = compute_static_fibs(self.topology, rib_cache=self.rib_cache)
         report = MergeReport()
         optimized = RequirementSet()
         for requirement in requirements:

@@ -24,10 +24,12 @@ from repro.core.optimizer import MinMaxLoadOptimizer
 from repro.core.requirements import DestinationRequirement, RequirementSet
 from repro.dataplane.demand import TrafficMatrix
 from repro.dataplane.forwarding import route_fractional
+from repro.igp.graph import ComputationGraph
 from repro.igp.network import compute_static_fibs
+from repro.igp.rib import compute_rib, rib_digest
 from repro.topologies.demo import DemoScenario, build_demo_scenario, demo_lies
 
-__all__ = ["Fig1Result", "run_fig1"]
+__all__ = ["Fig1Result", "run_fig1", "fig1_rib_digests"]
 
 LinkKey = Tuple[str, str]
 
@@ -103,3 +105,23 @@ def run_fig1(
         split_at_a=split_a,
         split_at_b=split_b,
     )
+
+
+def fig1_rib_digests(
+    with_fibbing: bool,
+    scenario: DemoScenario | None = None,
+) -> Dict[str, str]:
+    """Per-router RIB digests of a static Fig. 1 state.
+
+    The golden regression snapshots pin these so that route-level changes
+    (contributions, costs, fake-node flags) fail loudly even when the link
+    loads happen to agree — two different RIBs can induce the same loads.
+    """
+    if scenario is None:
+        scenario = build_demo_scenario()
+    lies = demo_lies() if with_fibbing else []
+    graph = ComputationGraph.from_topology(scenario.topology, lies)
+    return {
+        router: rib_digest(compute_rib(graph, router))
+        for router in scenario.topology.routers
+    }

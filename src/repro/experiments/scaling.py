@@ -24,7 +24,7 @@ from repro.core.splitting import approximate_ratios, split_error
 from repro.core.augmentation import synthesize_lies
 from repro.experiments.overhead import build_flash_crowd_demands
 from repro.igp.network import compute_static_fibs
-from repro.igp.spf_cache import SpfCache
+from repro.igp.rib_cache import RibCache
 from repro.topologies.isp import synthetic_isp
 from repro.util.errors import ValidationError
 
@@ -85,10 +85,10 @@ def run_lie_scaling(
             DestinationRequirement.from_fractions(prefix, per_router)
             for prefix, per_router in fractions.items()
         )
-        # One versioned SPF cache per instance: the merger's own baseline
+        # One versioned route cache per instance: the merger's own baseline
         # recomputation becomes a pure cache hit.
-        spf_cache = SpfCache()
-        baseline_fibs = compute_static_fibs(topology, cache=spf_cache)
+        rib_cache = RibCache()
+        baseline_fibs = compute_static_fibs(topology, rib_cache=rib_cache)
 
         lies_without = 0
         for requirement in requirements:
@@ -96,7 +96,7 @@ def run_lie_scaling(
                 synthesize_lies(topology, requirement, baseline_fibs=baseline_fibs)
             )
 
-        merger = LieMerger(topology, spf_cache=spf_cache)
+        merger = LieMerger(topology, rib_cache=rib_cache)
         reduced, _report = merger.optimize(requirements)
         lies_with = 0
         for requirement in reduced:

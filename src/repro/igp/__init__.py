@@ -27,6 +27,10 @@ the demo depends on:
     Per-prefix routes and forwarding entries; the FIB resolves fake
     next-hops to physical ones, preserving multiplicity (this is what gives
     Fibbing its uneven splitting ratios).
+``rib_cache``
+    Per-router RIBs and resolved FIBs keyed by computation-graph version,
+    repaired per dirty prefix from the same delta log (the incremental-SPF
+    pattern lifted to the route layer).
 ``flooding``
     Reliable LSA flooding between adjacent routers with propagation delays.
 ``router``
@@ -48,11 +52,12 @@ from repro.igp.lsa import (
     FakeNodeLsa,
     LsaKey,
 )
-from repro.igp.graph import ComputationGraph, EdgeDelta
+from repro.igp.graph import ComputationGraph, EdgeDelta, GraphChange
 from repro.igp.spf import ShortestPaths, compute_spf, update_spf
 from repro.igp.spf_cache import SpfCache, SpfCounters
-from repro.igp.rib import Route, Rib
-from repro.igp.fib import Fib, FibEntry, resolve_rib_to_fib
+from repro.igp.rib import Route, Rib, compute_rib, update_rib, rib_digest
+from repro.igp.rib_cache import RibCache, RibCounters
+from repro.igp.fib import Fib, FibEntry, resolve_rib_to_fib, update_fib
 from repro.igp.lsdb import LinkStateDatabase
 from repro.igp.router import RouterProcess, RouterTimers
 from repro.igp.flooding import FloodingFabric, FloodingStats
@@ -71,6 +76,7 @@ __all__ = [
     "LsaKey",
     "ComputationGraph",
     "EdgeDelta",
+    "GraphChange",
     "ShortestPaths",
     "compute_spf",
     "update_spf",
@@ -78,9 +84,15 @@ __all__ = [
     "SpfCounters",
     "Route",
     "Rib",
+    "compute_rib",
+    "update_rib",
+    "rib_digest",
+    "RibCache",
+    "RibCounters",
     "Fib",
     "FibEntry",
     "resolve_rib_to_fib",
+    "update_fib",
     "LinkStateDatabase",
     "RouterProcess",
     "RouterTimers",

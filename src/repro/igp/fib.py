@@ -24,7 +24,14 @@ from repro.igp.rib import Rib, Route
 from repro.util.errors import RoutingError
 from repro.util.prefixes import Prefix
 
-__all__ = ["FibEntry", "PrefixFib", "Fib", "resolve_rib_to_fib", "DEFAULT_MAX_ECMP"]
+__all__ = [
+    "FibEntry",
+    "PrefixFib",
+    "Fib",
+    "resolve_rib_to_fib",
+    "update_fib",
+    "DEFAULT_MAX_ECMP",
+]
 
 #: Default bound on the number of equal-cost entries a router installs for a
 #: single prefix.  Commodity routers typically support between 16 and 64 ECMP
@@ -146,6 +153,34 @@ def resolve_rib_to_fib(
     prefix_fibs: Dict[Prefix, PrefixFib] = {}
     for route in rib:
         prefix_fibs[route.prefix] = _resolve_route(graph, rib.router, route, max_ecmp)
+    return Fib(rib.router, prefix_fibs)
+
+
+def update_fib(
+    graph: ComputationGraph,
+    prev: Fib,
+    rib: Rib,
+    dirty: Iterable[Prefix],
+    max_ecmp: int = DEFAULT_MAX_ECMP,
+) -> Fib:
+    """Repair ``prev`` by re-resolving only the ``dirty`` prefixes of ``rib``.
+
+    Clean :class:`PrefixFib` objects are carried over wholesale.  ``dirty``
+    must cover every prefix whose route changed *and* every prefix whose
+    previous entries resolve through a fake node whose metadata (forwarding
+    address, anchor) changed — :class:`~repro.igp.rib_cache.RibCache` derives
+    both sets from the graph's change log.
+    """
+    if max_ecmp < 1:
+        raise RoutingError(f"max_ecmp must be >= 1, got {max_ecmp}")
+    prefix_fibs = dict(prev._prefix_fibs)
+    for prefix in dirty:
+        if rib.has_route(prefix):
+            prefix_fibs[prefix] = _resolve_route(
+                graph, rib.router, rib.route(prefix), max_ecmp
+            )
+        else:
+            prefix_fibs.pop(prefix, None)
     return Fib(rib.router, prefix_fibs)
 
 

@@ -15,14 +15,14 @@ avoid running the full event-driven control plane.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.igp.lsa import FakeNodeLsa, Lsa, PrefixLsa, RouterLsa
 from repro.igp.topology import Topology
 from repro.util.errors import TopologyError
 from repro.util.prefixes import Prefix
 
-__all__ = ["ComputationGraph", "EdgeDelta", "FakeNodeInfo"]
+__all__ = ["ComputationGraph", "EdgeDelta", "GraphChange", "FakeNodeInfo"]
 
 #: Bounds on the dirty-edge delta log.  When either is exceeded the oldest
 #: steps are dropped and caches pinned to versions before the drop must fall
@@ -48,6 +48,36 @@ class EdgeDelta:
 
 
 @dataclass(frozen=True)
+class GraphChange:
+    """Everything that changed between two graph versions.
+
+    ``edges`` are the directed-edge deltas (what SPF repair consumes);
+    ``prefixes`` are the prefixes whose announcer map changed in any way
+    (announcer added/removed or metric changed); ``fake_nodes`` are the fake
+    node names whose :class:`FakeNodeInfo` was added, removed or altered.
+    The latter two are what per-prefix RIB/FIB dirty tracking consumes: a
+    prefix untouched by all three components resolves to a bit-identical
+    route, so its previous :class:`~repro.igp.rib.Route` can be reused.
+    """
+
+    edges: Tuple[EdgeDelta, ...] = ()
+    prefixes: FrozenSet[Prefix] = frozenset()
+    fake_nodes: FrozenSet[str] = frozenset()
+
+    def merge(self, other: "GraphChange") -> "GraphChange":
+        """Concatenation of two consecutive change steps."""
+        return GraphChange(
+            edges=self.edges + other.edges,
+            prefixes=self.prefixes | other.prefixes,
+            fake_nodes=self.fake_nodes | other.fake_nodes,
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.edges or self.prefixes or self.fake_nodes)
+
+
+@dataclass(frozen=True)
 class FakeNodeInfo:
     """Metadata about a fake node needed for FIB resolution."""
 
@@ -63,15 +93,22 @@ class ComputationGraph:
         self._edges: Dict[str, Dict[str, float]] = {}
         self._redges: Dict[str, Dict[str, float]] = {}
         self._announcements: Dict[str, Dict[Prefix, float]] = {}
+        # Announcer refcount per prefix, so ``prefixes``/``prefix_count``
+        # need no union over the per-node announcement dicts.
+        self._prefix_refs: Dict[Prefix, int] = {}
         self._fake_nodes: Dict[str, FakeNodeInfo] = {}
         self._version = 0
-        # Dirty-edge delta log: (version-after-step, edge deltas of the step).
+        # Dirty delta log: (version-after-step, GraphChange of the step).
+        # Beyond the edge deltas SPF repair needs, each step carries the
+        # prefixes whose announcer map changed and the fake nodes touched,
+        # which is what per-prefix RIB/FIB dirty tracking consumes.
         # ``_history_base`` is the oldest version the log can still replay
-        # from; ``deltas_since`` answers ``None`` for anything older.
-        # ``_recording`` is switched off while the builder classmethods run —
-        # a freshly built graph has no usable history, so logging every
-        # construction edge only to discard it would dominate rebuild time.
-        self._delta_log: List[Tuple[int, Tuple[EdgeDelta, ...]]] = []
+        # from; ``deltas_since``/``changes_since`` answer ``None`` for
+        # anything older.  ``_recording`` is switched off while the builder
+        # classmethods run — a freshly built graph has no usable history, so
+        # logging every construction edge only to discard it would dominate
+        # rebuild time.
+        self._delta_log: List[Tuple[int, GraphChange]] = []
         self._log_edges = 0
         self._history_base = 0
         self._recording = True
@@ -84,13 +121,13 @@ class ComputationGraph:
         """Monotonic counter bumped on every effective mutation."""
         return self._version
 
-    def _record(self, deltas: Tuple[EdgeDelta, ...]) -> None:
+    def _record(self, change: GraphChange) -> None:
         """Bump the version and append one delta step to the log."""
         self._version += 1
         if not self._recording:
             return
-        self._delta_log.append((self._version, deltas))
-        self._log_edges += len(deltas)
+        self._delta_log.append((self._version, change))
+        self._log_edges += len(change.edges)
         self._trim_log()
 
     def _trim_log(self) -> None:
@@ -98,7 +135,7 @@ class ComputationGraph:
             len(self._delta_log) > _MAX_LOG_STEPS or self._log_edges > _MAX_LOG_EDGES
         ):
             version, step = self._delta_log.pop(0)
-            self._log_edges -= len(step)
+            self._log_edges -= len(step.edges)
             self._history_base = version
 
     def _reset_history(self) -> None:
@@ -116,6 +153,8 @@ class ComputationGraph:
         delta log no longer reaches back far enough (the caller must then
         recompute from scratch).
         """
+        # Kept separate from ``changes_since`` so the per-source SPF hot path
+        # does not pay for prefix/fake-node frozensets it never reads.
         if version == self._version:
             return ()
         if version < self._history_base or version > self._version:
@@ -123,8 +162,33 @@ class ComputationGraph:
         collected: List[EdgeDelta] = []
         for step_version, step in self._delta_log:
             if step_version > version:
-                collected.extend(step)
+                collected.extend(step.edges)
         return tuple(collected)
+
+    def changes_since(self, version: int) -> Optional[GraphChange]:
+        """Full :class:`GraphChange` between graph state ``version`` and now.
+
+        Returns an empty change when the graph is unchanged, and ``None``
+        when the delta log no longer reaches back far enough (the caller must
+        then recompute from scratch).
+        """
+        if version == self._version:
+            return GraphChange()
+        if version < self._history_base or version > self._version:
+            return None
+        edges: List[EdgeDelta] = []
+        prefixes: Set[Prefix] = set()
+        fake_nodes: Set[str] = set()
+        for step_version, step in self._delta_log:
+            if step_version > version:
+                edges.extend(step.edges)
+                prefixes.update(step.prefixes)
+                fake_nodes.update(step.fake_nodes)
+        return GraphChange(
+            edges=tuple(edges),
+            prefixes=frozenset(prefixes),
+            fake_nodes=frozenset(fake_nodes),
+        )
 
     def continue_from(self, previous: "ComputationGraph") -> None:
         """Chain this (freshly built) graph to ``previous``'s version history.
@@ -150,11 +214,26 @@ class ComputationGraph:
             for target, cost in targets.items():
                 if target not in old_targets:
                     deltas.append(EdgeDelta(source, target, None, cost))
+        prefix_deltas: Set[Prefix] = set()
+        for node in self._announcements.keys() | previous._announcements.keys():
+            mine = self._announcements.get(node, {})
+            theirs = previous._announcements.get(node, {})
+            if mine != theirs:
+                for prefix in mine.keys() | theirs.keys():
+                    if mine.get(prefix) != theirs.get(prefix):
+                        prefix_deltas.add(prefix)
+        fake_deltas = {
+            name
+            for name in self._fake_nodes.keys() | previous._fake_nodes.keys()
+            if self._fake_nodes.get(name) != previous._fake_nodes.get(name)
+        }
+        # Keys are compared too so that an isolated node appearing or
+        # vanishing (no edge delta) still gets its own version.
         same_state = (
             not deltas
-            and self._edges == previous._edges
-            and self._announcements == previous._announcements
-            and self._fake_nodes == previous._fake_nodes
+            and not prefix_deltas
+            and not fake_deltas
+            and self._edges.keys() == previous._edges.keys()
         )
         self._history_base = previous._history_base
         self._delta_log = list(previous._delta_log)
@@ -163,7 +242,16 @@ class ComputationGraph:
             self._version = previous._version
         else:
             self._version = previous._version + 1
-            self._delta_log.append((self._version, tuple(deltas)))
+            self._delta_log.append(
+                (
+                    self._version,
+                    GraphChange(
+                        edges=tuple(deltas),
+                        prefixes=frozenset(prefix_deltas),
+                        fake_nodes=frozenset(fake_deltas),
+                    ),
+                )
+            )
             self._log_edges += len(deltas)
             self._trim_log()
 
@@ -189,7 +277,7 @@ class ComputationGraph:
             return
         self._edges[source][target] = cost
         self._redges[target][source] = cost
-        self._record((EdgeDelta(source, target, old, cost),))
+        self._record(GraphChange(edges=(EdgeDelta(source, target, old, cost),)))
 
     def remove_edge(self, source: str, target: str) -> None:
         """Remove the directed edge ``source -> target`` (raises if absent)."""
@@ -198,7 +286,7 @@ class ComputationGraph:
         except KeyError:
             raise TopologyError(f"no edge {source}->{target}") from None
         del self._redges[target][source]
-        self._record((EdgeDelta(source, target, old, None),))
+        self._record(GraphChange(edges=(EdgeDelta(source, target, old, None),)))
 
     def announce(self, node: str, prefix: Prefix, cost: float) -> None:
         """Record that ``node`` announces ``prefix`` at metric ``cost``.
@@ -212,8 +300,10 @@ class ComputationGraph:
         announcements = self._announcements.setdefault(node, {})
         current = announcements.get(prefix)
         if current is None or cost < current:
+            if current is None:
+                self._prefix_refs[prefix] = self._prefix_refs.get(prefix, 0) + 1
             announcements[prefix] = float(cost)
-            self._version += 1
+            self._record(GraphChange(prefixes=frozenset((prefix,))))
 
     def add_fake_node(
         self,
@@ -240,7 +330,7 @@ class ComputationGraph:
         self._fake_nodes[name] = FakeNodeInfo(
             name=name, anchor=anchor, forwarding_address=forwarding_address
         )
-        self._version += 1
+        self._record(GraphChange(fake_nodes=frozenset((name,))))
 
     def remove_fake_node(self, name: str) -> None:
         """Remove a fake node, its fake links and its announcements."""
@@ -258,8 +348,20 @@ class ComputationGraph:
             deltas.append(EdgeDelta(source, name, cost, None))
         self._edges.pop(name, None)
         self._redges.pop(name, None)
-        self._announcements.pop(name, None)
-        self._record(tuple(deltas))
+        withdrawn = self._announcements.pop(name, {})
+        for prefix in withdrawn:
+            remaining = self._prefix_refs.get(prefix, 0) - 1
+            if remaining > 0:
+                self._prefix_refs[prefix] = remaining
+            else:
+                self._prefix_refs.pop(prefix, None)
+        self._record(
+            GraphChange(
+                edges=tuple(deltas),
+                prefixes=frozenset(withdrawn),
+                fake_nodes=frozenset((name,)),
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # Builders
@@ -402,10 +504,12 @@ class ComputationGraph:
     @property
     def prefixes(self) -> List[Prefix]:
         """All announced prefixes, sorted."""
-        found: Set[Prefix] = set()
-        for announcements in self._announcements.values():
-            found.update(announcements)
-        return sorted(found)
+        return sorted(self._prefix_refs)
+
+    @property
+    def prefix_count(self) -> int:
+        """Number of distinct announced prefixes (O(1))."""
+        return len(self._prefix_refs)
 
     def announcers(self, prefix: Prefix) -> Dict[str, float]:
         """Mapping of node name to announcement metric for ``prefix``."""

@@ -25,6 +25,7 @@ from repro.igp.flooding import FloodingFabric
 from repro.igp.graph import ComputationGraph
 from repro.igp.lsa import FakeNodeLsa, Lsa, PrefixLsa, RouterLsa
 from repro.igp.rib import compute_rib
+from repro.igp.rib_cache import RibCache, RibCounters
 from repro.igp.router import RouterProcess, RouterTimers
 from repro.igp.spf import compute_spf
 from repro.igp.spf_cache import SpfCache, SpfCounters
@@ -199,18 +200,25 @@ class IgpNetwork:
 
     @property
     def spf_stats(self) -> Dict[str, int]:
-        """Aggregated SPF-cache counters of every router process.
+        """Aggregated SPF- and RIB-cache counters of every router process.
 
         ``spf_cache_hits`` are runs served without recomputation,
         ``spf_incremental_updates`` replayed only the dirty-edge deltas,
         ``spf_full_recomputes`` ran Dijkstra from scratch and
         ``spf_fallbacks`` are incremental attempts that bailed out to a full
-        run because the change touched too much of the graph.
+        run because the change touched too much of the graph.  The ``rib_*``
+        keys are the route-layer mirror: ``rib_cache_hits`` served a whole
+        RIB unchanged, ``rib_incremental_updates`` re-resolved only the dirty
+        prefixes, ``rib_full_recomputes`` rescanned every prefix and
+        ``rib_fallbacks`` are repairs that bailed out past the dirty-prefix
+        threshold.
         """
         total = SpfCounters()
+        rib_total = RibCounters()
         for process in self.routers.values():
             total.merge(process.spf_cache.counters)
-        return total.snapshot()
+            rib_total.merge(process.rib_cache.counters)
+        return {**total.snapshot(), **rib_total.snapshot()}
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -224,6 +232,7 @@ def compute_static_fibs(
     lies: Iterable[FakeNodeLsa] = (),
     max_ecmp: int = DEFAULT_MAX_ECMP,
     cache: Optional[SpfCache] = None,
+    rib_cache: Optional[RibCache] = None,
 ) -> Dict[str, Fib]:
     """Compute the converged FIB of every router without event simulation.
 
@@ -232,16 +241,32 @@ def compute_static_fibs(
     control plane converges to.  Baselines and static benchmarks use it to
     avoid paying the flooding simulation cost.
 
-    When a :class:`~repro.igp.spf_cache.SpfCache` is supplied, successive
+    When a :class:`~repro.igp.rib_cache.RibCache` is supplied, successive
     calls pay only for what changed: the rebuilt graph is chained to the
     cache's version lineage, per-source SPF runs are repaired incrementally
-    from the dirty-edge deltas, and a call at an unchanged version returns
-    the previously resolved FIB set outright.
+    from the dirty-edge deltas, per-router RIBs/FIBs are repaired per dirty
+    prefix, and a call at an unchanged version returns the previously
+    resolved FIB set outright.  A bare
+    :class:`~repro.igp.spf_cache.SpfCache` (``cache``) still gives the SPF
+    half of that; ``rib_cache`` supersedes it when both are given.
     """
     lies = list(lies)
     graph = ComputationGraph.from_topology(topology, lies)
+    if rib_cache is not None:
+        spf_cache = rib_cache.spf_cache
+        graph = rib_cache.observe(graph)
+        cached = spf_cache.cached_fibs(graph.version, max_ecmp)
+        if cached is not None:
+            return dict(cached)
+        fibs = {
+            router: rib_cache.fib(graph, router, max_ecmp=max_ecmp)
+            for router in topology.routers
+        }
+        spf_cache.store_fibs(graph.version, max_ecmp, fibs)
+        return dict(fibs)
+
     if cache is None:
-        fibs: Dict[str, Fib] = {}
+        fibs = {}
         for router in topology.routers:
             spf = compute_spf(graph, router)
             rib = compute_rib(graph, router, spf)

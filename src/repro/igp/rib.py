@@ -10,15 +10,25 @@ multiplicity ("R1 twice" in the paper's Fig. 1c).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+import hashlib
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
-from repro.igp.graph import ComputationGraph
-from repro.igp.spf import ShortestPaths, compute_spf, cost_tolerance
+from repro.igp.graph import ComputationGraph, GraphChange
+from repro.igp.spf import ShortestPaths, compute_spf, costs_equal
 from repro.util.errors import RoutingError
 from repro.util.prefixes import Prefix
 
-__all__ = ["RouteContribution", "Route", "Rib", "compute_rib"]
+__all__ = [
+    "RouteContribution",
+    "Route",
+    "Rib",
+    "compute_rib",
+    "update_rib",
+    "dirty_prefixes",
+    "rib_digest",
+]
 
 
 @dataclass(frozen=True)
@@ -91,8 +101,63 @@ class Rib:
     def __len__(self) -> int:
         return len(self._routes)
 
+    def routes_by_prefix(self) -> Mapping[Prefix, Route]:
+        """Read-only view of the underlying ``{prefix: route}`` mapping."""
+        return MappingProxyType(self._routes)
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Rib(router={self.router!r}, prefixes={len(self._routes)})"
+
+
+def _route_for_prefix(
+    graph: ComputationGraph,
+    router: str,
+    spf: ShortestPaths,
+    prefix: Prefix,
+) -> Optional[Route]:
+    """The best route of ``router`` toward ``prefix``, or ``None`` if unroutable."""
+    announcers = graph.announcers(prefix)
+    best_cost = float("inf")
+    candidates: List[Tuple[str, float]] = []
+    for announcer, metric in announcers.items():
+        if not spf.reachable(announcer):
+            continue
+        total = spf.distance_to(announcer) + metric
+        candidates.append((announcer, total))
+        best_cost = min(best_cost, total)
+    if not candidates:
+        return None
+
+    contributions: List[RouteContribution] = []
+    # Ties are detected with the same symmetric relative tolerance as SPF's
+    # ECMP comparison (costs_equal), not with ``best + tolerance(best)``:
+    # the asymmetric form under-estimates the tolerance of the larger total
+    # and can drop an announcer that SPF itself would consider tied.
+    for announcer, total in sorted(candidates):
+        if total > best_cost and not costs_equal(total, best_cost):
+            continue
+        announcer_is_fake = graph.is_fake(announcer)
+        if announcer == router:
+            contributions.append(
+                RouteContribution(
+                    announcer=announcer,
+                    next_hop=None,
+                    announcer_is_fake=announcer_is_fake,
+                )
+            )
+            continue
+        for next_hop in sorted(spf.next_hops_to(announcer)):
+            contributions.append(
+                RouteContribution(
+                    announcer=announcer,
+                    next_hop=next_hop,
+                    announcer_is_fake=announcer_is_fake,
+                    next_hop_is_fake=graph.is_fake(next_hop),
+                )
+            )
+    if not contributions:
+        return None
+    return Route(prefix=prefix, cost=best_cost, contributions=tuple(contributions))
 
 
 def compute_rib(
@@ -114,45 +179,107 @@ def compute_rib(
 
     routes: Dict[Prefix, Route] = {}
     for prefix in graph.prefixes:
-        announcers = graph.announcers(prefix)
-        best_cost = float("inf")
-        candidates: List[Tuple[str, float]] = []
-        for announcer, metric in announcers.items():
-            if not spf.reachable(announcer):
-                continue
-            total = spf.distance_to(announcer) + metric
-            candidates.append((announcer, total))
-            best_cost = min(best_cost, total)
-        if not candidates:
-            continue
-
-        contributions: List[RouteContribution] = []
-        # Same relative tolerance as SPF's ECMP detection, so announcers tied
-        # at large path costs are not dropped over float rounding.
-        for announcer, total in sorted(candidates):
-            if total > best_cost + cost_tolerance(best_cost):
-                continue
-            announcer_is_fake = graph.is_fake(announcer)
-            if announcer == router:
-                contributions.append(
-                    RouteContribution(
-                        announcer=announcer,
-                        next_hop=None,
-                        announcer_is_fake=announcer_is_fake,
-                    )
-                )
-                continue
-            for next_hop in sorted(spf.next_hops_to(announcer)):
-                contributions.append(
-                    RouteContribution(
-                        announcer=announcer,
-                        next_hop=next_hop,
-                        announcer_is_fake=announcer_is_fake,
-                        next_hop_is_fake=graph.is_fake(next_hop),
-                    )
-                )
-        if contributions:
-            routes[prefix] = Route(
-                prefix=prefix, cost=best_cost, contributions=tuple(contributions)
-            )
+        route = _route_for_prefix(graph, router, spf, prefix)
+        if route is not None:
+            routes[prefix] = route
     return Rib(router, routes)
+
+
+def dirty_prefixes(
+    prev: Rib,
+    prev_spf: ShortestPaths,
+    graph: ComputationGraph,
+    spf: ShortestPaths,
+    change: GraphChange,
+) -> Set[Prefix]:
+    """The prefixes whose route may differ from ``prev`` after ``change``.
+
+    A prefix is *dirty* when any input of its route resolution moved:
+
+    * its announcer map changed (``change.prefixes``),
+    * the SPF state of any node changed — distance or first-hop ECMP set —
+      and that node announces the prefix (an announcer appearing, vanishing
+      or moving beyond the ECMP tolerance is a distance change),
+    * a fake node it could involve was touched: prefixes announced by touched
+      fake nodes, and prefixes whose previous route already ran through one
+      (``announcer_is_fake`` / ``next_hop_is_fake`` contributions can flip
+      even when distances are stable).
+
+    Every other prefix resolves from bit-identical inputs, so its previous
+    :class:`Route` object is reused wholesale by :func:`update_rib`.
+    """
+    dirty: Set[Prefix] = set(change.prefixes)
+
+    if spf is not prev_spf:
+        for node in prev_spf.distance.keys() | spf.distance.keys():
+            if (
+                prev_spf.distance.get(node) != spf.distance.get(node)
+                or prev_spf.next_hops.get(node) != spf.next_hops.get(node)
+            ):
+                if graph.has_node(node):
+                    dirty.update(graph.announcements_of(node))
+
+    if change.fake_nodes:
+        for name in change.fake_nodes:
+            if graph.has_node(name):
+                dirty.update(graph.announcements_of(name))
+        for prefix, route in prev.routes_by_prefix().items():
+            if prefix in dirty:
+                continue
+            for contribution in route.contributions:
+                if (
+                    contribution.announcer in change.fake_nodes
+                    or contribution.next_hop in change.fake_nodes
+                ):
+                    dirty.add(prefix)
+                    break
+    return dirty
+
+
+def update_rib(
+    prev: Rib,
+    graph: ComputationGraph,
+    spf: ShortestPaths,
+    dirty: Iterable[Prefix],
+) -> Rib:
+    """Repair ``prev`` by re-resolving only the ``dirty`` prefixes.
+
+    Clean routes are carried over as the same :class:`Route` objects; callers
+    must treat :class:`Rib` and :class:`Route` as immutable.  ``dirty`` must
+    come from :func:`dirty_prefixes` (or be a superset of it) for the result
+    to equal a from-scratch :func:`compute_rib`.
+    """
+    if spf.source != prev.router:
+        raise RoutingError(
+            f"provided SPF was computed from {spf.source!r}, not from {prev.router!r}"
+        )
+    routes = dict(prev.routes_by_prefix())
+    for prefix in dirty:
+        route = _route_for_prefix(graph, prev.router, spf, prefix)
+        if route is None:
+            routes.pop(prefix, None)
+        else:
+            routes[prefix] = route
+    return Rib(prev.router, routes)
+
+
+def rib_digest(rib: Rib) -> str:
+    """Stable hex digest of a RIB's externally observable content.
+
+    Covers every prefix, the exact (``repr``-level) route cost, and each
+    contribution's announcer, next hop and fake-node flags, in deterministic
+    order — the golden regression snapshots pin these per router so that
+    route-level regressions fail loudly even when link loads happen to agree.
+    """
+    hasher = hashlib.sha256()
+    for route in rib:
+        hasher.update(f"{route.prefix}|{route.cost!r}".encode())
+        for contribution in route.contributions:
+            hasher.update(
+                (
+                    f"|{contribution.announcer}>{contribution.next_hop}"
+                    f"~{int(contribution.announcer_is_fake)}{int(contribution.next_hop_is_fake)}"
+                ).encode()
+            )
+        hasher.update(b";")
+    return hasher.hexdigest()

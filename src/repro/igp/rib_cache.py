@@ -1,0 +1,262 @@
+"""Versioned RIB/FIB caching with per-prefix dirty tracking.
+
+This is the incremental-SPF pattern lifted one layer up the stack: where
+:class:`~repro.igp.spf_cache.SpfCache` repairs per-source shortest paths from
+the graph's dirty-edge delta log, :class:`RibCache` repairs per-router RIBs
+(and their resolved FIBs) from the *dirty prefixes* of the same log.  After a
+topology or lie delta, only the prefixes whose resolution inputs moved —
+announcer set, announcer distance/ECMP set, or an involved fake node — are
+re-resolved; every clean :class:`~repro.igp.rib.Route` and
+:class:`~repro.igp.fib.PrefixFib` object is reused wholesale from the prior
+versioned result.
+
+The cache owns (or shares) an :class:`SpfCache` for the underlying per-source
+SPF lookups, so one ``RibCache`` is the single object a call site needs for
+the whole SPF → RIB → FIB pipeline.  When the dirty set exceeds
+``dirty_threshold`` of the announced prefixes the repair would approach a
+from-scratch :func:`~repro.igp.rib.compute_rib`, so the cache falls back to
+the full computation (counted separately, like SPF's fallbacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.igp.fib import DEFAULT_MAX_ECMP, Fib, resolve_rib_to_fib, update_fib
+from repro.igp.graph import ComputationGraph, GraphChange
+from repro.igp.rib import Rib, compute_rib, dirty_prefixes, update_rib
+from repro.igp.spf import ShortestPaths
+from repro.igp.spf_cache import SpfCache
+from repro.util.errors import RoutingError
+from repro.util.prefixes import Prefix
+
+__all__ = ["RibCounters", "RibCache"]
+
+
+@dataclass
+class RibCounters:
+    """Hit/repair/fallback accounting of one :class:`RibCache`.
+
+    Every RIB lookup increments exactly one of ``hits`` (same graph
+    version), ``incremental_updates`` (per-prefix dirty repair),
+    ``fallbacks`` (dirty set exceeded the threshold, full recompute) or
+    ``full_recomputes`` (no usable cache entry or change history).
+    ``prefixes_repaired`` and ``prefixes_reused`` break an incremental
+    update down into re-resolved vs. carried-over routes.
+    """
+
+    hits: int = 0
+    incremental_updates: int = 0
+    full_recomputes: int = 0
+    fallbacks: int = 0
+    prefixes_repaired: int = 0
+    prefixes_reused: int = 0
+
+    @property
+    def rib_lookups(self) -> int:
+        """Total per-router RIB lookups served."""
+        return self.hits + self.incremental_updates + self.full_recomputes + self.fallbacks
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy for reporting."""
+        return {
+            "rib_cache_hits": self.hits,
+            "rib_incremental_updates": self.incremental_updates,
+            "rib_full_recomputes": self.full_recomputes,
+            "rib_fallbacks": self.fallbacks,
+            "rib_prefixes_repaired": self.prefixes_repaired,
+            "rib_prefixes_reused": self.prefixes_reused,
+        }
+
+    def merge(self, other: "RibCounters") -> None:
+        """Add ``other``'s counts into this instance (for fleet aggregation)."""
+        self.hits += other.hits
+        self.incremental_updates += other.incremental_updates
+        self.full_recomputes += other.full_recomputes
+        self.fallbacks += other.fallbacks
+        self.prefixes_repaired += other.prefixes_repaired
+        self.prefixes_reused += other.prefixes_reused
+
+
+@dataclass
+class _Entry:
+    """Cached state of one router, all at the same graph version."""
+
+    version: int
+    spf: ShortestPaths
+    rib: Rib
+    fibs: Dict[int, Fib] = field(default_factory=dict)  # keyed by max_ecmp
+
+
+class RibCache:
+    """Per-router RIBs and FIBs keyed by graph version, with dirty-prefix repair."""
+
+    def __init__(
+        self,
+        spf_cache: Optional[SpfCache] = None,
+        dirty_threshold: float = 0.5,
+    ) -> None:
+        if not 0.0 <= dirty_threshold <= 1.0:
+            raise RoutingError(
+                f"dirty_threshold must be in [0, 1], got {dirty_threshold}"
+            )
+        #: Underlying per-source SPF cache (shared or owned); its lineage is
+        #: also this cache's lineage.
+        self.spf_cache = spf_cache if spf_cache is not None else SpfCache()
+        #: Fraction of the announced prefixes beyond which a repair falls
+        #: back to a from-scratch ``compute_rib`` (the fallback threshold
+        #: knob; see README).
+        self.dirty_threshold = dirty_threshold
+        self.counters = RibCounters()
+        self._entries: Dict[str, _Entry] = {}
+
+    # ------------------------------------------------------------------ #
+    # Graph lineage
+    # ------------------------------------------------------------------ #
+    def observe(self, graph: ComputationGraph) -> ComputationGraph:
+        """Chain a (possibly rebuilt) graph to the shared version lineage."""
+        return self.spf_cache.observe(graph)
+
+    def invalidate(self) -> None:
+        """Drop every cached entry, including the SPF cache's (counters survive)."""
+        self._entries.clear()
+        self.spf_cache.invalidate()
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def rib(self, graph: ComputationGraph, router: str) -> Rib:
+        """The RIB of ``router`` over ``graph``, repaired from the prior version."""
+        return self._lookup(graph, router).rib
+
+    def fib(
+        self,
+        graph: ComputationGraph,
+        router: str,
+        max_ecmp: int = DEFAULT_MAX_ECMP,
+    ) -> Fib:
+        """The resolved FIB of ``router`` over ``graph`` (cached per ``max_ecmp``)."""
+        return self.resolve(graph, router, max_ecmp)[1]
+
+    def resolve(
+        self,
+        graph: ComputationGraph,
+        router: str,
+        max_ecmp: int = DEFAULT_MAX_ECMP,
+    ) -> Tuple[Rib, Fib]:
+        """One cached lookup serving both the RIB and its resolved FIB."""
+        entry = self._lookup(graph, router)
+        fib = entry.fibs.get(max_ecmp)
+        if fib is None:
+            fib = resolve_rib_to_fib(graph, entry.rib, max_ecmp=max_ecmp)
+            entry.fibs[max_ecmp] = fib
+        return entry.rib, fib
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _lookup(self, graph: ComputationGraph, router: str) -> _Entry:
+        graph = self.observe(graph)
+        version = graph.version
+        entry = self._entries.get(router)
+        if entry is not None and entry.version == version:
+            self.counters.hits += 1
+            return entry
+
+        spf = self.spf_cache.spf(graph, router)
+        if entry is not None:
+            change = graph.changes_since(entry.version)
+            if change is not None:
+                repaired = self._repair(entry, graph, version, spf, change)
+                if repaired is not None:
+                    self._entries[router] = repaired
+                    return repaired
+                # Past the dirty threshold: recompute, but count it as a
+                # fallback rather than a cold miss.
+                self.counters.fallbacks += 1
+                return self._store_full(graph, version, router, spf)
+        self.counters.full_recomputes += 1
+        return self._store_full(graph, version, router, spf)
+
+    def _store_full(
+        self,
+        graph: ComputationGraph,
+        version: int,
+        router: str,
+        spf: ShortestPaths,
+    ) -> _Entry:
+        rib = compute_rib(graph, router, spf)
+        entry = _Entry(version=version, spf=spf, rib=rib)
+        self._entries[router] = entry
+        return entry
+
+    def _repair(
+        self,
+        entry: _Entry,
+        graph: ComputationGraph,
+        version: int,
+        spf: ShortestPaths,
+        change: GraphChange,
+    ) -> Optional[_Entry]:
+        """Dirty-prefix repair of one entry; ``None`` when past the threshold."""
+        dirty = dirty_prefixes(entry.rib, entry.spf, graph, spf, change)
+        total = max(1, graph.prefix_count)
+        if len(dirty) > self.dirty_threshold * total:
+            return None
+        self.counters.incremental_updates += 1
+        self.counters.prefixes_repaired += len(dirty)
+        rib = update_rib(entry.rib, graph, spf, dirty) if dirty else entry.rib
+        self.counters.prefixes_reused += len(rib) - sum(
+            1 for prefix in dirty if rib.has_route(prefix)
+        )
+        fibs: Dict[int, Fib] = {}
+        for max_ecmp, prev_fib in entry.fibs.items():
+            fib_dirty = self._fib_dirty(prev_fib, dirty, change)
+            fibs[max_ecmp] = (
+                update_fib(graph, prev_fib, rib, fib_dirty, max_ecmp=max_ecmp)
+                if fib_dirty
+                else prev_fib
+            )
+        return _Entry(version=version, spf=spf, rib=rib, fibs=fibs)
+
+    @staticmethod
+    def _fib_dirty(
+        prev_fib: Fib, dirty: Set[Prefix], change: GraphChange
+    ) -> Set[Prefix]:
+        """Dirty set for FIB resolution: route changes plus resolution churn.
+
+        A route can be byte-identical while its resolution changed: a lie's
+        forwarding address moving to another interface alters only the
+        :class:`~repro.igp.graph.FakeNodeInfo`, and a failed link can strip
+        the adjacency a forwarding address relies on without moving the fake
+        node's own distance.  So any previous entry that resolved *via* a
+        fake node is re-resolved when that fake was touched or when any edge
+        at this router changed (forwarding-address validity is checked
+        against the router's current successors) — including to reproduce
+        the :class:`~repro.util.errors.RoutingError` a from-scratch
+        resolution would raise for a now-unresolvable lie.
+        """
+        router_edges_changed = any(
+            delta.source == prev_fib.router for delta in change.edges
+        )
+        if not change.fake_nodes and not router_edges_changed:
+            return set(dirty)
+        fib_dirty = set(dirty)
+        for prefix_fib in prev_fib:
+            if prefix_fib.prefix in fib_dirty:
+                continue
+            for fib_entry in prefix_fib.entries:
+                if fib_entry.via_fake and (
+                    router_edges_changed
+                    or any(name in change.fake_nodes for name in fib_entry.via_fake)
+                ):
+                    fib_dirty.add(prefix_fib.prefix)
+                    break
+        return fib_dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"RibCache(routers={len(self._entries)}, "
+            f"counters={self.counters.snapshot()})"
+        )

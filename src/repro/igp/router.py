@@ -13,12 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.igp.fib import DEFAULT_MAX_ECMP, Fib, resolve_rib_to_fib
+from repro.igp.fib import DEFAULT_MAX_ECMP, Fib
 from repro.igp.flooding import FloodingFabric
 from repro.igp.lsa import Lsa
 from repro.igp.lsdb import LinkStateDatabase
-from repro.igp.rib import Rib, compute_rib
-from repro.igp.spf_cache import SpfCache
+from repro.igp.rib import Rib
+from repro.igp.rib_cache import RibCache
 from repro.util.timeline import Timeline
 from repro.util.validation import check_non_negative
 
@@ -63,11 +63,13 @@ class RouterProcess:
         self.rib: Optional[Rib] = None
         self.fib_version = 0
         self.spf_runs = 0
-        #: Versioned SPF result cache: SPF runs triggered by LSDB changes that
-        #: leave the computation graph identical (refreshes) are free, and
-        #: changed graphs are repaired from the dirty-edge deltas instead of
-        #: rerunning Dijkstra from scratch.
-        self.spf_cache = SpfCache()
+        #: Versioned route cache: SPF runs triggered by LSDB changes that
+        #: leave the computation graph identical (refreshes) are free, changed
+        #: graphs are repaired from the dirty-edge deltas instead of rerunning
+        #: Dijkstra from scratch, and the RIB/FIB are repaired per dirty
+        #: prefix instead of rescanning every announced prefix.
+        self.rib_cache = RibCache()
+        self.spf_cache = self.rib_cache.spf_cache
         self._spf_scheduled = False
         self._fib_graph_version: Optional[int] = None
         self._fib_listeners: List[Callable[[str, Fib], None]] = []
@@ -116,7 +118,7 @@ class RouterProcess:
     def _run_spf(self) -> None:
         self._spf_scheduled = False
         self.spf_runs += 1
-        graph = self.spf_cache.observe(self.lsdb.graph())
+        graph = self.rib_cache.observe(self.lsdb.graph())
         if not graph.has_node(self.name):
             # The router has not yet heard its own router LSA; nothing to compute.
             return
@@ -125,9 +127,7 @@ class RouterProcess:
             # LSA refresh): the installed or pending FIB is already correct.
             self.spf_cache.counters.hits += 1
             return
-        spf = self.spf_cache.spf(graph, self.name)
-        rib = compute_rib(graph, self.name, spf)
-        fib = resolve_rib_to_fib(graph, rib, max_ecmp=self.max_ecmp)
+        rib, fib = self.rib_cache.resolve(graph, self.name, max_ecmp=self.max_ecmp)
         self.rib = rib
         self._fib_graph_version = graph.version
         self.timeline.schedule_in(

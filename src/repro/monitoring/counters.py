@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.dataplane.engine import DataPlaneEngine
+from repro.igp.rib_cache import RibCounters
 from repro.igp.spf_cache import SpfCounters
 from repro.igp.topology import Topology
 from repro.util.errors import MonitoringError
@@ -72,18 +73,26 @@ def build_agents(topology: Topology, engine: DataPlaneEngine) -> Dict[str, SnmpA
 
 
 def collect_spf_counters(network: "IgpNetwork") -> Dict[str, Dict[str, int]]:
-    """Per-router SPF cache counters, plus the domain-wide aggregate.
+    """Per-router SPF and RIB cache counters, plus the domain-wide aggregate.
 
-    This is the monitoring-plane view of the incremental SPF engine: for
+    This is the monitoring-plane view of the incremental route engine: for
     every router it reports how many SPF triggers were served from cache,
     repaired incrementally from the dirty-edge delta log, recomputed in full,
-    or fell back after an oversized delta.  The ``"total"`` entry matches
+    or fell back after an oversized delta — and, one layer up, how many RIB
+    resolutions were cache hits, per-prefix dirty repairs, full prefix
+    rescans, or fallbacks past the dirty-prefix threshold (the ``rib_*``
+    keys).  The ``"total"`` entry matches
     :attr:`repro.igp.network.IgpNetwork.spf_stats`.
     """
     per_router: Dict[str, Dict[str, int]] = {}
     total = SpfCounters()
+    rib_total = RibCounters()
     for name, process in sorted(network.routers.items()):
-        per_router[name] = process.spf_cache.counters.snapshot()
+        per_router[name] = {
+            **process.spf_cache.counters.snapshot(),
+            **process.rib_cache.counters.snapshot(),
+        }
         total.merge(process.spf_cache.counters)
-    per_router["total"] = total.snapshot()
+        rib_total.merge(process.rib_cache.counters)
+    per_router["total"] = {**total.snapshot(), **rib_total.snapshot()}
     return per_router

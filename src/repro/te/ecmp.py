@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.dataplane.demand import TrafficMatrix
 from repro.dataplane.forwarding import route_fractional
 from repro.igp.network import compute_static_fibs
-from repro.igp.spf_cache import SpfCache
+from repro.igp.rib_cache import RibCache
 from repro.igp.topology import Topology
 from repro.te.base import TrafficEngineeringScheme
 from repro.te.metrics import TeOutcome
@@ -27,11 +27,15 @@ class EcmpRouting(TrafficEngineeringScheme):
 
     def __init__(self, max_ecmp: int = 16) -> None:
         self.max_ecmp = max_ecmp
-        #: Versioned SPF cache reused across :meth:`route` calls.
-        self.spf_cache = SpfCache()
+        #: Versioned route cache (SPF + per-prefix RIB/FIB repair) reused
+        #: across :meth:`route` calls.
+        self.rib_cache = RibCache()
+        self.spf_cache = self.rib_cache.spf_cache
 
     def route(self, topology: Topology, demands: TrafficMatrix) -> TeOutcome:
-        fibs = compute_static_fibs(topology, max_ecmp=self.max_ecmp, cache=self.spf_cache)
+        fibs = compute_static_fibs(
+            topology, max_ecmp=self.max_ecmp, rib_cache=self.rib_cache
+        )
         outcome = route_fractional(fibs, demands)
         return TeOutcome(
             scheme=self.name,

@@ -15,7 +15,7 @@ from repro.dataplane.demand import TrafficMatrix
 from repro.dataplane.forwarding import route_fractional
 from repro.igp.fib import Fib, FibEntry, PrefixFib
 from repro.igp.network import compute_static_fibs
-from repro.igp.spf_cache import SpfCache
+from repro.igp.rib_cache import RibCache
 from repro.igp.topology import Topology
 from repro.te.base import TrafficEngineeringScheme
 from repro.te.metrics import TeOutcome
@@ -29,13 +29,14 @@ class SingleShortestPath(TrafficEngineeringScheme):
     name = "single-shortest-path"
 
     def __init__(self) -> None:
-        #: Versioned SPF cache reused across :meth:`route` calls, so repeated
-        #: evaluations of the same (or slightly changed) topology only pay
-        #: for the delta.
-        self.spf_cache = SpfCache()
+        #: Versioned route cache reused across :meth:`route` calls, so
+        #: repeated evaluations of the same (or slightly changed) topology
+        #: only pay for the delta, down to the per-prefix level.
+        self.rib_cache = RibCache()
+        self.spf_cache = self.rib_cache.spf_cache
 
     def route(self, topology: Topology, demands: TrafficMatrix) -> TeOutcome:
-        fibs = compute_static_fibs(topology, cache=self.spf_cache)
+        fibs = compute_static_fibs(topology, rib_cache=self.rib_cache)
         single = {router: _keep_single_next_hop(fib) for router, fib in fibs.items()}
         outcome = route_fractional(single, demands)
         return TeOutcome(

@@ -22,7 +22,7 @@ from typing import List, Optional, Tuple
 from repro.dataplane.demand import TrafficMatrix
 from repro.dataplane.forwarding import route_fractional
 from repro.igp.network import compute_static_fibs
-from repro.igp.spf_cache import SpfCache
+from repro.igp.rib_cache import RibCache
 from repro.igp.topology import Topology
 from repro.te.base import TrafficEngineeringScheme
 from repro.te.metrics import TeOutcome
@@ -59,13 +59,15 @@ class WeightOptimizer(TrafficEngineeringScheme):
         rng = random.Random(self.seed)
         self.changes = []
         # Every candidate differs from the previous one by a single link
-        # weight, which is exactly what the incremental SPF cache is good at:
-        # each evaluation repairs the affected subtrees instead of rerunning
-        # Dijkstra for every source.
-        cache = SpfCache()
+        # weight, which is exactly what the incremental route cache is good
+        # at: each evaluation repairs the affected SPF subtrees and dirty
+        # prefixes instead of recomputing every source and route.
+        cache = RibCache()
 
         def evaluate(candidate: Topology) -> float:
-            fibs = compute_static_fibs(candidate, max_ecmp=self.max_ecmp, cache=cache)
+            fibs = compute_static_fibs(
+                candidate, max_ecmp=self.max_ecmp, rib_cache=cache
+            )
             return route_fractional(fibs, demands).loads.max_utilization(candidate)
 
         best = evaluate(working)
@@ -90,7 +92,7 @@ class WeightOptimizer(TrafficEngineeringScheme):
                 self.changes.append(((source, target), original, float(best_weight)))
                 best = best_value
 
-        fibs = compute_static_fibs(working, max_ecmp=self.max_ecmp, cache=cache)
+        fibs = compute_static_fibs(working, max_ecmp=self.max_ecmp, rib_cache=cache)
         outcome = route_fractional(fibs, demands)
         # Each weight change must be configured on both end routers.
         return TeOutcome(

@@ -44,6 +44,15 @@ def fig1_snapshot() -> dict:
     }
 
 
+def fig1_rib_snapshot() -> dict:
+    from repro.experiments.fig1 import fig1_rib_digests
+
+    return {
+        "baseline": fig1_rib_digests(with_fibbing=False),
+        "paper_lies": fig1_rib_digests(with_fibbing=True),
+    }
+
+
 def optimality_snapshot() -> dict:
     from repro.experiments.optimality import run_optimality_study
 
@@ -67,6 +76,7 @@ def optimality_snapshot() -> dict:
 def main() -> None:
     snapshots = {
         "fig1_loads.json": fig1_snapshot(),
+        "fig1_ribs.json": fig1_rib_snapshot(),
         "optimality_gaps.json": optimality_snapshot(),
     }
     for name, payload in snapshots.items():

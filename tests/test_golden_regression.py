@@ -14,8 +14,12 @@ import pathlib
 
 import pytest
 
-from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig1 import fig1_rib_digests, run_fig1
 from repro.experiments.optimality import run_optimality_study
+from repro.igp.graph import ComputationGraph
+from repro.igp.rib import rib_digest
+from repro.igp.rib_cache import RibCache
+from repro.topologies.demo import build_demo_scenario, demo_lies
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
@@ -53,6 +57,34 @@ class TestFig1Golden:
             for (source, target), load in result.link_loads.items()
         }
         assert actual_loads == expected["link_loads"]
+
+
+class TestFig1RibGolden:
+    """Route-level snapshots: two different RIBs can induce the same link
+    loads, so the fig1 scenario's per-router RIB digests are pinned too."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load_golden("fig1_ribs.json")
+
+    @pytest.mark.parametrize("key,with_fibbing", [("baseline", False), ("paper_lies", True)])
+    def test_rib_digests_are_bit_identical(self, golden, key, with_fibbing):
+        assert fig1_rib_digests(with_fibbing=with_fibbing) == golden[key]
+
+    def test_incremental_repair_reproduces_the_digests(self, golden):
+        """The lie injection repaired through the RibCache must land on the
+        exact same routes as the from-scratch golden state."""
+        scenario = build_demo_scenario()
+        cache = RibCache()
+        graph = cache.observe(ComputationGraph.from_topology(scenario.topology))
+        routers = scenario.topology.routers
+        assert {r: rib_digest(cache.rib(graph, r)) for r in routers} == golden["baseline"]
+        lied = cache.observe(
+            ComputationGraph.from_topology(scenario.topology, demo_lies())
+        )
+        assert {r: rib_digest(cache.rib(lied, r)) for r in routers} == golden["paper_lies"]
+        assert cache.counters.incremental_updates + cache.counters.hits > 0
+        assert cache.counters.full_recomputes == len(routers)
 
 
 class TestOptimalityGolden:

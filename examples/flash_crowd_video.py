@@ -48,6 +48,11 @@ def main() -> None:
     print(f"  QoE: {enabled.qoe.summary()}")
     print(f"  control-plane cost: {enabled.controller_messages} fake LSAs "
           f"({enabled.lies_active} active at the end)")
+    dp = enabled.dataplane_stats
+    print(f"  data-plane cache: {dp['dp_flows_reused']} cached paths reused, "
+          f"{dp['dp_flows_rerouted']} flows re-routed, "
+          f"{dp['dp_alloc_warm_starts']} warm-started allocations "
+          f"({dp['dp_fallbacks']} threshold fallbacks)")
 
     print("\nRunning the same schedule WITHOUT the controller...")
     disabled = run_demo_timeseries(with_controller=False)

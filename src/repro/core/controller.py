@@ -52,6 +52,11 @@ class ControllerStats:
     rib_fallbacks: int = 0
     rib_prefixes_repaired: int = 0
     rib_prefixes_reused: int = 0
+    dp_flows_rerouted: int = 0
+    dp_flows_reused: int = 0
+    dp_alloc_warm_starts: int = 0
+    dp_alloc_full: int = 0
+    dp_fallbacks: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict copy for reporting."""
@@ -72,6 +77,11 @@ class ControllerStats:
             "rib_fallbacks": self.rib_fallbacks,
             "rib_prefixes_repaired": self.rib_prefixes_repaired,
             "rib_prefixes_reused": self.rib_prefixes_reused,
+            "dp_flows_rerouted": self.dp_flows_rerouted,
+            "dp_flows_reused": self.dp_flows_reused,
+            "dp_alloc_warm_starts": self.dp_alloc_warm_starts,
+            "dp_alloc_full": self.dp_alloc_full,
+            "dp_fallbacks": self.dp_fallbacks,
         }
 
 
@@ -358,6 +368,15 @@ class FibbingController:
         self._stats.rib_fallbacks = rib_total.fallbacks
         self._stats.rib_prefixes_repaired = rib_total.prefixes_repaired
         self._stats.rib_prefixes_reused = rib_total.prefixes_reused
+        if self.network is not None:
+            # The data plane hangs off the live network; its counters are
+            # part of the controller's end-to-end reaction accounting.
+            dataplane = self.network.dataplane_counters()
+            self._stats.dp_flows_rerouted = dataplane.flows_rerouted
+            self._stats.dp_flows_reused = dataplane.flows_reused
+            self._stats.dp_alloc_warm_starts = dataplane.alloc_warm_starts
+            self._stats.dp_alloc_full = dataplane.alloc_full
+            self._stats.dp_fallbacks = dataplane.fallbacks
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -47,6 +47,11 @@ class RebalanceAction:
     predicted_max_utilization: float
     updates: Tuple[ControllerUpdate, ...]
     merge_report: MergeReport
+    #: ``dp_*`` counter snapshot of the attached data-plane engine at
+    #: reaction time (empty when the balancer is not bound to an engine).
+    #: Diffing consecutive actions' snapshots yields the flow-reroute and
+    #: warm-start work each reaction wave caused downstream.
+    dataplane_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def lies_injected(self) -> int:
@@ -73,10 +78,15 @@ class OnDemandLoadBalancer:
         clients: ClientRegistry,
         policy: LoadBalancerPolicy = LoadBalancerPolicy(),
         managed_prefixes: Optional[Sequence[Prefix]] = None,
+        dataplane=None,
     ) -> None:
         self.controller = controller
         self.clients = clients
         self.policy = policy
+        #: Optional :class:`~repro.dataplane.engine.DataPlaneEngine` closing
+        #: the feedback loop: each action records the engine's ``dp_*``
+        #: counters so reaction cost can be attributed end to end.
+        self.dataplane = dataplane
         self.managed_prefixes = tuple(managed_prefixes) if managed_prefixes else None
         self.optimizer = MinMaxLoadOptimizer(
             controller.topology, max_stretch=policy.path_stretch
@@ -115,6 +125,7 @@ class OnDemandLoadBalancer:
                 predicted_max_utilization=0.0,
                 updates=stale_updates,
                 merge_report=MergeReport(),
+                dataplane_counters=self._dataplane_snapshot(),
             )
             self.actions.append(action)
             return action
@@ -134,9 +145,16 @@ class OnDemandLoadBalancer:
             predicted_max_utilization=result.objective,
             updates=tuple(updates),
             merge_report=merge_report,
+            dataplane_counters=self._dataplane_snapshot(),
         )
         self.actions.append(action)
         return action
+
+    def _dataplane_snapshot(self) -> Dict[str, int]:
+        """The bound engine's ``dp_*`` counters at this instant (or empty)."""
+        if self.dataplane is None:
+            return {}
+        return self.dataplane.counters.snapshot()
 
     def handle_topology_change(self, time: float = 0.0) -> Optional[RebalanceAction]:
         """Re-optimise after a topology event (e.g. a link failure).

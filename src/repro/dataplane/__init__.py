@@ -17,17 +17,22 @@ per-flow rates, congestion) with a fluid, flow-level model:
     Per-link load accounting and utilisation summaries.
 ``fairness``
     Max-min fair bandwidth sharing (progressive filling) across flows that
-    compete on a bottleneck link.
+    compete on a bottleneck link, decomposed along the connected components
+    of the flow-link hypergraph.
+``path_cache``
+    The incremental machinery: versioned flow-path caching keyed on the FIB
+    entries a path traverses, and warm-start max-min repair per dirty
+    component, with the ``dp_*`` counters.
 ``engine``
     The event-driven simulation loop tying everything to the shared
-    timeline: flow arrivals/departures, FIB changes, SNMP counters, and the
-    periodic sampling used to draw Fig. 2.
+    timeline: flow arrivals/departures, FIB changes, capacity changes, SNMP
+    counters, and the periodic sampling used to draw Fig. 2.
 ``events``
     Typed records of everything that happened during a run (for tracing,
     tests, and benchmark reporting).
 """
 
-from repro.dataplane.flows import Flow, FlowSet
+from repro.dataplane.flows import Flow, FlowSet, FlowSpec
 from repro.dataplane.demand import TrafficMatrix, DemandEntry
 from repro.dataplane.forwarding import (
     ForwardingOutcome,
@@ -36,13 +41,23 @@ from repro.dataplane.forwarding import (
     forwarding_graph,
 )
 from repro.dataplane.linkstats import LinkLoads, LinkUtilization
-from repro.dataplane.fairness import max_min_fair_allocation
+from repro.dataplane.fairness import (
+    max_min_fair_allocation,
+    decompose_components,
+    fill_component,
+)
+from repro.dataplane.path_cache import (
+    DataPlaneCounters,
+    FlowPathCache,
+    WarmStartAllocator,
+)
 from repro.dataplane.engine import DataPlaneEngine, LinkSample
 from repro.dataplane.events import SimulationEvent, FlowEvent
 
 __all__ = [
     "Flow",
     "FlowSet",
+    "FlowSpec",
     "TrafficMatrix",
     "DemandEntry",
     "ForwardingOutcome",
@@ -52,6 +67,11 @@ __all__ = [
     "LinkLoads",
     "LinkUtilization",
     "max_min_fair_allocation",
+    "decompose_components",
+    "fill_component",
+    "DataPlaneCounters",
+    "FlowPathCache",
+    "WarmStartAllocator",
     "DataPlaneEngine",
     "LinkSample",
     "SimulationEvent",

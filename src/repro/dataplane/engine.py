@@ -1,11 +1,22 @@
 """Event-driven data-plane simulation engine.
 
 The engine owns the set of active flows and, at every state change (flow
-arrival or departure, FIB update pushed by the control plane), re-routes each
-flow over the current FIBs with per-flow ECMP hashing and re-computes the
-max-min fair rate allocation.  Between state changes rates are constant, so
-byte counters (the quantities SNMP exposes and Fig. 2 plots) are advanced
-analytically — no per-packet work is ever done.
+arrival or departure, FIB update pushed by the control plane, link capacity
+change), refreshes each flow's path over the current FIBs (per-flow ECMP
+hashing) and the max-min fair rate allocation.  Between state changes rates
+are constant, so byte counters (the quantities SNMP exposes and Fig. 2
+plots) are advanced analytically — no per-packet work is ever done.
+
+By default the refresh is **incremental**, mirroring the control plane's
+SPF/RIB caches one layer down the stack: a
+:class:`~repro.dataplane.path_cache.FlowPathCache` stamps the FIB entries
+with versions and re-routes only the flows whose cached path crosses a
+changed *(router, prefix)* entry, and a
+:class:`~repro.dataplane.path_cache.WarmStartAllocator` re-runs progressive
+filling only on the connected components of the flow-link hypergraph that
+the event dirtied.  Both repairs are bit-identical to the from-scratch
+computation (``incremental=False``), which the differential suite
+``tests/test_dataplane_incremental.py`` enforces.
 
 Periodic sampling events record the average per-link throughput since the
 previous sample; the Fig. 2 benchmark plots exactly those samples.
@@ -13,14 +24,20 @@ previous sample; the Fig. 2 benchmark plots exactly those samples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from dataclasses import dataclass
 
 from repro.dataplane.events import EventLog, SimulationEvent
 from repro.dataplane.fairness import max_min_fair_allocation
-from repro.dataplane.flows import Flow, FlowSet
+from repro.dataplane.flows import Flow, FlowSet, FlowSpec
 from repro.dataplane.forwarding import FlowPath, route_flows_hashed
 from repro.dataplane.linkstats import LinkLoads
+from repro.dataplane.path_cache import (
+    DataPlaneCounters,
+    FlowPathCache,
+    WarmStartAllocator,
+)
 from repro.igp.fib import Fib
 from repro.igp.topology import Topology
 from repro.util.errors import SimulationError
@@ -51,7 +68,16 @@ class LinkSample:
 
 
 class DataPlaneEngine:
-    """Flow-level data plane driven by the shared simulation timeline."""
+    """Flow-level data plane driven by the shared simulation timeline.
+
+    ``incremental=False`` disables the path cache and the warm-start
+    allocator: every event re-routes every flow and re-allocates from
+    scratch (the pre-cache behaviour, kept as the differential oracle and
+    the benchmark baseline).  ``alloc_dirty_threshold`` is the warm-start
+    fallback knob: when an event dirties more than that fraction of the
+    active flows, the allocation is recomputed in full and counted as a
+    ``dp_fallback`` (same style as ``RibCache.dirty_threshold``).
+    """
 
     def __init__(
         self,
@@ -60,16 +86,23 @@ class DataPlaneEngine:
         timeline: Timeline,
         sample_interval: float = 1.0,
         hash_salt: int = 0,
+        incremental: bool = True,
+        alloc_dirty_threshold: float = 0.5,
     ) -> None:
         self.topology = topology
         self.fib_provider = fib_provider
         self.timeline = timeline
         self.sample_interval = check_positive(sample_interval, "sample_interval")
         self.hash_salt = hash_salt
+        self.incremental = incremental
 
         self.flows = FlowSet()
         self.events = EventLog()
         self.samples: List[LinkSample] = []
+        self.counters = DataPlaneCounters()
+
+        self._path_cache = FlowPathCache()
+        self._allocator = WarmStartAllocator(dirty_threshold=alloc_dirty_threshold)
 
         self._capacities: Dict[LinkKey, float] = {
             link.key: link.capacity for link in topology.links
@@ -78,6 +111,11 @@ class DataPlaneEngine:
         self._flow_rates: Dict[int, float] = {}
         self._flow_paths: Dict[int, FlowPath] = {}
         self._link_rates: Dict[LinkKey, float] = {}
+        # Effective links per flow (empty for undeliverable flows) and the
+        # inverse index, used to repair per-link totals without rescanning
+        # every flow.
+        self._flow_links: Dict[int, Tuple[LinkKey, ...]] = {}
+        self._link_members: Dict[LinkKey, Set[int]] = {}
         # Cumulative transmitted bytes (what SNMP interface counters expose).
         self._link_bytes: Dict[LinkKey, float] = {link.key: 0.0 for link in topology.links}
         self._flow_bytes: Dict[int, float] = {}
@@ -115,27 +153,49 @@ class DataPlaneEngine:
     # ------------------------------------------------------------------ #
     def add_flow(self, ingress: str, prefix: Prefix, demand: float, label: str = "") -> Flow:
         """Start a new flow now; rates are recomputed immediately."""
-        if not self.topology.has_router(ingress):
-            raise SimulationError(f"flow ingress {ingress!r} is not a router of the topology")
+        return self.add_flows([FlowSpec(ingress=ingress, prefix=prefix, demand=demand, label=label)])[0]
+
+    def add_flows(self, specs: Sequence[FlowSpec]) -> List[Flow]:
+        """Start a batch of flows now, paying for a single recomputation.
+
+        An arrival wave of ``n`` flows (a flash-crowd batch) triggers one
+        path/allocation refresh instead of ``n`` — the rates between the
+        individual arrivals of a same-instant batch would never integrate
+        into any byte counter anyway.
+        """
+        # Validate every spec up front: a failure mid-batch would leave the
+        # earlier flows registered but never routed (they are only treated
+        # as arrivals once), so the batch must be all-or-nothing.
+        for spec in specs:
+            if not self.topology.has_router(spec.ingress):
+                raise SimulationError(
+                    f"flow ingress {spec.ingress!r} is not a router of the topology"
+                )
+            check_positive(spec.demand, "demand")
+        if not specs:
+            return []
         self._advance_counters()
-        flow = self.flows.create(ingress=ingress, prefix=prefix, demand=demand, label=label)
-        self._flow_bytes[flow.flow_id] = 0.0
-        self.events.record(
-            SimulationEvent(
-                time=self.timeline.now,
-                kind="flow-arrival",
-                details=f"{flow}",
+        flows: List[Flow] = []
+        for spec in specs:
+            flow = self.flows.create(
+                ingress=spec.ingress, prefix=spec.prefix, demand=spec.demand, label=spec.label
             )
-        )
-        self._recompute()
-        return flow
+            self._flow_bytes[flow.flow_id] = 0.0
+            self.events.record(
+                SimulationEvent(
+                    time=self.timeline.now,
+                    kind="flow-arrival",
+                    details=f"{flow}",
+                )
+            )
+            flows.append(flow)
+        self._recompute(arrivals=flows)
+        return flows
 
     def remove_flow(self, flow_id: int) -> Flow:
         """Terminate the flow with ``flow_id`` now; rates are recomputed immediately."""
         self._advance_counters()
         flow = self.flows.remove(flow_id)
-        self._flow_rates.pop(flow_id, None)
-        self._flow_paths.pop(flow_id, None)
         self.events.record(
             SimulationEvent(
                 time=self.timeline.now,
@@ -143,14 +203,16 @@ class DataPlaneEngine:
                 details=f"{flow}",
             )
         )
-        self._recompute()
+        self._recompute(departures=[flow_id])
         return flow
 
     def notify_routing_change(self) -> None:
         """Tell the engine the FIBs changed; paths and rates are recomputed.
 
         The control plane calls this (directly or through
-        :meth:`bind_to_network`) after a router installs a new FIB.
+        :meth:`bind_to_network`) after a router installs a new FIB.  With
+        the incremental engine only the flows whose cached path crosses a
+        changed FIB entry are re-walked.
         """
         self._advance_counters()
         self.events.record(
@@ -158,9 +220,39 @@ class DataPlaneEngine:
         )
         self._recompute()
 
+    def set_link_capacity(self, source: str, target: str, capacity: float) -> None:
+        """Change the capacity of the directed link ``source -> target``.
+
+        Models a bandwidth change at the allocation level (e.g. a rate
+        limiter or a LAG member failure): paths are untouched, but the
+        max-min fair shares of the link's connected component are repaired.
+        """
+        key = (source, target)
+        if key not in self._capacities:
+            raise SimulationError(f"unknown link {source!r} -> {target!r}")
+        check_positive(capacity, "capacity")
+        self._advance_counters()
+        self._capacities[key] = capacity
+        self.events.record(
+            SimulationEvent(
+                time=self.timeline.now,
+                kind="capacity-change",
+                details=f"{source}->{target} = {capacity:.0f} bit/s",
+            )
+        )
+        self._recompute(dirty_links=[key])
+
     def bind_to_network(self, network) -> None:
-        """Convenience: recompute paths whenever an IgpNetwork installs a FIB."""
+        """Convenience: recompute paths whenever an IgpNetwork installs a FIB.
+
+        Also registers this engine with the network so its ``dp_*`` counters
+        ride along the SPF/RIB ones in ``IgpNetwork.spf_stats`` and the
+        monitoring collector.
+        """
         network.on_fib_change(lambda _router, _fib: self.notify_routing_change())
+        register = getattr(network, "register_dataplane", None)
+        if register is not None:
+            register(self)
 
     # ------------------------------------------------------------------ #
     # State inspection
@@ -180,6 +272,13 @@ class DataPlaneEngine:
     def link_rate(self, source: str, target: str) -> float:
         """Current instantaneous rate on the directed link ``source -> target``."""
         return self._link_rates.get((source, target), 0.0)
+
+    def link_capacity(self, source: str, target: str) -> float:
+        """Current capacity of a directed link (as the allocator sees it)."""
+        try:
+            return self._capacities[(source, target)]
+        except KeyError:
+            raise SimulationError(f"unknown link {source!r} -> {target!r}") from None
 
     def link_transmitted_bytes(self, source: str, target: str) -> float:
         """Cumulative transmitted bytes on a directed link (SNMP-style counter)."""
@@ -203,6 +302,19 @@ class DataPlaneEngine:
         """Maximal instantaneous link utilisation across the topology."""
         return self.current_loads().max_utilization(self.topology)
 
+    @property
+    def path_cache_version(self) -> int:
+        """Version stamped on the FIB entries dirtied by the latest change."""
+        return self._path_cache.version
+
+    def cached_path_valid(self, flow_id: int) -> bool:
+        """Whether the flow's cached path key still matches the FIB versions."""
+        return self._path_cache.valid(flow_id)
+
+    def allocation_components(self) -> int:
+        """Connected components currently tracked by the warm-start allocator."""
+        return self._allocator.component_count()
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
@@ -223,25 +335,44 @@ class DataPlaneEngine:
                     )
         self._last_advance = now
 
-    def _recompute(self) -> None:
-        """Re-route every flow over the current FIBs and re-allocate rates."""
+    def _recompute(
+        self,
+        arrivals: Sequence[Flow] = (),
+        departures: Sequence[int] = (),
+        dirty_links: Sequence[LinkKey] = (),
+    ) -> None:
+        """Refresh paths and rates after one event (incremental when enabled)."""
+        if self.incremental:
+            self._recompute_incremental(arrivals, departures, dirty_links)
+        else:
+            self._recompute_full()
+        for listener in self._rate_listeners:
+            listener(self.timeline.now)
+
+    def _effective_input(self, flow: Flow, path: FlowPath) -> Tuple[Tuple[LinkKey, ...], float]:
+        """The (links, demand) the allocator sees for one routed flow.
+
+        Undeliverable flows send nothing (their TCP connection would never
+        establish); looping flows are included in the path so tests can
+        detect them, but they get no rate either.
+        """
+        if path.delivered:
+            return path.links, flow.demand
+        return (), 0.0
+
+    def _recompute_full(self) -> None:
+        """Re-route every flow over the current FIBs and re-allocate from scratch."""
         fibs = dict(self.fib_provider())
         outcome = route_flows_hashed(fibs, self.flows, salt=self.hash_salt)
         self._flow_paths = dict(outcome.flow_paths)
+        self.counters.flows_rerouted += len(self.flows)
+        self.counters.alloc_full += 1
 
         flow_links: Dict[int, Tuple[LinkKey, ...]] = {}
         demands: Dict[int, float] = {}
         for flow in self.flows:
-            path = self._flow_paths.get(flow.flow_id)
-            demands[flow.flow_id] = flow.demand
-            if path is None or not path.delivered:
-                # Undeliverable flows send nothing (their TCP connection
-                # would never establish); looping flows are included in the
-                # path so tests can detect them, but they get no rate either.
-                flow_links[flow.flow_id] = tuple()
-                demands[flow.flow_id] = 0.0
-                continue
-            flow_links[flow.flow_id] = path.links
+            path = self._flow_paths[flow.flow_id]
+            flow_links[flow.flow_id], demands[flow.flow_id] = self._effective_input(flow, path)
 
         rates = max_min_fair_allocation(flow_links, demands, self._capacities)
         self._flow_rates = rates
@@ -255,8 +386,96 @@ class DataPlaneEngine:
                 link_rates[link] = link_rates.get(link, 0.0) + rate
         self._link_rates = link_rates
 
-        for listener in self._rate_listeners:
-            listener(self.timeline.now)
+    def _recompute_incremental(
+        self,
+        arrivals: Sequence[Flow],
+        departures: Sequence[int],
+        dirty_links: Sequence[LinkKey],
+    ) -> None:
+        """Re-route only the dirty flows and warm-start the fair allocation."""
+        fibs = dict(self.fib_provider())
+        for flow_id in departures:
+            self._path_cache.drop(flow_id)
+            self._flow_paths.pop(flow_id, None)
+
+        dirty_entries = self._path_cache.observe(fibs)
+        to_route = sorted(
+            self._path_cache.dirty_flows(dirty_entries).union(
+                flow.flow_id for flow in arrivals
+            )
+        )
+        outcome = route_flows_hashed(
+            fibs, [self.flows.get(flow_id) for flow_id in to_route], salt=self.hash_salt
+        )
+        self.counters.flows_rerouted += len(to_route)
+        self.counters.flows_reused += len(self.flows) - len(to_route)
+
+        changed_inputs: Dict[int, Tuple[Tuple[LinkKey, ...], float]] = {}
+        for flow_id in to_route:
+            path = outcome.flow_paths[flow_id]
+            previous = self._flow_paths.get(flow_id)
+            self._path_cache.store(self.flows.get(flow_id), path)
+            self._flow_paths[flow_id] = path
+            if previous is None or path != previous:
+                changed_inputs[flow_id] = self._effective_input(self.flows.get(flow_id), path)
+
+        repair = self._allocator.update(
+            changed=changed_inputs,
+            removed=departures,
+            dirty_links=dirty_links,
+            capacities=self._capacities,
+        )
+        if repair.mode == "warm":
+            self.counters.alloc_warm_starts += 1
+        elif repair.mode == "full":
+            self.counters.alloc_full += 1
+        elif repair.mode == "fallback":
+            self.counters.fallbacks += 1
+        self._flow_rates = self._allocator.rates
+
+        # Repair the per-link totals: only the links whose flow membership
+        # or member rates moved are re-summed (in canonical ascending flow
+        # order, so the totals are bit-identical to a from-scratch rebuild).
+        affected_links: Set[LinkKey] = set()
+        for flow_id in departures:
+            old_links = self._flow_links.pop(flow_id, ())
+            affected_links.update(old_links)
+            for link in old_links:
+                self._discard_member(link, flow_id)
+        for flow_id, (links, _demand) in changed_inputs.items():
+            old_links = self._flow_links.get(flow_id, ())
+            affected_links.update(old_links)
+            affected_links.update(links)
+            for link in old_links:
+                if link not in links:
+                    self._discard_member(link, flow_id)
+            for link in links:
+                self._link_members.setdefault(link, set()).add(flow_id)
+            self._flow_links[flow_id] = links
+        for flow_id in repair.rate_changed:
+            if flow_id not in changed_inputs:
+                affected_links.update(self._flow_links.get(flow_id, ()))
+        for link in affected_links:
+            self._retotal_link(link)
+
+    def _discard_member(self, link: LinkKey, flow_id: int) -> None:
+        members = self._link_members.get(link)
+        if members is not None:
+            members.discard(flow_id)
+            if not members:
+                del self._link_members[link]
+
+    def _retotal_link(self, link: LinkKey) -> None:
+        """Re-sum one link's carried rate over its member flows, canonically."""
+        total = 0.0
+        for flow_id in sorted(self._link_members.get(link, ())):
+            rate = self._flow_rates.get(flow_id, 0.0)
+            if rate > 0:
+                total += rate
+        if total > 0:
+            self._link_rates[link] = total
+        else:
+            self._link_rates.pop(link, None)
 
     def _sample(self) -> None:
         """Periodic sampling: average link rates since the previous sample."""
@@ -281,5 +500,5 @@ class DataPlaneEngine:
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"DataPlaneEngine(flows={len(self.flows)}, t={self.timeline.now:.3f}, "
-            f"samples={len(self.samples)})"
+            f"samples={len(self.samples)}, incremental={self.incremental})"
         )

@@ -9,16 +9,28 @@ reaches its demand; saturated flows are frozen and the process repeats.
 The allocation is exactly what determines whether a video stalls in the
 demo: a flow whose max-min share falls below the video bitrate cannot keep
 its playback buffer full.
+
+The allocation decomposes along the *connected components* of the flow-link
+hypergraph (two flows are connected when their paths share a link): flows in
+different components never influence each other's rates, so each component
+is filled independently.  This is what makes the warm-start repair of
+:class:`~repro.dataplane.path_cache.WarmStartAllocator` exact — re-filling
+only the dirty components through the very same :func:`fill_component`
+reproduces a from-scratch allocation bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.util.errors import SimulationError, ValidationError
 from repro.util.validation import check_non_negative
 
-__all__ = ["max_min_fair_allocation"]
+__all__ = [
+    "max_min_fair_allocation",
+    "decompose_components",
+    "fill_component",
+]
 
 LinkKey = Tuple[str, str]
 
@@ -55,7 +67,7 @@ def max_min_fair_allocation(
         if flow_id not in demands:
             raise ValidationError(f"flow {flow_id} has a path but no demand")
     rates: Dict[int, float] = {}
-    active: Dict[int, List[LinkKey]] = {}
+    constrained: Dict[int, Tuple[LinkKey, ...]] = {}
     for flow_id, links in flow_links.items():
         demand = check_non_negative(demands[flow_id], f"demand of flow {flow_id}")
         if demand <= _RATE_EPSILON:
@@ -67,8 +79,68 @@ def max_min_fair_allocation(
         for link in links:
             if link not in capacities:
                 raise ValidationError(f"flow {flow_id} traverses unknown link {link}")
+        constrained[flow_id] = tuple(links)
+
+    for component in decompose_components(constrained):
+        rates.update(fill_component(component, constrained, demands, capacities))
+    return rates
+
+
+def decompose_components(
+    flow_links: Mapping[int, Sequence[LinkKey]],
+) -> List[Tuple[int, ...]]:
+    """Partition flows into connected components of the flow-link hypergraph.
+
+    Two flows belong to the same component when a chain of shared links
+    connects them.  Every returned component is a sorted tuple of flow ids;
+    components are ordered by their smallest member, so the decomposition is
+    deterministic regardless of the input mapping's iteration order.
+    """
+    parent: Dict[int, int] = {}
+
+    def find(flow_id: int) -> int:
+        root = flow_id
+        while parent[root] != root:
+            root = parent[root]
+        while parent[flow_id] != root:  # path compression
+            parent[flow_id], flow_id = root, parent[flow_id]
+        return root
+
+    link_owner: Dict[LinkKey, int] = {}
+    for flow_id in sorted(flow_links):
+        parent[flow_id] = flow_id
+        for link in flow_links[flow_id]:
+            owner = link_owner.get(link)
+            if owner is None:
+                link_owner[link] = flow_id
+            else:
+                parent[find(flow_id)] = find(owner)
+
+    groups: Dict[int, List[int]] = {}
+    for flow_id in sorted(flow_links):
+        groups.setdefault(find(flow_id), []).append(flow_id)
+    return sorted((tuple(members) for members in groups.values()), key=lambda g: g[0])
+
+
+def fill_component(
+    flow_ids: Sequence[int],
+    flow_links: Mapping[int, Sequence[LinkKey]],
+    demands: Mapping[int, float],
+    capacities: Mapping[LinkKey, float],
+) -> Dict[int, float]:
+    """Progressive filling restricted to one connected component.
+
+    ``flow_ids`` must be the component's flows in ascending id order; every
+    flow must have a non-empty path and a demand above the rate epsilon.
+    The result depends only on the *set* of flows and their links, demands
+    and capacities, so re-filling an unchanged component always reproduces
+    the exact same floating-point rates.
+    """
+    rates: Dict[int, float] = {}
+    active: Dict[int, Tuple[LinkKey, ...]] = {}
+    for flow_id in flow_ids:
         rates[flow_id] = 0.0
-        active[flow_id] = list(links)
+        active[flow_id] = tuple(flow_links[flow_id])
 
     remaining: Dict[LinkKey, float] = {}
     for links in active.values():

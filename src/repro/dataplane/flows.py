@@ -17,7 +17,22 @@ from repro.util.errors import SimulationError, ValidationError
 from repro.util.prefixes import Prefix
 from repro.util.validation import check_non_negative, check_positive
 
-__all__ = ["Flow", "FlowSet"]
+__all__ = ["Flow", "FlowSpec", "FlowSet"]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """Parameters of a flow about to be created (id not yet allocated).
+
+    Batch APIs (:meth:`~repro.dataplane.engine.DataPlaneEngine.add_flows`)
+    take a list of these so a whole arrival wave pays for one path/allocation
+    recomputation instead of one per flow.
+    """
+
+    ingress: str
+    prefix: Prefix
+    demand: float
+    label: str = ""
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,467 @@
+"""Versioned flow-path caching and warm-start max-min fairness.
+
+This is the SPF/RIB cache architecture applied to the data plane.  Where
+:class:`~repro.igp.rib_cache.RibCache` repairs per-router routes from the
+graph's dirty prefixes, the data plane repairs per-flow state from the dirty
+*(router, prefix)* FIB entries of an event:
+
+* :class:`FlowPathCache` stamps every observed FIB with a version and every
+  per-prefix entry with the version at which it last changed.  A cached
+  :class:`~repro.dataplane.forwarding.FlowPath` is keyed on
+  ``(flow id, prefix, versions of the FIB entries its path traverses)`` —
+  a flow only needs re-routing when one of those entries moved, because the
+  hop-by-hop ECMP walk of a flow depends on nothing else.
+* :class:`WarmStartAllocator` repairs a prior max-min fair allocation by
+  re-running progressive filling only on the connected components (of the
+  flow-link hypergraph) whose flow membership or link capacity changed.
+  Components are filled through the exact
+  :func:`~repro.dataplane.fairness.fill_component` routine the from-scratch
+  allocator uses, so a repaired allocation is bit-identical to a full one.
+  When the dirty flows exceed ``dirty_threshold`` of the active flows the
+  repair would approach a from-scratch run, so the allocator falls back to
+  the full decomposition (counted separately, like ``rib_fallbacks``).
+
+:class:`DataPlaneCounters` is the accounting mirror of
+:class:`~repro.igp.rib_cache.RibCounters` one layer down the stack; the
+engine surfaces it through ``IgpNetwork.spf_stats``,
+``monitoring.counters.collect_counters`` and ``ControllerStats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.dataplane.fairness import (
+    _RATE_EPSILON,
+    decompose_components,
+    fill_component,
+)
+from repro.dataplane.flows import Flow
+from repro.dataplane.forwarding import FlowPath
+from repro.igp.fib import Fib
+from repro.util.errors import SimulationError
+from repro.util.prefixes import Prefix
+
+__all__ = [
+    "DataPlaneCounters",
+    "FibEntryKey",
+    "FlowPathCache",
+    "AllocationRepair",
+    "WarmStartAllocator",
+]
+
+LinkKey = Tuple[str, str]
+
+#: One per-prefix forwarding entry of one router — the unit of data-plane
+#: dirtiness, mirroring the RIB cache's dirty prefixes.
+FibEntryKey = Tuple[str, Prefix]
+
+#: Flow inputs as the allocator sees them: the effective links of the flow's
+#: path (empty when undeliverable) and its effective demand (zero when
+#: undeliverable, so the flow sends nothing).
+FlowInput = Tuple[Tuple[LinkKey, ...], float]
+
+
+@dataclass
+class DataPlaneCounters:
+    """Reroute/reuse and warm-start accounting of one incremental data plane.
+
+    ``flows_rerouted`` / ``flows_reused`` split every event's active flows
+    into re-walked paths vs. cached paths carried over.  Each allocation
+    event increments exactly one of ``alloc_warm_starts`` (per-component
+    repair), ``alloc_full`` (from-scratch decomposition: cold start or cache
+    disabled) or ``fallbacks`` (repair abandoned past the dirty-flow
+    threshold, recomputed in full).
+    """
+
+    flows_rerouted: int = 0
+    flows_reused: int = 0
+    alloc_warm_starts: int = 0
+    alloc_full: int = 0
+    fallbacks: int = 0
+
+    @property
+    def alloc_events(self) -> int:
+        """Total allocation passes performed."""
+        return self.alloc_warm_starts + self.alloc_full + self.fallbacks
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy for reporting."""
+        return {
+            "dp_flows_rerouted": self.flows_rerouted,
+            "dp_flows_reused": self.flows_reused,
+            "dp_alloc_warm_starts": self.alloc_warm_starts,
+            "dp_alloc_full": self.alloc_full,
+            "dp_fallbacks": self.fallbacks,
+        }
+
+    def merge(self, other: "DataPlaneCounters") -> None:
+        """Add ``other``'s counts into this instance (for fleet aggregation)."""
+        self.flows_rerouted += other.flows_rerouted
+        self.flows_reused += other.flows_reused
+        self.alloc_warm_starts += other.alloc_warm_starts
+        self.alloc_full += other.alloc_full
+        self.fallbacks += other.fallbacks
+
+
+class FlowPathCache:
+    """Cached flow paths keyed on the versions of the FIB entries they cross.
+
+    :meth:`observe` diffs each event's FIB snapshot against the previous one
+    and stamps every changed *(router, prefix)* entry with a fresh version.
+    The diff leans on the control plane's own incrementality: routers served
+    by the RIB cache reuse clean :class:`~repro.igp.fib.Fib` and
+    ``PrefixFib`` objects wholesale, so unchanged routers are dismissed by
+    identity without looking at a single prefix.
+    """
+
+    def __init__(self) -> None:
+        #: Version stamped onto the entries dirtied by the latest change.
+        self.version = 0
+        self._fibs: Dict[str, Fib] = {}
+        self._entry_versions: Dict[FibEntryKey, int] = {}
+        self._paths: Dict[int, FlowPath] = {}
+        self._deps: Dict[int, Tuple[FibEntryKey, ...]] = {}
+        self._dep_versions: Dict[int, Tuple[int, ...]] = {}
+        self._watchers: Dict[FibEntryKey, Set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    # ------------------------------------------------------------------ #
+    # FIB versioning
+    # ------------------------------------------------------------------ #
+    def observe(self, fibs: Mapping[str, Fib]) -> Set[FibEntryKey]:
+        """Diff ``fibs`` against the previous snapshot; returns the dirty entries.
+
+        Every *(router, prefix)* pair whose forwarding entry appeared,
+        disappeared or changed is stamped with a new version and returned.
+        """
+        dirty: Set[FibEntryKey] = set()
+        previous = self._fibs
+        for router in previous.keys() | fibs.keys():
+            old = previous.get(router)
+            new = fibs.get(router)
+            if old is new:
+                continue
+            if old is None:
+                changed: Iterable[Prefix] = new.prefixes  # type: ignore[union-attr]
+            elif new is None:
+                changed = old.prefixes
+            else:
+                changed = old.changed_prefixes(new)
+            for prefix in changed:
+                dirty.add((router, prefix))
+        if dirty:
+            self.version += 1
+            for key in dirty:
+                self._entry_versions[key] = self.version
+        self._fibs = dict(fibs)
+        return dirty
+
+    def entry_version(self, router: str, prefix: Prefix) -> int:
+        """Version at which the FIB entry of ``router`` for ``prefix`` last changed."""
+        return self._entry_versions.get((router, prefix), 0)
+
+    # ------------------------------------------------------------------ #
+    # Path storage
+    # ------------------------------------------------------------------ #
+    def store(self, flow: Flow, path: FlowPath) -> None:
+        """Cache ``path`` for ``flow``, keyed on its current entry versions."""
+        self.drop(flow.flow_id)
+        # The walk consulted the FIB entry for the flow's prefix at every
+        # router it visited (the last hop's entry decided termination), so
+        # those entries are exactly the path's version dependencies.
+        deps = tuple((hop, flow.prefix) for hop in dict.fromkeys(path.hops))
+        self._paths[flow.flow_id] = path
+        self._deps[flow.flow_id] = deps
+        self._dep_versions[flow.flow_id] = tuple(
+            self._entry_versions.get(dep, 0) for dep in deps
+        )
+        for dep in deps:
+            self._watchers.setdefault(dep, set()).add(flow.flow_id)
+
+    def drop(self, flow_id: int) -> None:
+        """Forget the cached path of a departed (or about-to-be-rerouted) flow."""
+        deps = self._deps.pop(flow_id, None)
+        if deps is None:
+            return
+        self._paths.pop(flow_id, None)
+        self._dep_versions.pop(flow_id, None)
+        for dep in deps:
+            watchers = self._watchers.get(dep)
+            if watchers is not None:
+                watchers.discard(flow_id)
+                if not watchers:
+                    del self._watchers[dep]
+
+    def get(self, flow_id: int) -> Optional[FlowPath]:
+        """The cached path of ``flow_id`` (``None`` when never routed)."""
+        return self._paths.get(flow_id)
+
+    def valid(self, flow_id: int) -> bool:
+        """Whether the cached path's entry-version key still matches."""
+        deps = self._deps.get(flow_id)
+        if deps is None:
+            return False
+        current = tuple(self._entry_versions.get(dep, 0) for dep in deps)
+        return current == self._dep_versions[flow_id]
+
+    def dirty_flows(self, dirty_entries: Iterable[FibEntryKey]) -> Set[int]:
+        """The cached flows whose path crosses one of ``dirty_entries``."""
+        flows: Set[int] = set()
+        for key in dirty_entries:
+            watchers = self._watchers.get(key)
+            if watchers:
+                flows.update(watchers)
+        return flows
+
+    def invalidate(self) -> None:
+        """Drop every cached path and the FIB snapshot (versions keep counting)."""
+        self._fibs.clear()
+        self._paths.clear()
+        self._deps.clear()
+        self._dep_versions.clear()
+        self._watchers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FlowPathCache(paths={len(self._paths)}, version={self.version}, "
+            f"entries={len(self._entry_versions)})"
+        )
+
+
+@dataclass(frozen=True)
+class AllocationRepair:
+    """Outcome of one :meth:`WarmStartAllocator.update` pass.
+
+    ``mode`` is ``"warm"``, ``"full"``, ``"fallback"`` or ``None`` (nothing
+    was dirty, the previous rates stand).  ``rate_changed`` lists the active
+    flows whose allocated rate differs bitwise from before the update.
+    """
+
+    mode: Optional[str]
+    rate_changed: FrozenSet[int]
+
+
+@dataclass
+class _Component:
+    """One connected component of the flow-link hypergraph."""
+
+    flow_ids: Tuple[int, ...]
+    links: FrozenSet[LinkKey]
+
+
+class WarmStartAllocator:
+    """Max-min fair allocation with per-component warm-start repair."""
+
+    def __init__(self, dirty_threshold: float = 0.5) -> None:
+        if not 0.0 <= dirty_threshold <= 1.0:
+            raise SimulationError(
+                f"dirty_threshold must be in [0, 1], got {dirty_threshold}"
+            )
+        #: Fraction of the active flows beyond which a repair falls back to
+        #: a from-scratch decomposition (the fallback threshold knob).
+        self.dirty_threshold = dirty_threshold
+        #: Current per-flow rates; the engine reads this mapping directly.
+        self.rates: Dict[int, float] = {}
+        self._inputs: Dict[int, FlowInput] = {}
+        self._components: Dict[int, _Component] = {}
+        self._flow_component: Dict[int, int] = {}
+        self._link_component: Dict[LinkKey, int] = {}
+        self._next_component = 0
+        self._primed = False
+
+    def __len__(self) -> int:
+        return len(self._inputs)
+
+    def input_of(self, flow_id: int) -> Optional[FlowInput]:
+        """The (links, demand) input last allocated for ``flow_id``."""
+        return self._inputs.get(flow_id)
+
+    def component_count(self) -> int:
+        """Number of connected components in the current partition."""
+        return len(self._components)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def update(
+        self,
+        changed: Mapping[int, FlowInput],
+        removed: Iterable[int],
+        dirty_links: Iterable[LinkKey],
+        capacities: Mapping[LinkKey, float],
+    ) -> AllocationRepair:
+        """Repair the allocation after one event.
+
+        ``changed`` carries the new (links, demand) input of every arrived or
+        re-routed flow whose input actually moved; ``removed`` the departed
+        flow ids; ``dirty_links`` the links whose capacity changed.  Flows
+        and links not mentioned are trusted to be untouched.
+        """
+        removed = [flow_id for flow_id in removed if flow_id in self._inputs]
+
+        # Seed the dirty component set from the *previous* partition before
+        # the inputs are mutated: the old component of every changed/removed
+        # flow, the current component of every link a changed flow now
+        # touches, and the component of every capacity-dirty link.
+        affected: Set[int] = set()
+        for flow_id in removed:
+            component = self._flow_component.get(flow_id)
+            if component is not None:
+                affected.add(component)
+        for flow_id, (links, _demand) in changed.items():
+            component = self._flow_component.get(flow_id)
+            if component is not None:
+                affected.add(component)
+            for link in links:
+                component = self._link_component.get(link)
+                if component is not None:
+                    affected.add(component)
+        for link in dirty_links:
+            component = self._link_component.get(link)
+            if component is not None:
+                affected.add(component)
+
+        if not changed and not removed and not affected:
+            if not self._primed:
+                return self._full(capacities, mode="full")
+            # A capacity change on an unused link (or a pure no-op event)
+            # cannot move any rate.
+            return AllocationRepair(mode=None, rate_changed=frozenset())
+
+        for flow_id in removed:
+            del self._inputs[flow_id]
+        self._inputs.update(changed)
+
+        if not self._primed:
+            return self._full(capacities, mode="full")
+
+        recompute: Set[int] = set(changed)
+        for component in affected:
+            recompute.update(self._components[component].flow_ids)
+        recompute &= self._inputs.keys()
+
+        if len(recompute) > self.dirty_threshold * max(1, len(self._inputs)):
+            return self._full(capacities, mode="fallback")
+        return self._warm(recompute, affected, removed, capacities)
+
+    def invalidate(self) -> None:
+        """Drop all allocation state; the next update is a counted full run."""
+        self.rates.clear()
+        self._inputs.clear()
+        self._components.clear()
+        self._flow_component.clear()
+        self._link_component.clear()
+        self._primed = False
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _constrained(self, flow_ids: Iterable[int]) -> Dict[int, Tuple[LinkKey, ...]]:
+        """The capacity-constrained subset of ``flow_ids`` (links + real demand)."""
+        constrained: Dict[int, Tuple[LinkKey, ...]] = {}
+        for flow_id in flow_ids:
+            links, demand = self._inputs[flow_id]
+            if links and demand > _RATE_EPSILON:
+                constrained[flow_id] = links
+        return constrained
+
+    def _direct_rate(self, flow_id: int) -> float:
+        """Rate of an unconstrained flow: its demand, or zero demand → zero."""
+        links, demand = self._inputs[flow_id]
+        if demand <= _RATE_EPSILON:
+            return 0.0
+        assert not links, "constrained flows are rated by fill_component"
+        return demand
+
+    def _install_components(
+        self,
+        constrained: Dict[int, Tuple[LinkKey, ...]],
+        capacities: Mapping[LinkKey, float],
+        new_rates: Dict[int, float],
+    ) -> None:
+        """Decompose ``constrained``, fill each component, record the partition."""
+        demands = {flow_id: self._inputs[flow_id][1] for flow_id in constrained}
+        for flow_ids in decompose_components(constrained):
+            new_rates.update(
+                fill_component(flow_ids, constrained, demands, capacities)
+            )
+            links = frozenset(
+                link for flow_id in flow_ids for link in constrained[flow_id]
+            )
+            component = self._next_component
+            self._next_component += 1
+            self._components[component] = _Component(flow_ids=flow_ids, links=links)
+            for flow_id in flow_ids:
+                self._flow_component[flow_id] = component
+            for link in links:
+                self._link_component[link] = component
+
+    def _finish(
+        self, new_rates: Dict[int, float], removed: Iterable[int]
+    ) -> FrozenSet[int]:
+        """Apply ``new_rates``, drop ``removed``, report the bitwise changes."""
+        rate_changed = {
+            flow_id
+            for flow_id, rate in new_rates.items()
+            if self.rates.get(flow_id) != rate
+        }
+        for flow_id in removed:
+            self.rates.pop(flow_id, None)
+        self.rates.update(new_rates)
+        return frozenset(rate_changed)
+
+    def _full(
+        self, capacities: Mapping[LinkKey, float], mode: str
+    ) -> AllocationRepair:
+        previous_rates = dict(self.rates)
+        self._components.clear()
+        self._flow_component.clear()
+        self._link_component.clear()
+        new_rates: Dict[int, float] = {}
+        constrained = self._constrained(self._inputs)
+        for flow_id in self._inputs:
+            if flow_id not in constrained:
+                new_rates[flow_id] = self._direct_rate(flow_id)
+        self._install_components(constrained, capacities, new_rates)
+        self.rates = new_rates
+        self._primed = True
+        rate_changed = frozenset(
+            flow_id
+            for flow_id, rate in new_rates.items()
+            if previous_rates.get(flow_id) != rate
+        )
+        return AllocationRepair(mode=mode, rate_changed=rate_changed)
+
+    def _warm(
+        self,
+        recompute: Set[int],
+        affected: Set[int],
+        removed: Iterable[int],
+        capacities: Mapping[LinkKey, float],
+    ) -> AllocationRepair:
+        for component_id in affected:
+            component = self._components.pop(component_id)
+            for flow_id in component.flow_ids:
+                self._flow_component.pop(flow_id, None)
+            for link in component.links:
+                if self._link_component.get(link) == component_id:
+                    del self._link_component[link]
+
+        new_rates: Dict[int, float] = {}
+        constrained = self._constrained(recompute)
+        for flow_id in recompute:
+            if flow_id not in constrained:
+                new_rates[flow_id] = self._direct_rate(flow_id)
+        self._install_components(constrained, capacities, new_rates)
+        rate_changed = self._finish(new_rates, removed)
+        return AllocationRepair(mode="warm", rate_changed=rate_changed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"WarmStartAllocator(flows={len(self._inputs)}, "
+            f"components={len(self._components)}, threshold={self.dirty_threshold})"
+        )

@@ -69,6 +69,12 @@ class DemoRunResult:
     controller_messages: int
     flooding_stats: Dict[str, int]
     sessions_started: int
+    #: Final cumulative per-link byte counters (the SNMP view at run end);
+    #: pinned bit-for-bit by the golden Fig. 2 snapshot.
+    link_counters: Dict[LinkKey, float] = field(default_factory=dict)
+    #: ``dp_*`` counters of the data-plane engine: how much of the run's
+    #: flow churn was served from the path cache / warm-started allocation.
+    dataplane_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def peak_utilization(self) -> float:
@@ -95,11 +101,16 @@ def run_demo_timeseries(
     scenario: Optional[DemoScenario] = None,
     router_timers: RouterTimers = RouterTimers(),
     hash_salt: int = 0,
+    dataplane_incremental: bool = True,
 ) -> DemoRunResult:
     """Run the Fig. 2 experiment and return its measurements.
 
     ``with_controller=False`` reproduces the "controller disabled" variant
     used for the stutter comparison; everything else is identical.
+    ``dataplane_incremental=False`` disables the data plane's path cache and
+    warm-start allocator (from-scratch recomputation per event) — the
+    results are bit-identical either way; only the ``dp_*`` counters and the
+    wall-clock cost differ.
     """
     if scenario is None:
         scenario = build_demo_scenario()
@@ -126,6 +137,7 @@ def run_demo_timeseries(
         timeline,
         sample_interval=sample_interval,
         hash_salt=hash_salt,
+        incremental=dataplane_incremental,
     )
     engine.bind_to_network(network)
     engine.start()
@@ -168,6 +180,7 @@ def run_demo_timeseries(
             registry,
             policy=policy,
             managed_prefixes=[scenario.blue_prefix],
+            dataplane=engine,
         )
         balancer.attach(alarm)
 
@@ -226,6 +239,8 @@ def run_demo_timeseries(
         controller_messages=controller.stats.messages_sent if controller is not None else 0,
         flooding_stats=network.flooding_stats,
         sessions_started=sessions,
+        link_counters=engine.all_link_counters(),
+        dataplane_stats=engine.counters.snapshot(),
     )
 
 

@@ -1,4 +1,5 @@
-"""Extended ablations: lie-count scaling and split-approximation error.
+"""Extended ablations: lie-count scaling, split-approximation error, and
+data-plane flash-crowd scaling.
 
 These back the design-choice discussions of DESIGN.md:
 
@@ -9,11 +10,16 @@ These back the design-choice discussions of DESIGN.md:
 * **A3 — split approximation**: the error between a requested fractional
   split and what a bounded number of ECMP entries can realise, as a
   function of the table size.
+* **A4 — data-plane flash-crowd scaling**: how the incremental data plane
+  (versioned path cache + warm-start max-min repair) behaves as the
+  arrival-wave size grows, versus the from-scratch engine whose per-event
+  cost is O(flows).
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
@@ -23,16 +29,25 @@ from repro.core.requirements import DestinationRequirement, RequirementSet
 from repro.core.splitting import approximate_ratios, split_error
 from repro.core.augmentation import synthesize_lies
 from repro.experiments.overhead import build_flash_crowd_demands
+from repro.dataplane.engine import DataPlaneEngine
 from repro.igp.network import compute_static_fibs
 from repro.igp.rib_cache import RibCache
+from repro.igp.topology import Topology
 from repro.topologies.isp import synthetic_isp
 from repro.util.errors import ValidationError
+from repro.util.prefixes import Prefix
+from repro.util.timeline import Timeline
 
 __all__ = [
     "LieScalingRow",
     "SplitApproximationRow",
+    "FlashCrowdScalingRow",
     "run_lie_scaling",
     "run_split_approximation",
+    "run_flashcrowd_scaling",
+    "build_pod_topology",
+    "pod_prefix",
+    "replay_wave",
 ]
 
 
@@ -112,6 +127,122 @@ def run_lie_scaling(
                 destinations=destinations,
                 lies_without_merger=lies_without,
                 lies_with_merger=lies_with,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class FlashCrowdScalingRow:
+    """One flash-crowd wave size, replayed with and without the path cache."""
+
+    flows: int
+    pods: int
+    full_seconds: float
+    incremental_seconds: float
+    flows_rerouted: int
+    flows_reused: int
+    alloc_warm_starts: int
+    alloc_full: int
+    fallbacks: int
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock advantage of the incremental engine on this wave."""
+        if self.incremental_seconds <= 0:
+            return float("inf")
+        return self.full_seconds / self.incremental_seconds
+
+
+def build_pod_topology(pods: int, capacity: float = 16e6) -> Topology:
+    """``pods`` disjoint server->middle->client chains, one prefix per pod.
+
+    This is the video-CDN shape of the scaling workloads: many independent
+    regions, each with its own streaming servers and viewer prefix.  The
+    pods are disjoint connected components of the flow-link hypergraph, so
+    the warm-start allocator can repair one region's arrivals without
+    touching the rest of the fleet.
+    """
+    if pods < 1:
+        raise ValidationError(f"need at least 1 pod, got {pods}")
+    topology = Topology(name=f"pods-{pods}")
+    for pod in range(pods):
+        names = [f"S{pod}", f"M{pod}", f"C{pod}"]
+        topology.add_routers(names)
+        topology.add_link(names[0], names[1], weight=1, capacity=capacity)
+        topology.add_link(names[1], names[2], weight=1, capacity=capacity)
+        topology.attach_prefix(names[2], Prefix.parse(f"10.{pod % 250}.{pod // 250}.0/24"))
+    return topology
+
+
+def pod_prefix(topology: Topology, pod: int) -> Prefix:
+    """The viewer prefix of one pod of :func:`build_pod_topology`."""
+    return topology.attachments_of(f"C{pod}")[0].prefix
+
+
+def replay_wave(
+    engine: DataPlaneEngine, topology: Topology, pods: int, flows: int, churn: int
+) -> float:
+    """One flash-crowd wave: ``flows`` arrivals round-robin across the pods,
+    followed by ``churn`` departures of the earliest viewers.  Returns the
+    wall-clock seconds the engine spent reacting.  Shared with
+    ``benchmarks/test_bench_dataplane_cache.py`` so the benchmark and the
+    A4 scaling rows always measure the same workload."""
+    start = time.perf_counter()
+    for index in range(flows):
+        pod = index % pods
+        engine.add_flow(
+            f"S{pod}", pod_prefix(topology, pod), 1e6 + 1000.0 * index, label="wave"
+        )
+    for flow_id in range(churn):
+        engine.remove_flow(flow_id)
+    return time.perf_counter() - start
+
+
+def run_flashcrowd_scaling(
+    flow_counts: Sequence[int] = (50, 100, 200),
+    pods: int = 8,
+    churn_fraction: float = 0.25,
+) -> List[FlashCrowdScalingRow]:
+    """Replay growing flash-crowd waves with and without the data-plane cache.
+
+    For each wave size the same arrival/departure sequence is driven through
+    a from-scratch engine (``incremental=False``; every event re-routes every
+    flow and re-allocates from scratch) and through the incremental engine
+    (versioned path cache + warm-start allocation).  The differential suite
+    guarantees both produce bit-identical flows; this experiment measures
+    the wall-clock gap and the cache-effectiveness counters.
+    """
+    rows: List[FlashCrowdScalingRow] = []
+    for flows in flow_counts:
+        if flows < 1:
+            raise ValidationError(f"wave size must be >= 1, got {flows}")
+        churn = int(flows * churn_fraction)
+        topology = build_pod_topology(pods)
+        fibs = compute_static_fibs(topology)
+
+        full_engine = DataPlaneEngine(
+            topology, lambda: fibs, Timeline(), incremental=False
+        )
+        full_seconds = replay_wave(full_engine, topology, pods, flows, churn)
+
+        incremental_engine = DataPlaneEngine(topology, lambda: fibs, Timeline())
+        incremental_seconds = replay_wave(
+            incremental_engine, topology, pods, flows, churn
+        )
+
+        counters = incremental_engine.counters
+        rows.append(
+            FlashCrowdScalingRow(
+                flows=flows,
+                pods=pods,
+                full_seconds=full_seconds,
+                incremental_seconds=incremental_seconds,
+                flows_rerouted=counters.flows_rerouted,
+                flows_reused=counters.flows_reused,
+                alloc_warm_starts=counters.alloc_warm_starts,
+                alloc_full=counters.alloc_full,
+                fallbacks=counters.fallbacks,
             )
         )
     return rows

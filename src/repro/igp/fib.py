@@ -116,6 +116,25 @@ class Fib:
         """Total number of installed forwarding entries (all prefixes)."""
         return sum(len(pf.entries) for pf in self._prefix_fibs.values())
 
+    def changed_prefixes(self, other: "Fib") -> Set[Prefix]:
+        """Prefixes whose forwarding entry differs between ``self`` and ``other``.
+
+        Covers additions, removals and modifications.  Because incremental
+        FIB repair (:func:`update_fib`) carries clean :class:`PrefixFib`
+        objects over wholesale, unchanged prefixes are usually dismissed by
+        identity without a structural comparison — this is what makes the
+        data plane's per-event FIB diff cheap.
+        """
+        changed: Set[Prefix] = set()
+        for prefix, mine in self._prefix_fibs.items():
+            theirs = other._prefix_fibs.get(prefix)
+            if theirs is None or (theirs is not mine and theirs != mine):
+                changed.add(prefix)
+        for prefix in other._prefix_fibs:
+            if prefix not in self._prefix_fibs:
+                changed.add(prefix)
+        return changed
+
     def __iter__(self) -> Iterator[PrefixFib]:
         for prefix in self.prefixes:
             yield self._prefix_fibs[prefix]

@@ -68,6 +68,7 @@ class IgpNetwork:
             process.on_fib_change(self._notify_fib_change)
         self._started = False
         self._lsa_sequences: Dict[str, int] = {}
+        self._dataplane_engines: List[object] = []
 
     # ------------------------------------------------------------------ #
     # Listeners
@@ -82,6 +83,17 @@ class IgpNetwork:
 
     def _deliver_lsa(self, router: str, lsa: Lsa, from_neighbor: Optional[str]) -> None:
         self.routers[router].receive_lsa(lsa, from_neighbor)
+
+    def register_dataplane(self, engine) -> None:
+        """Register a data-plane engine whose ``dp_*`` counters this network reports.
+
+        :meth:`~repro.dataplane.engine.DataPlaneEngine.bind_to_network` calls
+        this automatically; the engine's reroute/warm-start counters then
+        ride along the SPF/RIB ones in :attr:`spf_stats` and in the
+        monitoring collector.
+        """
+        if engine not in self._dataplane_engines:
+            self._dataplane_engines.append(engine)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -198,9 +210,23 @@ class IgpNetwork:
         """Flooding counters (messages, bytes, duplicates) for overhead accounting."""
         return self.fabric.stats.snapshot()
 
+    def dataplane_counters(self) -> "DataPlaneCounters":
+        """Merged ``dp_*`` counters of every registered data-plane engine."""
+        from repro.dataplane.path_cache import DataPlaneCounters
+
+        total = DataPlaneCounters()
+        for engine in self._dataplane_engines:
+            total.merge(engine.counters)
+        return total
+
+    @property
+    def dataplane_stats(self) -> Dict[str, int]:
+        """Snapshot of the merged data-plane counters (``dp_*`` keys)."""
+        return self.dataplane_counters().snapshot()
+
     @property
     def spf_stats(self) -> Dict[str, int]:
-        """Aggregated SPF- and RIB-cache counters of every router process.
+        """Aggregated SPF-, RIB- and data-plane-cache counters of the domain.
 
         ``spf_cache_hits`` are runs served without recomputation,
         ``spf_incremental_updates`` replayed only the dirty-edge deltas,
@@ -211,14 +237,21 @@ class IgpNetwork:
         RIB unchanged, ``rib_incremental_updates`` re-resolved only the dirty
         prefixes, ``rib_full_recomputes`` rescanned every prefix and
         ``rib_fallbacks`` are repairs that bailed out past the dirty-prefix
-        threshold.
+        threshold.  The ``dp_*`` keys extend the pattern to the flow-level
+        data plane of every registered engine: cached paths reused vs.
+        re-walked, and warm-started vs. full fair-share allocations (see
+        :class:`~repro.dataplane.path_cache.DataPlaneCounters`).
         """
         total = SpfCounters()
         rib_total = RibCounters()
         for process in self.routers.values():
             total.merge(process.spf_cache.counters)
             rib_total.merge(process.rib_cache.counters)
-        return {**total.snapshot(), **rib_total.snapshot()}
+        return {
+            **total.snapshot(),
+            **rib_total.snapshot(),
+            **self.dataplane_counters().snapshot(),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -21,7 +21,13 @@ from repro.util.errors import MonitoringError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.igp.network import IgpNetwork
 
-__all__ = ["InterfaceStat", "SnmpAgent", "build_agents", "collect_spf_counters"]
+__all__ = [
+    "InterfaceStat",
+    "SnmpAgent",
+    "build_agents",
+    "collect_counters",
+    "collect_spf_counters",
+]
 
 
 @dataclass(frozen=True)
@@ -72,16 +78,19 @@ def build_agents(topology: Topology, engine: DataPlaneEngine) -> Dict[str, SnmpA
     return {router: SnmpAgent(router, topology, engine) for router in topology.routers}
 
 
-def collect_spf_counters(network: "IgpNetwork") -> Dict[str, Dict[str, int]]:
+def collect_counters(network: "IgpNetwork") -> Dict[str, Dict[str, int]]:
     """Per-router SPF and RIB cache counters, plus the domain-wide aggregate.
 
-    This is the monitoring-plane view of the incremental route engine: for
+    This is the monitoring-plane view of the incremental engines: for
     every router it reports how many SPF triggers were served from cache,
     repaired incrementally from the dirty-edge delta log, recomputed in full,
     or fell back after an oversized delta — and, one layer up, how many RIB
     resolutions were cache hits, per-prefix dirty repairs, full prefix
     rescans, or fallbacks past the dirty-prefix threshold (the ``rib_*``
-    keys).  The ``"total"`` entry matches
+    keys).  The ``"dataplane"`` entry carries the flow-level ``dp_*``
+    counters of every data-plane engine registered with the network (paths
+    reused vs. re-walked, warm-started vs. full fair-share allocations); the
+    ``"total"`` entry merges all three layers and matches
     :attr:`repro.igp.network.IgpNetwork.spf_stats`.
     """
     per_router: Dict[str, Dict[str, int]] = {}
@@ -94,5 +103,16 @@ def collect_spf_counters(network: "IgpNetwork") -> Dict[str, Dict[str, int]]:
         }
         total.merge(process.spf_cache.counters)
         rib_total.merge(process.rib_cache.counters)
-    per_router["total"] = {**total.snapshot(), **rib_total.snapshot()}
+    dataplane = network.dataplane_counters()
+    per_router["dataplane"] = dataplane.snapshot()
+    per_router["total"] = {
+        **total.snapshot(),
+        **rib_total.snapshot(),
+        **dataplane.snapshot(),
+    }
     return per_router
+
+
+#: Backwards-compatible alias: the collector predates the data-plane layer
+#: and used to report SPF/RIB counters only.
+collect_spf_counters = collect_counters

@@ -81,14 +81,18 @@ def apply_schedule(
     Each arrival event starts ``count`` independent sessions toward
     ``prefix`` at its time.  The actual session creation happens when the
     timeline reaches the event, so FIBs and lies present at that simulated
-    time are the ones used for routing.
+    time are the ones used for routing.  Each event's sessions start as one
+    batch (:meth:`~repro.video.server.StreamingService.start_sessions`), so
+    a flash-crowd wave of ``n`` viewers costs one data-plane refresh, not
+    ``n``.
     """
     total = 0
     for event in schedule:
 
         def start_batch(event: ArrivalEvent = event) -> None:
-            for _ in range(event.count):
-                service.start_session(event.server, event.video_title, prefix)
+            service.start_sessions(
+                event.server, event.video_title, prefix, count=event.count
+            )
 
         timeline.schedule(event.time, start_batch, label=f"arrivals:{event.server}@{event.time}")
         total += event.count

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.dataplane.engine import DataPlaneEngine, LinkSample
+from repro.dataplane.flows import Flow, FlowSpec
 from repro.monitoring.notifications import ClientNotification, NotificationBus
 from repro.util.errors import SimulationError, ValidationError
 from repro.util.prefixes import Prefix
@@ -105,14 +106,34 @@ class StreamingService:
     # ------------------------------------------------------------------ #
     def start_session(self, server_name: str, video_title: str, prefix: Prefix) -> StreamingSession:
         """Start one playback of ``video_title`` from ``server_name`` toward ``prefix``."""
+        return self.start_sessions(server_name, video_title, prefix, count=1)[0]
+
+    def start_sessions(
+        self, server_name: str, video_title: str, prefix: Prefix, count: int
+    ) -> List[StreamingSession]:
+        """Start ``count`` same-instant playbacks as one data-plane batch.
+
+        A flash-crowd arrival event brings whole batches of viewers at the
+        same simulated instant; creating their flows through
+        :meth:`~repro.dataplane.engine.DataPlaneEngine.add_flows` pays for a
+        single path/allocation refresh instead of one per viewer.
+        """
+        if count < 1:
+            raise ValidationError(f"session count must be >= 1, got {count}")
         server = self.server(server_name)
         video = server.catalog.get(video_title)
-        flow = self.engine.add_flow(
+        spec = FlowSpec(
             ingress=server.ingress,
             prefix=prefix,
             demand=video.bitrate,
             label=f"{server_name}:{video_title}",
         )
+        flows = self.engine.add_flows([spec] * count)
+        return [self._register_session(server, video, prefix, flow) for flow in flows]
+
+    def _register_session(
+        self, server: VideoServer, video: Video, prefix: Prefix, flow: Flow
+    ) -> StreamingSession:
         client = PlaybackClient(
             client_id=self._next_session_id,
             video=video,

@@ -53,6 +53,35 @@ def fig1_rib_snapshot() -> dict:
     }
 
 
+def fig2_snapshot() -> dict:
+    """Fig. 2 link samples and cumulative per-link byte counters.
+
+    Pins the dynamic experiment's externally observable numbers — the
+    monitored-link throughput series the paper plots and the final SNMP
+    byte counters — bit for bit, so data-plane engine refactors (e.g. the
+    incremental path cache / warm-start allocator) cannot silently drift
+    the simulated traffic.
+    """
+    from repro.experiments.fig2 import run_demo_timeseries
+
+    snapshot = {}
+    for key, with_controller in (("with_controller", True), ("no_controller", False)):
+        result = run_demo_timeseries(with_controller=with_controller, duration=60.0)
+        snapshot[key] = {
+            "sessions_started": result.sessions_started,
+            "throughput_series": {
+                f"{source}->{target}": series
+                for (source, target), series in sorted(result.throughput_series.items())
+            },
+            "link_counters": {
+                f"{source}->{target}": value
+                for (source, target), value in sorted(result.link_counters.items())
+            },
+            "max_utilization_series": result.max_utilization_series,
+        }
+    return snapshot
+
+
 def optimality_snapshot() -> dict:
     from repro.experiments.optimality import run_optimality_study
 
@@ -77,6 +106,7 @@ def main() -> None:
     snapshots = {
         "fig1_loads.json": fig1_snapshot(),
         "fig1_ribs.json": fig1_rib_snapshot(),
+        "fig2_samples.json": fig2_snapshot(),
         "optimality_gaps.json": optimality_snapshot(),
     }
     for name, payload in snapshots.items():

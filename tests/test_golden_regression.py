@@ -87,6 +87,68 @@ class TestFig1RibGolden:
         assert cache.counters.full_recomputes == len(routers)
 
 
+class TestFig2Golden:
+    """Dynamic-experiment snapshots: the monitored-link throughput series
+    (what Fig. 2 plots) and the final per-link SNMP byte counters, pinned
+    bit-for-bit.  This is the guard rail of the incremental data plane: the
+    path cache and the warm-start allocator must reproduce the from-scratch
+    engine's traffic exactly, event by event, over the whole demo run."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load_golden("fig2_samples.json")
+
+    @pytest.mark.parametrize(
+        "key,with_controller",
+        [("with_controller", True), ("no_controller", False)],
+    )
+    def test_link_samples_and_counters_are_bit_identical(
+        self, golden, key, with_controller
+    ):
+        from repro.experiments.fig2 import run_demo_timeseries
+
+        expected = golden[key]
+        result = run_demo_timeseries(with_controller=with_controller, duration=60.0)
+        assert result.sessions_started == expected["sessions_started"]
+        actual_series = {
+            f"{source}->{target}": [list(point) for point in series]
+            for (source, target), series in result.throughput_series.items()
+        }
+        expected_series = {
+            link: [list(point) for point in series]
+            for link, series in expected["throughput_series"].items()
+        }
+        assert actual_series == expected_series
+        actual_counters = {
+            f"{source}->{target}": value
+            for (source, target), value in result.link_counters.items()
+        }
+        assert actual_counters == expected["link_counters"]
+        assert [list(point) for point in result.max_utilization_series] == [
+            list(point) for point in expected["max_utilization_series"]
+        ]
+        # The incremental engine must actually have been exercised: the demo
+        # run reuses cached paths across its FIB/arrival churn.
+        assert result.dataplane_stats["dp_flows_reused"] > 0
+
+    def test_cache_disabled_run_matches_the_same_golden(self, golden):
+        """``dataplane_incremental=False`` is the from-scratch oracle: the
+        same run without any caching must land on the same numbers."""
+        from repro.experiments.fig2 import run_demo_timeseries
+
+        expected = golden["with_controller"]
+        result = run_demo_timeseries(
+            with_controller=True, duration=60.0, dataplane_incremental=False
+        )
+        actual_counters = {
+            f"{source}->{target}": value
+            for (source, target), value in result.link_counters.items()
+        }
+        assert actual_counters == expected["link_counters"]
+        assert result.dataplane_stats["dp_flows_reused"] == 0
+        assert result.dataplane_stats["dp_alloc_warm_starts"] == 0
+
+
 class TestOptimalityGolden:
     def test_gap_numbers_are_bit_identical(self):
         expected = load_golden("optimality_gaps.json")["rows"]

@@ -204,8 +204,12 @@ class TestSpfCacheInvalidation:
         aggregate = converged_network.spf_stats
         assert per_router["total"] == aggregate
         for key, value in aggregate.items():
+            # Router entries carry the spf_*/rib_* keys, the "dataplane"
+            # entry the dp_* keys; .get() lets one sum span both layers.
             assert value == sum(
-                counters[key] for name, counters in per_router.items() if name != "total"
+                counters.get(key, 0)
+                for name, counters in per_router.items()
+                if name != "total"
             )
 
     def test_refresh_without_graph_change_is_a_pure_hit(self, converged_network):

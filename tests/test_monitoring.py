@@ -197,3 +197,102 @@ class TestNotifications:
     def test_invalid_delta_rejected(self):
         with pytest.raises(MonitoringError):
             self.make_notification(delta=0)
+
+
+class TestCounterCollection:
+    """Aggregation of spf_*/rib_*/dp_* counters through collect_counters."""
+
+    def build_network_with_engine(self):
+        from repro.igp.network import IgpNetwork
+
+        topology = build_demo_topology()
+        network = IgpNetwork(topology)
+        network.start()
+        network.converge()
+        engine = DataPlaneEngine(
+            topology,
+            lambda: network.fibs(),
+            network.timeline,
+            sample_interval=1.0,
+        )
+        engine.bind_to_network(network)
+        engine.add_flow("B", BLUE_PREFIX, mbps(2))
+        engine.add_flow("B", BLUE_PREFIX, mbps(2))
+        engine.notify_routing_change()  # a no-op refresh: pure cache reuse
+        return network, engine
+
+    def test_collect_counters_merges_all_three_layers(self):
+        from repro.monitoring.counters import collect_counters
+
+        network, engine = self.build_network_with_engine()
+        per_router = collect_counters(network)
+        total = per_router["total"]
+        assert total == network.spf_stats
+        # The dataplane entry mirrors the bound engine's counters exactly.
+        assert per_router["dataplane"] == engine.counters.snapshot()
+        assert total["dp_flows_rerouted"] == engine.counters.flows_rerouted
+        assert total["dp_flows_reused"] == engine.counters.flows_reused > 0
+        # Every layer's keys are present in the merged total.
+        for key in ("spf_cache_hits", "rib_cache_hits", "dp_alloc_warm_starts"):
+            assert key in total
+        # Per-key reconciliation across the router + dataplane entries.
+        for key, value in total.items():
+            assert value == sum(
+                counters.get(key, 0)
+                for name, counters in per_router.items()
+                if name != "total"
+            )
+
+    def test_collect_spf_counters_alias_is_preserved(self):
+        from repro.monitoring.counters import collect_counters, collect_spf_counters
+
+        assert collect_spf_counters is collect_counters
+
+    def test_network_merges_multiple_engines(self):
+        from repro.dataplane.path_cache import DataPlaneCounters
+
+        network, engine = self.build_network_with_engine()
+        second = DataPlaneEngine(
+            network.topology,
+            lambda: network.fibs(),
+            network.timeline,
+            sample_interval=1.0,
+        )
+        second.bind_to_network(network)
+        second.bind_to_network(network)  # double-bind must not double-count
+        second.add_flow("A", BLUE_PREFIX, mbps(1))
+        merged = network.dataplane_counters()
+        expected = DataPlaneCounters()
+        expected.merge(engine.counters)
+        expected.merge(second.counters)
+        assert merged.snapshot() == expected.snapshot()
+        assert network.dataplane_stats == merged.snapshot()
+
+    def test_controller_stats_mirror_dataplane_counters(self):
+        from repro.core.controller import FibbingController
+
+        network, engine = self.build_network_with_engine()
+        controller = FibbingController(
+            network.topology, network=network, attachment="R3"
+        )
+        stats = controller.stats.snapshot()
+        assert stats["dp_flows_rerouted"] == engine.counters.flows_rerouted
+        assert stats["dp_flows_reused"] == engine.counters.flows_reused
+        assert stats["dp_alloc_full"] == engine.counters.alloc_full
+
+    def test_dataplane_counters_merge_and_snapshot_roundtrip(self):
+        from repro.dataplane.path_cache import DataPlaneCounters
+
+        first = DataPlaneCounters(
+            flows_rerouted=1, flows_reused=2, alloc_warm_starts=3, alloc_full=4, fallbacks=5
+        )
+        second = DataPlaneCounters(flows_rerouted=10, fallbacks=1)
+        first.merge(second)
+        assert first.snapshot() == {
+            "dp_flows_rerouted": 11,
+            "dp_flows_reused": 2,
+            "dp_alloc_warm_starts": 3,
+            "dp_alloc_full": 4,
+            "dp_fallbacks": 6,
+        }
+        assert first.alloc_events == 3 + 4 + 6

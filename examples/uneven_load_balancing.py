@@ -57,6 +57,23 @@ def main() -> None:
     print("Every other router keeps its shortest-path forwarding; no tunnel, no "
           "encapsulation, and the lies can be withdrawn at any time.")
 
+    # Reconciliation: re-enforcing the unchanged requirement is a pure
+    # plan-cache hit (no validation, no synthesis, no messages), and a new
+    # split only ships the per-prefix delta against the installed lies.
+    noop = controller.enforce_requirement(requirement)
+    print(f"\nRe-enforcing the same requirement: "
+          f"{noop.message_count} messages ({noop.unchanged} lies kept)")
+    shifted = DestinationRequirement.from_fractions(
+        prefix, {router: {"KansasCity": 0.50, "Seattle": 0.30, "Sunnyvale": 0.20}},
+        max_entries=16,
+    )
+    delta = controller.enforce_requirement(shifted)
+    print(f"Shifting to 50/30/20: {len(delta.injected)} injected, "
+          f"{len(delta.withdrawn)} withdrawn, {delta.unchanged} kept")
+    ctl = {key: value for key, value in controller.stats.snapshot().items()
+           if key.startswith("ctl_")}
+    print(f"Reconciliation counters: {ctl}")
+
 
 if __name__ == "__main__":
     main()

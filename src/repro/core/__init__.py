@@ -21,6 +21,10 @@ uneven splitting ratios.  The sub-modules follow the controller's pipeline:
 ``lies``
     Lifecycle management of active lies and diff-based updates (inject only
     what is new, withdraw only what is obsolete).
+``reconciler``
+    Incremental reconciliation: the versioned plan cache and the minimal
+    retract/inject deltas that keep reaction cost proportional to what
+    actually changed (with the clear-and-replay oracle as fallback).
 ``optimizer``
     The min-max link-utilisation linear program (the "optimal solution to
     the min-max link utilization problem" of §2) and its conversion into
@@ -41,6 +45,7 @@ from repro.core.splitting import approximate_ratios, split_error, weights_to_fra
 from repro.core.augmentation import synthesize_lies, AugmentationError
 from repro.core.merger import LieMerger, MergeReport, reduce_weights
 from repro.core.lies import Lie, LieState, LieRegistry, LieUpdate
+from repro.core.reconciler import CtlCounters, LieReconciler, PlanCache
 from repro.core.optimizer import MinMaxLoadOptimizer, OptimizationResult
 from repro.core.controller import FibbingController, ControllerUpdate, ControllerStats
 from repro.core.loadbalancer import OnDemandLoadBalancer, RebalanceAction
@@ -61,6 +66,9 @@ __all__ = [
     "LieState",
     "LieRegistry",
     "LieUpdate",
+    "CtlCounters",
+    "LieReconciler",
+    "PlanCache",
     "MinMaxLoadOptimizer",
     "OptimizationResult",
     "FibbingController",

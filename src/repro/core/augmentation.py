@@ -34,7 +34,8 @@ weights, which all provided topologies satisfy.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.requirements import DestinationRequirement
 from repro.igp.fib import Fib
@@ -45,7 +46,13 @@ from repro.igp.topology import Topology
 from repro.util.errors import ControllerError
 from repro.util.prefixes import Prefix
 
-__all__ = ["synthesize_lies", "AugmentationError", "DEFAULT_EPSILON"]
+__all__ = [
+    "LieShape",
+    "synthesize_lie_shapes",
+    "synthesize_lies",
+    "AugmentationError",
+    "DEFAULT_EPSILON",
+]
 
 #: Default per-level cost reduction used in override mode.  Must stay below
 #: the smallest difference between two distinct path costs in the topology
@@ -55,6 +62,29 @@ DEFAULT_EPSILON = 1e-3
 
 class AugmentationError(ControllerError):
     """A requirement cannot be turned into lies on the given topology."""
+
+
+@dataclass(frozen=True)
+class LieShape:
+    """The name-free content of one lie.
+
+    Everything that determines a lie's effect on routing — anchor, fake-link
+    cost, announced prefix cost and forwarding address — but not the fake
+    node's name, which is administrative identity assigned by the controller
+    only when the lie is actually injected.  Shapes are what the incremental
+    controller caches and diffs: two reactions that want the same shapes for
+    a prefix need no network messages, whatever names the active lies carry.
+    """
+
+    anchor: str
+    forwarding_address: str
+    link_cost: float
+    prefix_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        """Cost of the fake path as seen from the anchor router."""
+        return self.link_cost + self.prefix_cost
 
 
 def _default_name_factory(prefix: Prefix) -> Callable[[str], str]:
@@ -87,32 +117,19 @@ def _epsilon_ranks(
     }
 
 
-def synthesize_lies(
+def synthesize_lie_shapes(
     topology: Topology,
     requirement: DestinationRequirement,
-    controller: str = "fibbing-controller",
     epsilon: float = DEFAULT_EPSILON,
     baseline_fibs: Optional[Mapping[str, Fib]] = None,
-    name_factory: Optional[Callable[[str], str]] = None,
-) -> List[FakeNodeLsa]:
-    """Compute the fake-node LSAs enforcing ``requirement`` on ``topology``.
+) -> Tuple[LieShape, ...]:
+    """Compute the name-free lie shapes enforcing ``requirement``.
 
-    Parameters
-    ----------
-    topology:
-        The physical topology (without any lies).
-    requirement:
-        The per-destination requirement to enforce.  It is validated first.
-    controller:
-        Identifier used as the LSAs' origin.
-    epsilon:
-        Per-rank cost reduction used in override mode (see module docstring).
-    baseline_fibs:
-        Pre-computed lie-free FIBs (optional, avoids recomputing them when
-        the caller enforces many requirements on the same topology).
-    name_factory:
-        Callable mapping an anchor router to a fresh, globally unique fake
-        node name.  Defaults to a deterministic per-prefix counter.
+    This is the pure planning core of :func:`synthesize_lies`: it validates
+    the requirement and derives, per constrained router, the fake-path costs
+    and forwarding addresses — everything except the fake-node names, which
+    only exist once lies are injected.  The incremental controller caches
+    these tuples per ``(baseline graph version, requirement digest)``.
     """
     if epsilon <= 0:
         raise AugmentationError(f"epsilon must be strictly positive, got {epsilon}")
@@ -120,8 +137,6 @@ def synthesize_lies(
     prefix = requirement.prefix
     if baseline_fibs is None:
         baseline_fibs = compute_static_fibs(topology)
-    if name_factory is None:
-        name_factory = _default_name_factory(prefix)
 
     # Decide the regime globally: ties are only safe when *every* constrained
     # router keeps its current next hops (otherwise another router's cheaper
@@ -158,7 +173,7 @@ def synthesize_lies(
             f"cost reductions would exceed the IGP weight granularity"
         )
 
-    lies: List[FakeNodeLsa] = []
+    shapes: List[LieShape] = []
     for router in requirement.routers:
         required = requirement.weights_at(router)
         current_next_hops, current_cost = baseline_state[router]
@@ -187,15 +202,58 @@ def synthesize_lies(
             for _ in range(needed):
                 link_cost = target_cost / 2.0
                 prefix_cost = target_cost - link_cost
-                lies.append(
-                    FakeNodeLsa(
-                        origin=controller,
-                        fake_node=name_factory(router),
+                shapes.append(
+                    LieShape(
                         anchor=router,
-                        link_cost=link_cost,
-                        prefix=prefix,
-                        prefix_cost=prefix_cost,
                         forwarding_address=next_hop,
+                        link_cost=link_cost,
+                        prefix_cost=prefix_cost,
                     )
                 )
-    return lies
+    return tuple(shapes)
+
+
+def synthesize_lies(
+    topology: Topology,
+    requirement: DestinationRequirement,
+    controller: str = "fibbing-controller",
+    epsilon: float = DEFAULT_EPSILON,
+    baseline_fibs: Optional[Mapping[str, Fib]] = None,
+    name_factory: Optional[Callable[[str], str]] = None,
+) -> List[FakeNodeLsa]:
+    """Compute the fake-node LSAs enforcing ``requirement`` on ``topology``.
+
+    Parameters
+    ----------
+    topology:
+        The physical topology (without any lies).
+    requirement:
+        The per-destination requirement to enforce.  It is validated first.
+    controller:
+        Identifier used as the LSAs' origin.
+    epsilon:
+        Per-rank cost reduction used in override mode (see module docstring).
+    baseline_fibs:
+        Pre-computed lie-free FIBs (optional, avoids recomputing them when
+        the caller enforces many requirements on the same topology).
+    name_factory:
+        Callable mapping an anchor router to a fresh, globally unique fake
+        node name.  Defaults to a deterministic per-prefix counter.
+    """
+    shapes = synthesize_lie_shapes(
+        topology, requirement, epsilon=epsilon, baseline_fibs=baseline_fibs
+    )
+    if name_factory is None:
+        name_factory = _default_name_factory(requirement.prefix)
+    return [
+        FakeNodeLsa(
+            origin=controller,
+            fake_node=name_factory(shape.anchor),
+            anchor=shape.anchor,
+            link_cost=shape.link_cost,
+            prefix=requirement.prefix,
+            prefix_cost=shape.prefix_cost,
+            forwarding_address=shape.forwarding_address,
+        )
+        for shape in shapes
+    ]

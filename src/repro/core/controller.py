@@ -17,10 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.core.augmentation import DEFAULT_EPSILON, synthesize_lies
+from repro.core.augmentation import DEFAULT_EPSILON
 from repro.core.lies import LieRegistry, LieUpdate
+from repro.core.reconciler import LieReconciler, PlanCache
 from repro.core.requirements import DestinationRequirement, RequirementSet
 from repro.igp.fib import DEFAULT_MAX_ECMP, Fib
+from repro.igp.graph import ComputationGraph
 from repro.igp.lsa import FakeNodeLsa, Lsa
 from repro.igp.network import IgpNetwork, compute_static_fibs
 from repro.igp.rib_cache import RibCache, RibCounters
@@ -57,6 +59,14 @@ class ControllerStats:
     dp_alloc_warm_starts: int = 0
     dp_alloc_full: int = 0
     dp_fallbacks: int = 0
+    ctl_plan_cache_hits: int = 0
+    ctl_plans_recomputed: int = 0
+    ctl_lies_injected: int = 0
+    ctl_lies_retracted: int = 0
+    ctl_lies_kept: int = 0
+    ctl_fallbacks: int = 0
+    ctl_opt_cache_hits: int = 0
+    ctl_merge_cache_hits: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict copy for reporting."""
@@ -82,6 +92,14 @@ class ControllerStats:
             "dp_alloc_warm_starts": self.dp_alloc_warm_starts,
             "dp_alloc_full": self.dp_alloc_full,
             "dp_fallbacks": self.dp_fallbacks,
+            "ctl_plan_cache_hits": self.ctl_plan_cache_hits,
+            "ctl_plans_recomputed": self.ctl_plans_recomputed,
+            "ctl_lies_injected": self.ctl_lies_injected,
+            "ctl_lies_retracted": self.ctl_lies_retracted,
+            "ctl_lies_kept": self.ctl_lies_kept,
+            "ctl_fallbacks": self.ctl_fallbacks,
+            "ctl_opt_cache_hits": self.ctl_opt_cache_hits,
+            "ctl_merge_cache_hits": self.ctl_merge_cache_hits,
         }
 
 
@@ -115,15 +133,39 @@ class FibbingController:
         network: Optional[IgpNetwork] = None,
         attachment: Optional[str] = None,
         epsilon: float = DEFAULT_EPSILON,
+        incremental: bool = True,
+        plan_dirty_threshold: float = 0.5,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
+        """Create a controller for ``topology``.
+
+        ``incremental=False`` disables the plan cache and per-requirement
+        skip logic: every ``enforce`` re-plans every requirement through
+        validation, lie synthesis and the registry diff (the pre-PlanCache
+        clear-and-replay engine, kept as the differential oracle).  The
+        installed LSAs and resulting FIBs are bit-identical either way; only
+        the ``ctl_*`` counters and the wall-clock cost differ.
+        ``plan_dirty_threshold`` is the fallback knob: when more than that
+        fraction of an enforce wave's requirements changed, the wave is
+        re-planned in full and counted as a ``ctl_fallback``.
+        """
         self.topology = topology
         self.name = name
         self.network = network
         self.epsilon = epsilon
+        self.incremental = incremental
         self.registry = LieRegistry(controller=name)
+        self.reconciler = LieReconciler(
+            registry=self.registry,
+            controller=name,
+            plan_cache=plan_cache,
+            plan_dirty_threshold=plan_dirty_threshold,
+        )
         self._stats = ControllerStats()
         self.updates: List[ControllerUpdate] = []
-        self._lie_counter = 0
+        # Baseline-FIB memo keyed on the topology revision:
+        # (revision, max_ecmp, fibs).  Incremental mode only.
+        self._baseline_memo: Optional[Tuple[int, int, Dict[str, Fib]]] = None
         # Two route-cache lineages: the lie-free baseline view (used when
         # synthesising lies) and the lied-to view (used to predict/verify the
         # converged FIBs).  Keeping them separate means alternating between
@@ -138,6 +180,13 @@ class FibbingController:
         if attachment is not None and not topology.has_router(attachment):
             raise ControllerError(f"attachment router {attachment!r} is not in the topology")
         self.attachment = attachment
+        if network is not None:
+            network.register_controller(self)
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The controller's plan cache (shared with its optimizer/merger)."""
+        return self.reconciler.plan_cache
 
     @property
     def baseline_spf_cache(self) -> SpfCache:
@@ -165,10 +214,14 @@ class FibbingController:
         baseline_fibs: Optional[Mapping[str, Fib]] = None,
     ) -> ControllerUpdate:
         """Make the network forward as ``requirement`` asks; returns the applied diff."""
-        if baseline_fibs is None:
-            baseline_fibs = self.baseline_fibs()
-        plan = self._plan_requirement(requirement, baseline_fibs)
-        return self._apply(plan)
+        if baseline_fibs is not None:
+            # A caller-supplied baseline cannot be attested to a graph
+            # version, so the plan is made from scratch and the prefix's
+            # skip bookkeeping is dropped.
+            self.reconciler.forget(requirement.prefix)
+            plan = self._plan_requirement(requirement, baseline_fibs)
+            return self._apply(plan)
+        return self.enforce([requirement])[0]
 
     def enforce(self, requirements: RequirementSet | Iterable[DestinationRequirement]) -> List[ControllerUpdate]:
         """Enforce several requirements as one batched update wave.
@@ -178,16 +231,68 @@ class FibbingController:
         against the registry, and every resulting LSA is shipped to the
         network in a single injection so the IGP routers see one burst and
         run one SPF/FIB recomputation wave instead of one per requirement.
+
+        In incremental mode, a requirement whose digest and baseline graph
+        version are both unchanged since its last enforcement is skipped
+        outright (a ``ctl_plan_cache_hit``: no validation, no synthesis, no
+        diff — the installed lies are kept); only the changed requirements
+        are re-planned.  When more than ``plan_dirty_threshold`` of the wave
+        changed, the whole wave is re-planned clear-and-replay style and
+        counted as a ``ctl_fallback``.  Both paths install bit-identical
+        LSAs — the differential suite holds the incremental engine to the
+        ``incremental=False`` oracle.
         """
+        reqs = list(requirements)
         baseline_fibs = self.baseline_fibs()
         # Plans are made and committed sequentially (so a later requirement
         # for the same prefix sees the earlier one's lies and withdraws
         # them); only the network sends are deferred into the single wave.
         plans: List[LieUpdate] = []
         now = self._now()
-        for requirement in requirements:
-            plan = self._plan_requirement(requirement, baseline_fibs)
+        if not self.incremental:
+            for requirement in reqs:
+                plan = self._plan_requirement(requirement, baseline_fibs)
+                self.registry.commit(plan, now=now)
+                plans.append(plan)
+            return self._apply_batch(plans, already_committed=True)
+
+        version = self.baseline_route_cache.version
+        counters = self.reconciler.counters
+        dirty = sum(
+            1 for requirement in reqs
+            if not self.reconciler.is_clean(version, requirement)
+        )
+        fallback = bool(
+            reqs
+            and self.reconciler.has_state
+            and dirty > self.reconciler.plan_dirty_threshold * len(reqs)
+        )
+        if fallback:
+            counters.fallbacks += 1
+        # One registry snapshot serves every skipped prefix of the wave; an
+        # earlier plan of the same wave can only have changed the counts of
+        # prefixes it planned, which are tracked and re-read exactly.
+        active_counts = self.registry.active_counts()
+        planned_prefixes = set()
+        for requirement in reqs:
+            if not fallback and self.reconciler.is_clean(version, requirement):
+                counters.plan_cache_hits += 1
+                plan = self.reconciler.noop_plan(
+                    requirement.prefix,
+                    active_count=(
+                        None
+                        if requirement.prefix in planned_prefixes
+                        else active_counts.get(requirement.prefix, 0)
+                    ),
+                )
+            else:
+                counters.plans_recomputed += 1
+                plan = self._plan_requirement(
+                    requirement, baseline_fibs, version=version
+                )
             self.registry.commit(plan, now=now)
+            self.reconciler.mark_enforced(version, requirement)
+            planned_prefixes.add(requirement.prefix)
             plans.append(plan)
         return self._apply_batch(plans, already_committed=True)
 
@@ -195,27 +300,59 @@ class FibbingController:
         self,
         requirement: DestinationRequirement,
         baseline_fibs: Mapping[str, Fib],
+        version: Optional[int] = None,
     ) -> LieUpdate:
         """Synthesise the lies for one requirement and diff them vs the registry."""
-        desired = synthesize_lies(
+        desired = self.reconciler.desired_lies(
             topology=self.topology,
             requirement=requirement,
-            controller=self.name,
-            epsilon=self.epsilon,
             baseline_fibs=baseline_fibs,
-            name_factory=self._make_lie_name,
+            version=version,
+            epsilon=self.epsilon,
         )
-        return self.registry.plan_update(requirement.prefix, desired)
+        return self.reconciler.reconcile(requirement.prefix, desired)
 
     def baseline_fibs(self, max_ecmp: int = DEFAULT_MAX_ECMP) -> Dict[str, Fib]:
-        """Lie-free FIBs of the current topology, served from the route cache."""
-        return compute_static_fibs(
+        """Lie-free FIBs of the current topology, served from the route cache.
+
+        In incremental mode the result is additionally memoised on the
+        topology's :attr:`~repro.igp.topology.Topology.revision`: while the
+        topology does not change, repeated calls return the same mapping
+        without even rebuilding and re-diffing the computation graph.
+        Callers must treat the mapping as read-only.
+        """
+        if self.incremental:
+            revision = self.topology.revision
+            memo = self._baseline_memo
+            if memo is not None and memo[0] == revision and memo[1] == max_ecmp:
+                return memo[2]
+        fibs = compute_static_fibs(
             self.topology, max_ecmp=max_ecmp, rib_cache=self.baseline_route_cache
         )
+        if self.incremental:
+            self._baseline_memo = (self.topology.revision, max_ecmp, fibs)
+        return fibs
+
+    def baseline_version(self) -> Optional[int]:
+        """Version of the current lie-free graph in the baseline lineage.
+
+        This is the version the plan cache keys on; observing the rebuilt
+        graph is a no-op when the topology did not change since the last
+        baseline computation (and is skipped entirely while the topology
+        revision matches the memoised baseline).
+        """
+        memo = self._baseline_memo
+        if memo is not None and memo[0] == self.topology.revision:
+            return self.baseline_route_cache.version
+        graph = self.baseline_route_cache.observe(
+            ComputationGraph.from_topology(self.topology)
+        )
+        return graph.version
 
     def clear_prefix(self, prefix: Prefix) -> ControllerUpdate:
         """Withdraw every lie programmed for ``prefix``."""
         plan = self.registry.clear(prefix)
+        self.reconciler.forget(prefix)
         return self._apply(plan)
 
     def clear_all(self) -> List[ControllerUpdate]:
@@ -297,10 +434,6 @@ class FibbingController:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _make_lie_name(self, anchor: str) -> str:
-        self._lie_counter += 1
-        return f"{self.name}-fake-{anchor}-{self._lie_counter}"
-
     def _now(self) -> float:
         if self.network is not None:
             return self.network.timeline.now
@@ -343,6 +476,7 @@ class FibbingController:
             )
             self.updates.append(update)
             applied.append(update)
+            self.reconciler.record_applied(plan)
             self._stats.updates_applied += 1
             self._stats.lies_injected += len(plan.to_inject)
             self._stats.lies_withdrawn += len(plan.to_withdraw)
@@ -368,6 +502,15 @@ class FibbingController:
         self._stats.rib_fallbacks = rib_total.fallbacks
         self._stats.rib_prefixes_repaired = rib_total.prefixes_repaired
         self._stats.rib_prefixes_reused = rib_total.prefixes_reused
+        ctl = self.reconciler.counters
+        self._stats.ctl_plan_cache_hits = ctl.plan_cache_hits
+        self._stats.ctl_plans_recomputed = ctl.plans_recomputed
+        self._stats.ctl_lies_injected = ctl.lies_injected
+        self._stats.ctl_lies_retracted = ctl.lies_retracted
+        self._stats.ctl_lies_kept = ctl.lies_kept
+        self._stats.ctl_fallbacks = ctl.fallbacks
+        self._stats.ctl_opt_cache_hits = ctl.opt_cache_hits
+        self._stats.ctl_merge_cache_hits = ctl.merge_cache_hits
         if self.network is not None:
             # The data plane hangs off the live network; its counters are
             # part of the controller's end-to-end reaction accounting.

@@ -13,6 +13,7 @@ tunnel-based TE.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -20,12 +21,61 @@ from repro.igp.lsa import FakeNodeLsa
 from repro.util.errors import ControllerError
 from repro.util.prefixes import Prefix
 
-__all__ = ["LieState", "Lie", "LieUpdate", "LieRegistry"]
+__all__ = [
+    "LieState",
+    "Lie",
+    "LieUpdate",
+    "LieRegistry",
+    "lsa_signature",
+    "lie_set_digest",
+    "per_prefix_lie_digests",
+]
 
 #: A lie's behavioural signature: two lies with the same signature are
 #: interchangeable from the routers' point of view (same anchor, same
 #: resolved next hop, same perceived cost for the same prefix).
 LieSignature = Tuple[str, str, float, Prefix]
+
+
+def lsa_signature(lsa: FakeNodeLsa) -> LieSignature:
+    """The behavioural signature of a fake-node LSA (see module docstring)."""
+    return (
+        lsa.anchor,
+        lsa.forwarding_address,
+        round(lsa.total_cost, 9),
+        lsa.prefix,
+    )
+
+
+def lie_set_digest(lsas: Iterable[FakeNodeLsa]) -> str:
+    """Stable hex digest of a set of lies, names included.
+
+    Order-independent (the LSAs are canonically sorted first) but otherwise
+    exact: fake-node name, anchor, forwarding address and the ``repr``-level
+    costs all enter the digest, so both a behavioural drift *and* a change
+    of the controller's deterministic naming fail the golden snapshots.
+    """
+    hasher = hashlib.sha256()
+    lines = sorted(
+        f"{lsa.fake_node}|{lsa.anchor}>{lsa.forwarding_address}"
+        f"|{lsa.link_cost!r}+{lsa.prefix_cost!r}|{lsa.prefix}"
+        for lsa in lsas
+    )
+    for line in lines:
+        hasher.update(line.encode())
+        hasher.update(b";")
+    return hasher.hexdigest()
+
+
+def per_prefix_lie_digests(lsas: Iterable[FakeNodeLsa]) -> Dict[str, str]:
+    """``{prefix: digest}`` of a lie set, one digest per programmed prefix."""
+    by_prefix: Dict[Prefix, List[FakeNodeLsa]] = {}
+    for lsa in lsas:
+        by_prefix.setdefault(lsa.prefix, []).append(lsa)
+    return {
+        str(prefix): lie_set_digest(group)
+        for prefix, group in sorted(by_prefix.items())
+    }
 
 
 class LieState(enum.Enum):
@@ -57,12 +107,7 @@ class Lie:
     @property
     def signature(self) -> LieSignature:
         """Behavioural identity used for diffing (see module docstring)."""
-        return (
-            self.lsa.anchor,
-            self.lsa.forwarding_address,
-            round(self.lsa.total_cost, 9),
-            self.lsa.prefix,
-        )
+        return lsa_signature(self.lsa)
 
 
 @dataclass(frozen=True)
@@ -113,6 +158,19 @@ class LieRegistry:
         """Number of active lies (optionally for one prefix)."""
         return len(self.active_lies(prefix))
 
+    def active_counts(self) -> Dict[Prefix, int]:
+        """Active-lie count per prefix in one unsorted pass.
+
+        The reconciler snapshots this once per enforce wave instead of
+        scanning the registry per skipped prefix (which would be quadratic
+        in the number of programmed prefixes).
+        """
+        counts: Dict[Prefix, int] = {}
+        for lie in self._lies.values():
+            if lie.state is LieState.ACTIVE:
+                counts[lie.prefix] = counts.get(lie.prefix, 0) + 1
+        return counts
+
     def prefixes(self) -> List[Prefix]:
         """Prefixes that currently have at least one active lie."""
         return sorted({lie.prefix for lie in self.active_lies()})
@@ -147,13 +205,7 @@ class LieRegistry:
         to_inject: List[FakeNodeLsa] = []
         unchanged = 0
         for lsa in desired:
-            signature = (
-                lsa.anchor,
-                lsa.forwarding_address,
-                round(lsa.total_cost, 9),
-                lsa.prefix,
-            )
-            matches = remaining.get(signature)
+            matches = remaining.get(lsa_signature(lsa))
             if matches:
                 matches.pop()
                 unchanged += 1

@@ -52,6 +52,11 @@ class RebalanceAction:
     #: Diffing consecutive actions' snapshots yields the flow-reroute and
     #: warm-start work each reaction wave caused downstream.
     dataplane_counters: Dict[str, int] = field(default_factory=dict)
+    #: ``ctl_*`` counter snapshot of the controller at reaction time.
+    #: Diffing consecutive actions' snapshots shows how much of the
+    #: reaction was served from the plan cache vs. re-planned, and how many
+    #: lies the wave actually moved.
+    controller_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def lies_injected(self) -> int:
@@ -88,14 +93,22 @@ class OnDemandLoadBalancer:
         #: counters so reaction cost can be attributed end to end.
         self.dataplane = dataplane
         self.managed_prefixes = tuple(managed_prefixes) if managed_prefixes else None
+        # An incremental controller shares its plan cache with the optimizer
+        # and the merger, so a reaction whose inputs did not move reuses the
+        # LP solution and the merged weight maps wholesale; with an oracle
+        # controller every stage recomputes from scratch.
+        plan_cache = controller.plan_cache if controller.incremental else None
         self.optimizer = MinMaxLoadOptimizer(
-            controller.topology, max_stretch=policy.path_stretch
+            controller.topology,
+            max_stretch=policy.path_stretch,
+            plan_cache=plan_cache,
         )
         self.merger = LieMerger(
             controller.topology,
             tolerance=policy.merge_tolerance,
             max_entries=policy.max_ecmp_entries,
             rib_cache=controller.baseline_route_cache,
+            plan_cache=plan_cache,
         )
         self.actions: List[RebalanceAction] = []
 
@@ -111,6 +124,28 @@ class OnDemandLoadBalancer:
     # ------------------------------------------------------------------ #
     def handle_alarm(self, event: AlarmEvent) -> Optional[RebalanceAction]:
         """React to one alarm; returns the action taken (or ``None`` if nothing to do)."""
+        return self.react(event)
+
+    def react(self, event: Optional[AlarmEvent] = None, time: float = 0.0) -> Optional[RebalanceAction]:
+        """The reconciliation entry point: alarm (or manual trigger) in, minimal lie delta out.
+
+        Rebuilds the demand matrix from the client notifications, solves the
+        min-max LP, reduces the requirements and asks the controller to
+        reconcile — where every stage reuses its cached plan when its inputs
+        did not move: an unchanged ``(graph version, demand digest,
+        capacities)`` reuses the whole LP solution, unchanged requirement
+        digests reuse their merged weight maps and skip re-planning, and
+        only prefixes whose requirement actually changed see any lie churn.
+        With an ``incremental=False`` controller every stage recomputes from
+        scratch (the differential oracle); the installed lies and FIBs are
+        bit-identical either way.
+
+        ``event`` may be omitted for a manual trigger (see
+        :meth:`rebalance_now`); alarm wiring passes the
+        :class:`~repro.monitoring.alarms.AlarmEvent` straight through.
+        """
+        if event is None:
+            event = AlarmEvent(time=time, hot_links=())
         demands = self.current_demands()
         prefixes = self._prefixes_to_optimize(demands)
         if not prefixes:
@@ -120,16 +155,20 @@ class OnDemandLoadBalancer:
                 return None
             action = RebalanceAction(
                 time=event.time,
-                hot_links=tuple(view.link for view in event.hot_links),
+                hot_links=event.hot_link_keys,
                 optimized_prefixes=(),
                 predicted_max_utilization=0.0,
                 updates=stale_updates,
                 merge_report=MergeReport(),
                 dataplane_counters=self._dataplane_snapshot(),
+                controller_counters=self._controller_snapshot(),
             )
             self.actions.append(action)
             return action
-        result = self.optimizer.optimize(demands, prefixes)
+        plan_version = (
+            self.controller.baseline_version() if self.controller.incremental else None
+        )
+        result = self.optimizer.optimize(demands, prefixes, plan_version=plan_version)
         requirements = self.build_requirements(result)
         optimized, merge_report = self.merger.optimize(requirements)
         updates = list(self.controller.enforce(optimized))
@@ -140,12 +179,13 @@ class OnDemandLoadBalancer:
         updates.extend(self._withdraw_stale_lies({req.prefix for req in optimized}))
         action = RebalanceAction(
             time=event.time,
-            hot_links=tuple(view.link for view in event.hot_links),
+            hot_links=event.hot_link_keys,
             optimized_prefixes=tuple(prefixes),
             predicted_max_utilization=result.objective,
             updates=tuple(updates),
             merge_report=merge_report,
             dataplane_counters=self._dataplane_snapshot(),
+            controller_counters=self._controller_snapshot(),
         )
         self.actions.append(action)
         return action
@@ -155,6 +195,10 @@ class OnDemandLoadBalancer:
         if self.dataplane is None:
             return {}
         return self.dataplane.counters.snapshot()
+
+    def _controller_snapshot(self) -> Dict[str, int]:
+        """The controller's ``ctl_*`` counters at this instant."""
+        return self.controller.reconciler.counters.snapshot()
 
     def handle_topology_change(self, time: float = 0.0) -> Optional[RebalanceAction]:
         """Re-optimise after a topology event (e.g. a link failure).
@@ -183,10 +227,7 @@ class OnDemandLoadBalancer:
         Useful for static experiments and for operators that want to force a
         proactive re-optimisation.
         """
-        from repro.monitoring.collector import LinkLoadView  # local import to avoid cycle
-
-        event = AlarmEvent(time=time, hot_links=())
-        return self.handle_alarm(event)
+        return self.react(time=time)
 
     # ------------------------------------------------------------------ #
     # Building blocks (also used directly by benchmarks)

@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.core.reconciler import MergedPlan, PlanCache
 from repro.core.requirements import DestinationRequirement, RequirementSet
 from repro.core.splitting import approximate_ratios, split_error, weights_to_fractions
 from repro.igp.fib import Fib
@@ -77,6 +78,7 @@ class LieMerger:
         max_entries: int = 16,
         spf_cache: Optional[SpfCache] = None,
         rib_cache: Optional[RibCache] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.topology = topology
         self.tolerance = check_non_negative(tolerance, "tolerance")
@@ -91,6 +93,11 @@ class LieMerger:
             rib_cache = RibCache(spf_cache=spf_cache)
         self.rib_cache = rib_cache
         self.spf_cache = rib_cache.spf_cache
+        # Optional: the controller's plan cache.  When present, the merged
+        # weight map of a requirement is reused wholesale as long as neither
+        # the requirement (digest) nor the baseline graph (version of the
+        # shared route-cache lineage) changed.
+        self.plan_cache = plan_cache
 
     # ------------------------------------------------------------------ #
     # Single requirement
@@ -100,33 +107,69 @@ class LieMerger:
         requirement: DestinationRequirement,
         baseline_fibs: Optional[Mapping[str, Fib]] = None,
         report: Optional[MergeReport] = None,
+        plan_version: Optional[int] = None,
     ) -> DestinationRequirement:
-        """Return an equivalent (or tolerance-close) requirement with fewer entries."""
+        """Return an equivalent (or tolerance-close) requirement with fewer entries.
+
+        With a plan cache and a ``plan_version`` (the baseline graph version
+        the supplied FIBs were resolved at), the reduced weight map — and
+        its exact report accounting — is replayed from the cache when the
+        requirement was already merged at that version.
+        """
         if baseline_fibs is None:
             baseline_fibs = compute_static_fibs(self.topology, rib_cache=self.rib_cache)
         if report is None:
             report = MergeReport()
 
+        cached: Optional[MergedPlan] = None
+        if self.plan_cache is not None and plan_version is not None:
+            cached = self.plan_cache.merged(
+                plan_version, requirement, self.tolerance, self.max_entries
+            )
+        if cached is not None:
+            self.plan_cache.counters.merge_cache_hits += 1
+            return self._replay(cached, report)
+
         pruned: Dict[str, Dict[str, int]] = {}
         entries_before = requirement.total_entries()
+        routers_examined = 0
+        routers_pruned = 0
         for router in requirement.routers:
-            report.routers_examined += 1
+            routers_examined += 1
             weights = reduce_weights(requirement.weights_at(router))
             if self.tolerance > 0:
                 weights = self._shrink_within_tolerance(weights)
             if self._matches_default(router, requirement, weights, baseline_fibs):
-                report.routers_pruned += 1
+                routers_pruned += 1
                 continue
             pruned[router] = weights
 
         optimized = DestinationRequirement(prefix=requirement.prefix, next_hops=pruned)
-        report.entries_before += entries_before
-        report.entries_after += optimized.total_entries()
-        report.per_prefix[str(requirement.prefix)] = (
-            entries_before,
-            optimized.total_entries(),
+        merged = MergedPlan(
+            requirement=optimized,
+            routers_examined=routers_examined,
+            routers_pruned=routers_pruned,
+            entries_before=entries_before,
+            entries_after=optimized.total_entries(),
         )
-        return optimized
+        if self.plan_cache is not None and plan_version is not None:
+            self.plan_cache.store_merged(
+                plan_version, requirement, self.tolerance, self.max_entries, merged
+            )
+        return self._replay(merged, report)
+
+    @staticmethod
+    def _replay(merged: MergedPlan, report: MergeReport) -> DestinationRequirement:
+        """Fold one (fresh or cached) merge outcome into ``report``."""
+        report.routers_examined += merged.routers_examined
+        report.routers_pruned += merged.routers_pruned
+        report.entries_before += merged.entries_before
+        report.entries_after += merged.entries_after
+        report.per_prefix[str(merged.requirement.prefix)] = (
+            merged.entries_before,
+            merged.entries_after,
+        )
+        return merged.requirement
 
     # ------------------------------------------------------------------ #
     # Whole requirement sets
@@ -136,10 +179,15 @@ class LieMerger:
     ) -> Tuple[RequirementSet, MergeReport]:
         """Optimise every requirement of a set; returns the new set and a report."""
         baseline_fibs = compute_static_fibs(self.topology, rib_cache=self.rib_cache)
+        plan_version = (
+            self.rib_cache.version if self.plan_cache is not None else None
+        )
         report = MergeReport()
         optimized = RequirementSet()
         for requirement in requirements:
-            reduced = self.optimize_requirement(requirement, baseline_fibs, report)
+            reduced = self.optimize_requirement(
+                requirement, baseline_fibs, report, plan_version=plan_version
+            )
             if reduced.routers:
                 optimized.add(reduced)
         return optimized, report

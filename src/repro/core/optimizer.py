@@ -22,8 +22,9 @@ approximates with integer ECMP weights and enforces with lies.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -35,7 +36,26 @@ from repro.igp.topology import Topology
 from repro.util.errors import ControllerError
 from repro.util.prefixes import Prefix
 
-__all__ = ["OptimizationResult", "MinMaxLoadOptimizer"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.reconciler import PlanCache
+
+__all__ = ["OptimizationResult", "MinMaxLoadOptimizer", "capacity_digest"]
+
+
+def capacity_digest(topology: Topology) -> str:
+    """Stable hex digest of the per-link capacities.
+
+    Capacities do not enter the IGP computation graph — a capacity-only
+    provisioning event leaves the graph version untouched — yet they change
+    what the LP may place on each link.  The controller's plan cache
+    therefore keys optimisation results on this digest *alongside* the graph
+    version, so a capacity event correctly invalidates cached LP solutions
+    without perturbing the routing caches.
+    """
+    hasher = hashlib.sha256()
+    for link in sorted(topology.links, key=lambda link: link.key):
+        hasher.update(f"{link.source}>{link.target}={link.capacity!r};".encode())
+    return hasher.hexdigest()
 
 LinkKey = Tuple[str, str]
 
@@ -118,6 +138,7 @@ class MinMaxLoadOptimizer:
         background: Optional[LinkLoads] = None,
         flow_penalty: float = 1e-6,
         max_stretch: Optional[float] = None,
+        plan_cache: Optional["PlanCache"] = None,
     ) -> None:
         """Create an optimizer for ``topology``.
 
@@ -138,6 +159,11 @@ class MinMaxLoadOptimizer:
             raise ControllerError(f"max_stretch must be non-negative, got {max_stretch}")
         self.flow_penalty = flow_penalty
         self.max_stretch = max_stretch
+        #: Optional plan cache for whole-LP-solution reuse (see class docs).
+        self.plan_cache = plan_cache
+        # Capacity digest memo keyed on the topology revision, so steady-
+        # state cache lookups skip the O(links) hashing pass.
+        self._capacity_memo: Optional[Tuple[int, str]] = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -146,8 +172,18 @@ class MinMaxLoadOptimizer:
         self,
         demands: TrafficMatrix,
         prefixes: Optional[Sequence[Prefix]] = None,
+        plan_version: Optional[int] = None,
     ) -> OptimizationResult:
-        """Solve the min-max problem for ``prefixes`` (default: all demanded prefixes)."""
+        """Solve the min-max problem for ``prefixes`` (default: all demanded prefixes).
+
+        With a plan cache and a ``plan_version`` (the baseline graph version
+        of the caller's route-cache lineage), the solved
+        :class:`OptimizationResult` is reused wholesale when the graph
+        version, the per-link capacities and the demands are all unchanged —
+        the LP is deterministic, so the cached solution is exactly what a
+        fresh solve would return.  Background loads are live measurements
+        the version cannot attest, so their presence disables the reuse.
+        """
         if prefixes is None:
             prefixes = demands.prefixes
         prefixes = tuple(sorted(set(prefixes)))
@@ -156,6 +192,25 @@ class MinMaxLoadOptimizer:
         for prefix in prefixes:
             # Raises TopologyError if the prefix is not announced anywhere.
             self.topology.prefix_attachments(prefix)
+
+        cache_key: Optional[Tuple] = None
+        if (
+            self.plan_cache is not None
+            and plan_version is not None
+            and self.background is None
+        ):
+            cache_key = (
+                plan_version,
+                demands.digest(),
+                self._cached_capacity_digest(),
+                tuple(str(prefix) for prefix in prefixes),
+                repr(self.flow_penalty),
+                repr(self.max_stretch),
+            )
+            cached = self.plan_cache.optimization(cache_key)
+            if cached is not None:
+                self.plan_cache.counters.opt_cache_hits += 1
+                return cached
 
         # The link set is (re)read on every run so that the same optimizer
         # instance stays valid across topology changes (failures, additions).
@@ -277,13 +332,26 @@ class MinMaxLoadOptimizer:
             per_link = _remove_cycles(per_link)
             flows[prefix] = per_link
 
-        return OptimizationResult(
+        result = OptimizationResult(
             objective=float(values[theta_index]),
             flows=flows,
             status="optimal",
             prefixes=prefixes,
             total_flow=total_flow,
         )
+        if cache_key is not None:
+            self.plan_cache.store_optimization(cache_key, result)
+        return result
+
+    def _cached_capacity_digest(self) -> str:
+        """The topology's capacity digest, memoised on its revision."""
+        revision = self.topology.revision
+        memo = self._capacity_memo
+        if memo is not None and memo[0] == revision:
+            return memo[1]
+        digest = capacity_digest(self.topology)
+        self._capacity_memo = (revision, digest)
+        return digest
 
     def _distance_to_prefix(self, prefix: Prefix) -> Dict[str, float]:
         """Shortest IGP cost from every router to ``prefix`` (multi-source Dijkstra).

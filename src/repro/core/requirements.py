@@ -13,6 +13,7 @@ router announcing the prefix.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
@@ -105,6 +106,31 @@ class DestinationRequirement:
     def total_entries(self) -> int:
         """Total number of ECMP entries required across all routers."""
         return sum(sum(hops.values()) for hops in self.next_hops.values())
+
+    def digest(self) -> str:
+        """Stable hex digest of this requirement's content.
+
+        Two requirements asking for the same weighted next hops at the same
+        routers for the same prefix share a digest, regardless of the dict
+        insertion order they were built with.  The incremental controller
+        keys its :class:`~repro.core.reconciler.PlanCache` on
+        ``(baseline graph version, digest)``, so the digest must not depend
+        on object identity or construction history.  The value is memoised
+        (the dataclass is frozen, so the content cannot change).
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is not None:
+            return cached
+        hasher = hashlib.sha256()
+        hasher.update(str(self.prefix).encode())
+        for router in sorted(self.next_hops):
+            hasher.update(f"|{router}:".encode())
+            hops = self.next_hops[router]
+            for next_hop in sorted(hops):
+                hasher.update(f"{next_hop}={hops[next_hop]},".encode())
+        digest = hasher.hexdigest()
+        object.__setattr__(self, "_digest", digest)
+        return digest
 
     def without(self, routers: Iterable[str]) -> "DestinationRequirement":
         """A copy of this requirement with the given routers unconstrained."""
@@ -239,6 +265,14 @@ class RequirementSet:
     def total_entries(self) -> int:
         """Total number of required ECMP entries across all prefixes."""
         return sum(requirement.total_entries() for requirement in self)
+
+    def digest(self) -> str:
+        """Stable hex digest of the whole set (order-independent)."""
+        hasher = hashlib.sha256()
+        for requirement in self:
+            hasher.update(requirement.digest().encode())
+            hasher.update(b";")
+        return hasher.hexdigest()
 
     def __iter__(self) -> Iterator[DestinationRequirement]:
         for prefix in self.prefixes:

@@ -9,6 +9,7 @@ controller derives it from the servers' new-client notifications).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
 
@@ -106,6 +107,21 @@ class TrafficMatrix:
     def total(self) -> float:
         """Total offered load (bit/s)."""
         return sum(self._demands.values())
+
+    def digest(self) -> str:
+        """Stable hex digest of the positive demands (order-independent).
+
+        Rates enter at ``repr`` precision, so two matrices share a digest
+        exactly when an optimisation over them is guaranteed to produce the
+        same result — what the controller's plan cache keys on.
+        """
+        hasher = hashlib.sha256()
+        for (ingress, prefix), rate in sorted(
+            self._demands.items(), key=lambda item: (item[0][0], str(item[0][1]))
+        ):
+            if rate > 0:
+                hasher.update(f"{ingress}|{prefix}={rate!r};".encode())
+        return hasher.hexdigest()
 
     def scaled(self, factor: float) -> "TrafficMatrix":
         """A copy of this matrix with every demand multiplied by ``factor``."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.util.errors import SimulationError
+
 __all__ = ["SimulationEvent", "FlowEvent", "EventLog"]
 
 
@@ -40,7 +42,21 @@ class EventLog:
         self._events: List[SimulationEvent] = []
 
     def record(self, event: SimulationEvent) -> None:
-        """Append one event (events must be recorded in time order)."""
+        """Append one event; events must be recorded in time order.
+
+        The contract was always "in time order" but used to go unchecked, so
+        a mis-wired caller (e.g. an engine driven by two different
+        timelines) could silently interleave pasts and futures and every
+        sequence assertion downstream ("the controller reacted before any
+        video stalled") would test garbage.  A regression now raises
+        :class:`~repro.util.errors.SimulationError`; equal timestamps are
+        fine (one simulation instant routinely records several events).
+        """
+        if self._events and event.time < self._events[-1].time:
+            raise SimulationError(
+                f"event log regression: {event.kind!r} at t={event.time} arrived "
+                f"after {self._events[-1].kind!r} at t={self._events[-1].time}"
+            )
         self._events.append(event)
 
     def all(self) -> List[SimulationEvent]:

@@ -29,7 +29,7 @@ from repro.igp.network import compute_static_fibs
 from repro.igp.rib import compute_rib, rib_digest
 from repro.topologies.demo import DemoScenario, build_demo_scenario, demo_lies
 
-__all__ = ["Fig1Result", "run_fig1", "fig1_rib_digests"]
+__all__ = ["Fig1Result", "run_fig1", "fig1_rib_digests", "fig1_lie_digests"]
 
 LinkKey = Tuple[str, str]
 
@@ -105,6 +105,41 @@ def run_fig1(
         split_at_a=split_a,
         split_at_b=split_b,
     )
+
+
+def fig1_lie_digests(
+    scenario: DemoScenario | None = None,
+    incremental: bool = True,
+) -> Dict[str, str]:
+    """Per-prefix digests of the lies the controller pipeline installs.
+
+    Runs the full LP → approximation → merger → enforcement pipeline on the
+    Fig. 1 scenario and digests the installed :class:`FakeNodeLsa` set per
+    prefix (names included, so the controller's deterministic naming is
+    pinned too).  The golden snapshot requires the ``incremental=True``
+    reconciler and the ``incremental=False`` clear-and-replay oracle to land
+    on the exact same digests.
+    """
+    from repro.core.lies import per_prefix_lie_digests
+
+    if scenario is None:
+        scenario = build_demo_scenario()
+    topology = scenario.topology
+    prefix = scenario.blue_prefix
+    demands = TrafficMatrix.from_dict(
+        {
+            (scenario.server_routers[server], prefix): rate
+            for server, rate in scenario.static_demands.items()
+        }
+    )
+    controller = FibbingController(topology, incremental=incremental)
+    result = MinMaxLoadOptimizer(topology).optimize(demands, [prefix])
+    requirement = DestinationRequirement.from_fractions(
+        prefix, result.to_fractions()[prefix]
+    )
+    reduced, _ = LieMerger(topology).optimize(RequirementSet([requirement]))
+    controller.enforce(reduced)
+    return per_prefix_lie_digests(controller.active_lies())
 
 
 def fig1_rib_digests(

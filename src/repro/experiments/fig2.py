@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.controller import FibbingController
+from repro.core.lies import per_prefix_lie_digests
 from repro.core.loadbalancer import OnDemandLoadBalancer, RebalanceAction
 from repro.core.policies import LoadBalancerPolicy
 from repro.dataplane.engine import DataPlaneEngine, LinkSample
@@ -75,6 +76,14 @@ class DemoRunResult:
     #: ``dp_*`` counters of the data-plane engine: how much of the run's
     #: flow churn was served from the path cache / warm-started allocation.
     dataplane_stats: Dict[str, int] = field(default_factory=dict)
+    #: Full controller counter snapshot (``ctl_*`` included): how much of
+    #: the run's reactions was served from the plan cache vs. re-planned,
+    #: and the lie churn the reconciler actually shipped.  Empty without a
+    #: controller.
+    controller_stats: Dict[str, int] = field(default_factory=dict)
+    #: Per-prefix digests of the lies installed at run end (names included);
+    #: pinned by the golden lie-set snapshot.  Empty without a controller.
+    lie_digests: Dict[str, str] = field(default_factory=dict)
 
     @property
     def peak_utilization(self) -> float:
@@ -102,6 +111,7 @@ def run_demo_timeseries(
     router_timers: RouterTimers = RouterTimers(),
     hash_salt: int = 0,
     dataplane_incremental: bool = True,
+    controller_incremental: bool = True,
 ) -> DemoRunResult:
     """Run the Fig. 2 experiment and return its measurements.
 
@@ -110,7 +120,9 @@ def run_demo_timeseries(
     ``dataplane_incremental=False`` disables the data plane's path cache and
     warm-start allocator (from-scratch recomputation per event) — the
     results are bit-identical either way; only the ``dp_*`` counters and the
-    wall-clock cost differ.
+    wall-clock cost differ.  ``controller_incremental=False`` likewise runs
+    the controller's clear-and-replay oracle instead of the plan-cache
+    reconciler, with bit-identical installed lies and traffic.
     """
     if scenario is None:
         scenario = build_demo_scenario()
@@ -172,6 +184,7 @@ def run_demo_timeseries(
             network=network,
             attachment=scenario.controller_attachment,
             epsilon=policy.epsilon,
+            incremental=controller_incremental,
         )
         registry = ClientRegistry()
         registry.attach(service.bus)
@@ -241,6 +254,14 @@ def run_demo_timeseries(
         sessions_started=sessions,
         link_counters=engine.all_link_counters(),
         dataplane_stats=engine.counters.snapshot(),
+        controller_stats=(
+            controller.stats.snapshot() if controller is not None else {}
+        ),
+        lie_digests=(
+            per_prefix_lie_digests(controller.active_lies())
+            if controller is not None
+            else {}
+        ),
     )
 
 

@@ -1,5 +1,5 @@
-"""Extended ablations: lie-count scaling, split-approximation error, and
-data-plane flash-crowd scaling.
+"""Extended ablations: lie-count scaling, split-approximation error,
+data-plane flash-crowd scaling, and controller reconciliation scaling.
 
 These back the design-choice discussions of DESIGN.md:
 
@@ -14,6 +14,10 @@ These back the design-choice discussions of DESIGN.md:
   (versioned path cache + warm-start max-min repair) behaves as the
   arrival-wave size grows, versus the from-scratch engine whose per-event
   cost is O(flows).
+* **A5 — controller reconciliation scaling**: how the plan-cache
+  reconciler behaves as the requirement count grows while only one
+  requirement changes per reaction, versus the clear-and-replay oracle
+  whose per-reaction cost is O(requirements).
 """
 
 from __future__ import annotations
@@ -42,10 +46,15 @@ __all__ = [
     "LieScalingRow",
     "SplitApproximationRow",
     "FlashCrowdScalingRow",
+    "ReconcileScalingRow",
     "run_lie_scaling",
     "run_split_approximation",
     "run_flashcrowd_scaling",
+    "run_reconcile_scaling",
     "build_pod_topology",
+    "build_ring_topology",
+    "churn_requirement",
+    "replay_requirement_churn",
     "pod_prefix",
     "replay_wave",
 ]
@@ -242,6 +251,155 @@ def run_flashcrowd_scaling(
                 flows_reused=counters.flows_reused,
                 alloc_warm_starts=counters.alloc_warm_starts,
                 alloc_full=counters.alloc_full,
+                fallbacks=counters.fallbacks,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ReconcileScalingRow:
+    """One requirement-set size, replayed through oracle and reconciler."""
+
+    requirements: int
+    waves: int
+    oracle_seconds: float
+    incremental_seconds: float
+    plan_cache_hits: int
+    plans_recomputed: int
+    lies_injected: int
+    lies_retracted: int
+    lies_kept: int
+    fallbacks: int
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock advantage of the plan-cache reconciler on this churn."""
+        if self.incremental_seconds <= 0:
+            return float("inf")
+        return self.oracle_seconds / self.incremental_seconds
+
+
+def build_ring_topology(size: int, prefixes: int) -> Topology:
+    """A ring of ``size`` routers announcing ``prefixes`` round-robin.
+
+    This is the controller-churn workload shape: every prefix's requirement
+    constrains the announcer's antipode, whose two ring directions tie in
+    cost, so weighted requirements there always need lies (tie mode) and a
+    weight change always moves the desired lie set.
+    """
+    if size < 4 or size % 2:
+        raise ValidationError(f"ring size must be even and >= 4, got {size}")
+    topology = Topology(name=f"ring-{size}")
+    names = [f"R{i}" for i in range(size)]
+    topology.add_routers(names)
+    for i in range(size):
+        topology.add_link(names[i], names[(i + 1) % size], weight=1)
+    for index in range(prefixes):
+        topology.attach_prefix(
+            names[index % size],
+            Prefix.parse(f"10.{index % 250}.{index // 250}.0/24"),
+        )
+    return topology
+
+
+def churn_requirement(
+    topology: Topology, index: int, generation: int
+) -> DestinationRequirement:
+    """The requirement of prefix ``index`` at churn ``generation``.
+
+    Constrains the announcer's antipode to split over both ring directions
+    with a generation-dependent weight; consecutive generations always map
+    to different weights, so bumping a requirement's generation by one is
+    guaranteed to change its digest.
+    """
+    size = topology.num_routers
+    announcer = index % size
+    antipode = f"R{(announcer + size // 2) % size}"
+    left = f"R{(announcer + size // 2 - 1) % size}"
+    right = f"R{(announcer + size // 2 + 1) % size}"
+    prefix = topology.attachments_of(f"R{announcer}")[index // size].prefix
+    return DestinationRequirement(
+        prefix=prefix,
+        next_hops={antipode: {left: 1 + generation % 5, right: 1}},
+    )
+
+
+def replay_requirement_churn(controller, topology: Topology, count: int, waves: int) -> float:
+    """Drive ``waves`` enforce waves with one of ``count`` requirements
+    changing per wave (the rest unchanged) through ``controller``; returns
+    the wall-clock seconds spent planning and reconciling.  Shared with
+    ``benchmarks/test_bench_controller_reconcile.py`` so the benchmark and
+    the A5 scaling rows always measure the same workload."""
+    generations = {index: 0 for index in range(count)}
+    start = time.perf_counter()
+    controller.enforce(
+        [churn_requirement(topology, index, 0) for index in range(count)]
+    )
+    for wave in range(1, waves + 1):
+        generations[wave % count] += 1
+        controller.enforce(
+            [
+                churn_requirement(topology, index, generations[index])
+                for index in range(count)
+            ]
+        )
+    return time.perf_counter() - start
+
+
+def run_reconcile_scaling(
+    requirement_counts: Sequence[int] = (8, 16, 32),
+    waves: int = 60,
+    ring: int = 32,
+) -> List[ReconcileScalingRow]:
+    """Replay growing requirement churns through oracle and reconciler.
+
+    For each requirement-set size the same churn (one requirement changing
+    per enforce wave) is driven through a clear-and-replay controller
+    (``incremental=False``; every wave re-validates and re-synthesises every
+    requirement) and through the plan-cache reconciler (unchanged
+    requirements are skipped outright).  The differential suite guarantees
+    both install bit-identical lies; this experiment measures the wall-clock
+    gap and the ``ctl_*`` effectiveness counters.
+    """
+    from repro.core.controller import FibbingController
+    from repro.core.lies import lie_set_digest
+
+    rows: List[ReconcileScalingRow] = []
+    for count in requirement_counts:
+        if count < 1:
+            raise ValidationError(f"requirement count must be >= 1, got {count}")
+        topology = build_ring_topology(ring, count)
+
+        oracle = FibbingController(topology, incremental=False)
+        oracle_seconds = replay_requirement_churn(oracle, topology, count, waves)
+
+        reconciler = FibbingController(topology)
+        incremental_seconds = replay_requirement_churn(
+            reconciler, topology, count, waves
+        )
+
+        # The reconciler's whole point is that skipping clean requirements
+        # is invisible on the wire: both engines must land on the same lies.
+        if lie_set_digest(reconciler.active_lies()) != lie_set_digest(
+            oracle.active_lies()
+        ):
+            raise ValidationError(
+                "reconciler and oracle diverged on the churn workload"
+            )
+
+        counters = reconciler.reconciler.counters
+        rows.append(
+            ReconcileScalingRow(
+                requirements=count,
+                waves=waves,
+                oracle_seconds=oracle_seconds,
+                incremental_seconds=incremental_seconds,
+                plan_cache_hits=counters.plan_cache_hits,
+                plans_recomputed=counters.plans_recomputed,
+                lies_injected=counters.lies_injected,
+                lies_retracted=counters.lies_retracted,
+                lies_kept=counters.lies_kept,
                 fallbacks=counters.fallbacks,
             )
         )

@@ -18,7 +18,7 @@ computes the converged FIBs of every router directly from the global view.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping, Optional
 
 from repro.igp.fib import DEFAULT_MAX_ECMP, Fib, resolve_rib_to_fib
 from repro.igp.flooding import FloodingFabric
@@ -32,6 +32,9 @@ from repro.igp.spf_cache import SpfCache, SpfCounters
 from repro.igp.topology import Topology
 from repro.util.errors import TopologyError
 from repro.util.timeline import Timeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.reconciler import CtlCounters
 
 __all__ = ["IgpNetwork", "compute_static_fibs"]
 
@@ -69,6 +72,7 @@ class IgpNetwork:
         self._started = False
         self._lsa_sequences: Dict[str, int] = {}
         self._dataplane_engines: List[object] = []
+        self._controllers: List[object] = []
 
     # ------------------------------------------------------------------ #
     # Listeners
@@ -94,6 +98,17 @@ class IgpNetwork:
         """
         if engine not in self._dataplane_engines:
             self._dataplane_engines.append(engine)
+
+    def register_controller(self, controller) -> None:
+        """Register a controller whose ``ctl_*`` counters this network reports.
+
+        :class:`~repro.core.controller.FibbingController` calls this when it
+        attaches to a live network; the reconciliation counters (plan-cache
+        hits, lies injected/retracted/kept, fallbacks) then complete the
+        per-layer view in :attr:`spf_stats` and the monitoring collector.
+        """
+        if controller not in self._controllers:
+            self._controllers.append(controller)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -224,6 +239,20 @@ class IgpNetwork:
         """Snapshot of the merged data-plane counters (``dp_*`` keys)."""
         return self.dataplane_counters().snapshot()
 
+    def controller_counters(self) -> "CtlCounters":
+        """Merged ``ctl_*`` counters of every registered controller."""
+        from repro.core.reconciler import CtlCounters
+
+        total = CtlCounters()
+        for controller in self._controllers:
+            total.merge(controller.reconciler.counters)
+        return total
+
+    @property
+    def controller_stats(self) -> Dict[str, int]:
+        """Snapshot of the merged controller counters (``ctl_*`` keys)."""
+        return self.controller_counters().snapshot()
+
     @property
     def spf_stats(self) -> Dict[str, int]:
         """Aggregated SPF-, RIB- and data-plane-cache counters of the domain.
@@ -240,7 +269,11 @@ class IgpNetwork:
         threshold.  The ``dp_*`` keys extend the pattern to the flow-level
         data plane of every registered engine: cached paths reused vs.
         re-walked, and warm-started vs. full fair-share allocations (see
-        :class:`~repro.dataplane.path_cache.DataPlaneCounters`).
+        :class:`~repro.dataplane.path_cache.DataPlaneCounters`).  The
+        ``ctl_*`` keys complete the stack with the reconciliation counters
+        of every registered controller: requirement plans served from the
+        plan cache vs. recomputed, and the lie churn each reaction actually
+        shipped (see :class:`~repro.core.reconciler.CtlCounters`).
         """
         total = SpfCounters()
         rib_total = RibCounters()
@@ -251,6 +284,7 @@ class IgpNetwork:
             **total.snapshot(),
             **rib_total.snapshot(),
             **self.dataplane_counters().snapshot(),
+            **self.controller_counters().snapshot(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -109,6 +109,11 @@ class SpfCache:
         self._entries.clear()
         self._fibs.clear()
 
+    @property
+    def version(self) -> Optional[int]:
+        """Version of the most recently observed graph (``None`` before any)."""
+        return self._graph.version if self._graph is not None else None
+
     # ------------------------------------------------------------------ #
     # Lookups
     # ------------------------------------------------------------------ #

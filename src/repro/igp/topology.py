@@ -115,6 +115,7 @@ class Topology:
         self._neighbors: Dict[str, Set[str]] = {}
         self._prefixes: Dict[Prefix, List[PrefixAttachment]] = {}
         self._next_router_id = 1
+        self._revision = 0
 
     # ------------------------------------------------------------------ #
     # Routers
@@ -131,6 +132,7 @@ class Topology:
         info = RouterInfo(name=name, router_id=router_id)
         self._routers[name] = info
         self._neighbors[name] = set()
+        self._revision += 1
         return info
 
     def add_routers(self, names: Iterable[str]) -> List[RouterInfo]:
@@ -147,6 +149,18 @@ class Topology:
             return self._routers[name]
         except KeyError:
             raise TopologyError(f"unknown router {name!r}") from None
+
+    @property
+    def revision(self) -> int:
+        """Monotone mutation counter, bumped by every topology change.
+
+        A cheap change-detection handle: two reads returning the same value
+        guarantee that no router, link, weight, capacity or prefix
+        attachment moved in between (through the public API).  The
+        incremental controller uses it to skip rebuilding and re-diffing
+        the baseline computation graph on unchanged topologies.
+        """
+        return self._revision
 
     @property
     def routers(self) -> List[str]:
@@ -172,6 +186,7 @@ class Topology:
             else:
                 del self._prefixes[prefix]
         del self._routers[name]
+        self._revision += 1
 
     # ------------------------------------------------------------------ #
     # Links
@@ -195,6 +210,7 @@ class Topology:
         link = Link(source=source, target=target, weight=weight, capacity=capacity, delay=delay)
         self._links[key] = link
         self._neighbors[source].add(target)
+        self._revision += 1
         return link
 
     def add_link(
@@ -233,6 +249,7 @@ class Topology:
             self._neighbors.get(source, set()).discard(target)
         if (target, source) not in self._links:
             self._neighbors.get(target, set()).discard(source)
+        self._revision += 1
 
     def has_link(self, source: str, target: str) -> bool:
         """Whether the directed link ``source -> target`` exists."""
@@ -286,6 +303,35 @@ class Topology:
                 capacity=old.capacity,
                 delay=old.delay,
             )
+        self._revision += 1
+
+    def set_capacity(
+        self, source: str, target: str, capacity: float, both_directions: bool = True
+    ) -> None:
+        """Change the capacity of an existing link (a provisioning event).
+
+        Capacity does not enter the IGP computation graph — routing is
+        unaffected — but it does change what the min-max optimizer may place
+        on the link, so the controller's plan cache keys on a capacity
+        digest alongside the graph version (see
+        :meth:`~repro.core.optimizer.MinMaxLoadOptimizer.optimize`).
+        """
+        check_positive(capacity, "capacity")
+        keys = [(source, target)]
+        if both_directions:
+            keys.append((target, source))
+        for key in keys:
+            if key not in self._links:
+                raise TopologyError(f"unknown link {key[0]}->{key[1]}")
+            old = self._links[key]
+            self._links[key] = Link(
+                source=old.source,
+                target=old.target,
+                weight=old.weight,
+                capacity=capacity,
+                delay=old.delay,
+            )
+        self._revision += 1
 
     # ------------------------------------------------------------------ #
     # Prefixes
@@ -300,6 +346,7 @@ class Topology:
         if any(existing.router == router for existing in attachments):
             raise TopologyError(f"prefix {prefix} already attached to {router!r}")
         attachments.append(attachment)
+        self._revision += 1
         return attachment
 
     def detach_prefix(self, router: str, prefix: Prefix | str) -> None:
@@ -314,6 +361,7 @@ class Topology:
             self._prefixes[prefix] = remaining
         else:
             del self._prefixes[prefix]
+        self._revision += 1
 
     @property
     def prefixes(self) -> List[Prefix]:

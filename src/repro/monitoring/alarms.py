@@ -36,6 +36,19 @@ class AlarmEvent:
         """Utilisation of the most loaded link in the event."""
         return max((view.utilization for view in self.hot_links), default=0.0)
 
+    @property
+    def hot_link_keys(self) -> Tuple[Tuple[str, str], ...]:
+        """The ``(source, target)`` keys of the hot links.
+
+        The controller-facing view: the load balancer's ``react()`` records
+        these on each :class:`~repro.core.loadbalancer.RebalanceAction`, and
+        comparing them across consecutive events tells the reconciler
+        whether an alarm re-fired for the *same* congestion (in which case
+        an unchanged demand matrix makes the whole reaction a plan-cache
+        hit) or for a new hot spot.
+        """
+        return tuple(view.link for view in self.hot_links)
+
 
 class UtilizationAlarm:
     """Fires a callback when some link utilisation exceeds a threshold."""
@@ -68,6 +81,11 @@ class UtilizationAlarm:
     def on_alarm(self, listener: Callable[[AlarmEvent], None]) -> None:
         """Register ``listener(event)`` invoked every time the alarm fires."""
         self._listeners.append(listener)
+
+    @property
+    def last_event(self) -> Optional[AlarmEvent]:
+        """The most recent firing (``None`` before the first one)."""
+        return self.events[-1] if self.events else None
 
     def check(self, sample: PollSample) -> Optional[AlarmEvent]:
         """Evaluate the alarm after a poll; returns the event if it fired.

@@ -90,7 +90,10 @@ def collect_counters(network: "IgpNetwork") -> Dict[str, Dict[str, int]]:
     keys).  The ``"dataplane"`` entry carries the flow-level ``dp_*``
     counters of every data-plane engine registered with the network (paths
     reused vs. re-walked, warm-started vs. full fair-share allocations); the
-    ``"total"`` entry merges all three layers and matches
+    ``"controller"`` entry carries the ``ctl_*`` reconciliation counters of
+    every registered controller (requirement plans served from the plan
+    cache vs. recomputed, lies injected/retracted/kept, threshold
+    fallbacks); the ``"total"`` entry merges all four layers and matches
     :attr:`repro.igp.network.IgpNetwork.spf_stats`.
     """
     per_router: Dict[str, Dict[str, int]] = {}
@@ -104,11 +107,14 @@ def collect_counters(network: "IgpNetwork") -> Dict[str, Dict[str, int]]:
         total.merge(process.spf_cache.counters)
         rib_total.merge(process.rib_cache.counters)
     dataplane = network.dataplane_counters()
+    controller = network.controller_counters()
     per_router["dataplane"] = dataplane.snapshot()
+    per_router["controller"] = controller.snapshot()
     per_router["total"] = {
         **total.snapshot(),
         **rib_total.snapshot(),
         **dataplane.snapshot(),
+        **controller.snapshot(),
     }
     return per_router
 

@@ -82,6 +82,26 @@ def fig2_snapshot() -> dict:
     return snapshot
 
 
+def lie_set_snapshot() -> dict:
+    """Per-prefix digests of the controller-installed lies (names included).
+
+    Two states are pinned: the Fig. 1 controller-pipeline enforcement and
+    the final lie set of the dynamic Fig. 2 demo run.  The digests cover
+    the fake-node names, so both a behavioural drift of the synthesised
+    lies *and* a change of the reconciler's deterministic naming fail
+    loudly; the regression test additionally requires the
+    ``incremental=False`` clear-and-replay oracle to reproduce them.
+    """
+    from repro.experiments.fig1 import fig1_lie_digests
+    from repro.experiments.fig2 import run_demo_timeseries
+
+    fig2 = run_demo_timeseries(with_controller=True, duration=60.0)
+    return {
+        "fig1_controller_pipeline": fig1_lie_digests(),
+        "fig2_final": fig2.lie_digests,
+    }
+
+
 def optimality_snapshot() -> dict:
     from repro.experiments.optimality import run_optimality_study
 
@@ -106,6 +126,7 @@ def main() -> None:
     snapshots = {
         "fig1_loads.json": fig1_snapshot(),
         "fig1_ribs.json": fig1_rib_snapshot(),
+        "fig1_lies.json": lie_set_snapshot(),
         "fig2_samples.json": fig2_snapshot(),
         "optimality_gaps.json": optimality_snapshot(),
     }

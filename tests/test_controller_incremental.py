@@ -1,0 +1,464 @@
+"""Differential property tests for the incremental controller reconciler.
+
+Mirror of the PR 1–3 suites at the top of the stack: after an arbitrary
+sequence of requirement additions/updates/removals, link-weight and capacity
+events, and alarm-driven ``react()`` calls through the on-demand load
+balancer, the plan-cache reconciler (``FibbingController(incremental=True)``)
+must be indistinguishable from the clear-and-replay oracle
+(``incremental=False``): the installed lie sets (exact
+:class:`~repro.igp.lsa.FakeNodeLsa` objects, fake-node names included), the
+``current_fibs()`` of every router, and the data-plane rates/paths of a flow
+population routed over those FIBs all bit-identical.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.augmentation import synthesize_lie_shapes
+from repro.core.controller import FibbingController
+from repro.core.loadbalancer import OnDemandLoadBalancer
+from repro.core.policies import LoadBalancerPolicy
+from repro.core.requirements import DestinationRequirement, RequirementSet
+from repro.dataplane.demand import TrafficMatrix
+from repro.dataplane.engine import DataPlaneEngine
+from repro.monitoring.alarms import AlarmEvent
+from repro.topologies.random import random_topology
+from repro.util.errors import ControllerError
+from repro.util.timeline import Timeline
+
+
+class StubClients:
+    """Stands in for the client registry: a directly mutable demand matrix."""
+
+    def __init__(self):
+        self.matrix = TrafficMatrix()
+
+    def demand_matrix(self):
+        return self.matrix
+
+
+class DualControllerDriver:
+    """Drives a reconciler and a clear-and-replay oracle in lockstep.
+
+    Both controllers manage the same (shared) topology and see the same
+    requirement waves, topology events and react() calls; a data-plane
+    engine per side routes an identical flow population over each
+    controller's FIB view.  Any divergence — a lie, a FIB entry, a flow
+    rate — is a plan-cache bug.
+    """
+
+    def __init__(self, seed, num_routers=10, edge_probability=0.3, plan_dirty_threshold=0.5):
+        self.rng = random.Random(seed)
+        self.topology = random_topology(
+            num_routers, edge_probability=edge_probability, seed=seed
+        )
+        self.incremental = FibbingController(
+            self.topology, incremental=True, plan_dirty_threshold=plan_dirty_threshold
+        )
+        self.oracle = FibbingController(self.topology, incremental=False)
+        self.clients = StubClients()
+        policy = LoadBalancerPolicy()
+        self.balancers = {
+            "incremental": OnDemandLoadBalancer(self.incremental, self.clients, policy=policy),
+            "oracle": OnDemandLoadBalancer(self.oracle, self.clients, policy=policy),
+        }
+        self.requirements = {}  # prefix -> DestinationRequirement
+        self.steps_applied = 0
+        self.reactions = 0
+
+        # One engine per controller view, fed the same flow population.
+        self.engines = {}
+        for key, controller in (("incremental", self.incremental), ("oracle", self.oracle)):
+            self.engines[key] = DataPlaneEngine(
+                self.topology,
+                controller.static_fibs,
+                Timeline(),
+            )
+        self.flow_ids = []
+        prefixes = self.topology.prefixes
+        for index in range(3 * len(prefixes)):
+            ingress = self.rng.choice(self.topology.routers)
+            prefix = prefixes[index % len(prefixes)]
+            demand = self.rng.uniform(0.3, 4.0) * 1e6
+            for engine in self.engines.values():
+                flow = engine.add_flow(ingress, prefix, demand, label="diff")
+            self.flow_ids.append(flow.flow_id)
+
+    # -------------------------------------------------------------- #
+    # Requirement generation
+    # -------------------------------------------------------------- #
+    def _random_requirement(self, prefix):
+        """A random realisable requirement for ``prefix`` (or ``None``)."""
+        rng = self.rng
+        announcers = {
+            attachment.router
+            for attachment in self.topology.prefix_attachments(prefix)
+        }
+        candidates = [
+            router
+            for router in self.topology.routers
+            if router not in announcers and self.topology.neighbors(router)
+        ]
+        if not candidates:
+            return None
+        next_hops = {}
+        for router in rng.sample(candidates, min(len(candidates), rng.randint(1, 2))):
+            neighbors = self.topology.neighbors(router)
+            chosen = rng.sample(neighbors, rng.randint(1, min(3, len(neighbors))))
+            next_hops[router] = {hop: rng.randint(1, 3) for hop in chosen}
+        requirement = DestinationRequirement(prefix=prefix, next_hops=next_hops)
+        try:
+            # Realisability pre-check with the pure planning core; both
+            # controllers would reject (or accept) identically, but a raise
+            # inside a batched enforce would leave half the wave committed.
+            requirement.validate(self.topology)
+            synthesize_lie_shapes(
+                self.topology, requirement, baseline_fibs=self.oracle.baseline_fibs()
+            )
+        except ControllerError:
+            return None
+        return requirement
+
+    # -------------------------------------------------------------- #
+    # Mutations
+    # -------------------------------------------------------------- #
+    def _enforce_wave(self):
+        wave = RequirementSet(self.requirements.values())
+        for controller in (self.incremental, self.oracle):
+            controller.enforce(wave)
+
+    def apply(self, action):
+        rng = self.rng
+        if action in ("add", "update"):
+            if action == "update" and self.requirements:
+                prefix = rng.choice(sorted(self.requirements))
+            else:
+                prefix = rng.choice(self.topology.prefixes)
+            requirement = self._random_requirement(prefix)
+            if requirement is None:
+                return False
+            self.requirements[prefix] = requirement
+            self._enforce_wave()
+        elif action == "remove":
+            if not self.requirements:
+                return False
+            prefix = rng.choice(sorted(self.requirements))
+            del self.requirements[prefix]
+            for controller in (self.incremental, self.oracle):
+                controller.clear_prefix(prefix)
+            self._enforce_wave()
+        elif action == "reenforce":
+            # The steady-state wave: nothing changed, everything should be
+            # a plan-cache hit on the incremental side.
+            self._enforce_wave()
+        elif action == "weight":
+            links = self.topology.undirected_links
+            source, target = links[rng.randrange(len(links))]
+            self.topology.set_weight(source, target, rng.choice([1, 2, 3, 5]))
+            self._enforce_wave()
+        elif action == "capacity":
+            links = self.topology.undirected_links
+            source, target = links[rng.randrange(len(links))]
+            capacity = round(rng.uniform(0.5, 4.0) * 1e7, 3)
+            self.topology.set_capacity(source, target, capacity)
+            for engine in self.engines.values():
+                engine.set_link_capacity(source, target, capacity)
+                engine.set_link_capacity(target, source, capacity)
+        elif action == "react":
+            if rng.random() < 0.5 or not len(self.clients.matrix):
+                matrix = TrafficMatrix()
+                for _ in range(rng.randint(1, 3)):
+                    matrix.add(
+                        rng.choice(self.topology.routers),
+                        rng.choice(self.topology.prefixes),
+                        round(rng.uniform(1.0, 8.0) * 1e6, 3),
+                    )
+                self.clients.matrix = matrix
+            # else: unchanged demands — the whole reaction should be served
+            # from the plan cache on the incremental side.
+            self.reactions += 1
+            event = AlarmEvent(time=float(self.reactions), hot_links=())
+            for balancer in self.balancers.values():
+                balancer.react(event)
+            # react() withdraws lies for prefixes its optimisation did not
+            # touch; drop the manual bookkeeping so later waves re-plan.
+            installed = set(self.incremental.registry.prefixes())
+            self.requirements = {
+                prefix: requirement
+                for prefix, requirement in self.requirements.items()
+                if prefix in installed
+            }
+        else:  # pragma: no cover - defensive
+            raise ValueError(action)
+        self.steps_applied += 1
+        return True
+
+    # -------------------------------------------------------------- #
+    # The differential oracle
+    # -------------------------------------------------------------- #
+    def check(self, context=""):
+        incremental, oracle = self.incremental, self.oracle
+        assert incremental.registry.active_lsas() == oracle.registry.active_lsas(), context
+
+        inc_fibs = incremental.current_fibs()
+        ref_fibs = oracle.current_fibs()
+        assert set(inc_fibs) == set(ref_fibs), context
+        for router in sorted(ref_fibs):
+            assert inc_fibs[router].prefixes == ref_fibs[router].prefixes, (
+                f"{context} router={router}"
+            )
+            for prefix in ref_fibs[router].prefixes:
+                assert inc_fibs[router].lookup(prefix) == ref_fibs[router].lookup(prefix), (
+                    f"{context} router={router} prefix={prefix}"
+                )
+
+        for engine in self.engines.values():
+            engine.notify_routing_change()
+        inc_engine = self.engines["incremental"]
+        ref_engine = self.engines["oracle"]
+        for flow_id in self.flow_ids:
+            assert inc_engine.flow_rate(flow_id) == ref_engine.flow_rate(flow_id), (
+                f"{context} flow={flow_id}"
+            )
+            assert inc_engine.flow_path(flow_id) == ref_engine.flow_path(flow_id), (
+                f"{context} flow={flow_id}"
+            )
+        for link in self.topology.links:
+            assert inc_engine.link_rate(*link.key) == ref_engine.link_rate(*link.key), (
+                f"{context} link={link.key}"
+            )
+
+
+ACTIONS = (
+    "add",
+    "update",
+    "update",
+    "remove",
+    "reenforce",
+    "weight",
+    "capacity",
+    "react",
+)
+
+
+class TestDifferentialRandomized:
+    """Seeded randomized sequences; jointly >= 250 mutation steps."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_mutation_sequence(self, seed):
+        driver = DualControllerDriver(seed)
+        driver.check(context=f"seed={seed} initial")
+        steps = 0
+        while steps < 25:
+            action = driver.rng.choice(ACTIONS)
+            if not driver.apply(action):
+                continue
+            steps += 1
+            driver.check(context=f"seed={seed} step={steps} action={action}")
+        assert driver.steps_applied >= 25
+
+    def test_plan_cache_actually_skips_work(self):
+        """Across a steady churn most plans must be cache hits, not replans."""
+        driver = DualControllerDriver(seed=42)
+        added = 0
+        while added < 4:
+            if driver.apply("add"):
+                added += 1
+                driver.check()
+        for step in range(8):
+            driver.apply("reenforce" if step % 4 else "update")
+            driver.check()
+        counters = driver.incremental.reconciler.counters
+        assert counters.plans_served == (
+            counters.plan_cache_hits + counters.plans_recomputed
+        )
+        assert counters.plan_cache_hits > counters.plans_recomputed
+        # The oracle never touches the plan-cache counters.
+        ref = driver.oracle.reconciler.counters
+        assert ref.plan_cache_hits == 0
+        assert ref.fallbacks == 0
+        # Churn accounting is mode-independent: both engines moved the same
+        # lies over the same history.
+        assert ref.lies_injected == counters.lies_injected
+        assert ref.lies_retracted == counters.lies_retracted
+
+
+class TestDifferentialHypothesis:
+    """Hypothesis-driven action sequences on a smaller topology."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        actions=st.lists(st.sampled_from(ACTIONS), min_size=1, max_size=6),
+    )
+    def test_any_action_sequence_matches_the_oracle(self, seed, actions):
+        driver = DualControllerDriver(seed, num_routers=7, edge_probability=0.35)
+        for index, action in enumerate(actions):
+            if driver.apply(action):
+                driver.check(context=f"seed={seed} step={index} action={action}")
+
+
+class TestThresholdAndCounters:
+    """The fallback knob and the no-op fast path, down to exact counts."""
+
+    def build_requirement(self, driver):
+        prefix = driver.topology.prefixes[0]
+        requirement = driver._random_requirement(prefix)
+        assert requirement is not None
+        return requirement
+
+    def test_noop_wave_is_all_plan_cache_hits(self):
+        driver = DualControllerDriver(seed=7)
+        while not driver.apply("add"):
+            pass
+        while not driver.apply("add"):
+            pass
+        driver.check()
+        controller = driver.incremental
+        counters = controller.reconciler.counters
+        hits_before = counters.plan_cache_hits
+        recomputed_before = counters.plans_recomputed
+        messages_before = controller.stats.messages_sent
+        count = len(driver.requirements)
+        driver.apply("reenforce")
+        driver.check(context="no-op wave")
+        assert counters.plan_cache_hits == hits_before + count
+        assert counters.plans_recomputed == recomputed_before
+        assert controller.stats.messages_sent == messages_before
+        # Every skipped plan keeps its installed lies.
+        assert counters.lies_kept >= controller.active_lie_count()
+
+    def test_zero_threshold_falls_back_and_stays_identical(self):
+        driver = DualControllerDriver(seed=11, plan_dirty_threshold=0.0)
+        applied = 0
+        while applied < 6:
+            if driver.apply(driver.rng.choice(("add", "update", "reenforce", "weight"))):
+                applied += 1
+                driver.check(context=f"threshold-0 step={applied}")
+        counters = driver.incremental.reconciler.counters
+        # Any dirty wave against prior state trips the threshold…
+        assert counters.fallbacks > 0
+        # …and a fallback wave re-plans everything, clean entries included.
+        assert counters.plans_recomputed > 0
+
+    def test_full_threshold_never_falls_back(self):
+        driver = DualControllerDriver(seed=11, plan_dirty_threshold=1.0)
+        applied = 0
+        while applied < 6:
+            if driver.apply(driver.rng.choice(("add", "update", "reenforce", "weight"))):
+                applied += 1
+                driver.check()
+        assert driver.incremental.reconciler.counters.fallbacks == 0
+
+    def test_topology_change_invalidates_clean_requirements(self):
+        """A weight change moves the graph version: nothing may be skipped."""
+        driver = DualControllerDriver(seed=3)
+        while not driver.apply("add"):
+            pass
+        driver.check()
+        counters = driver.incremental.reconciler.counters
+        hits_before = counters.plan_cache_hits
+        recomputed_before = counters.plans_recomputed
+        assert driver.apply("weight")
+        driver.check(context="after weight change")
+        assert counters.plans_recomputed > recomputed_before
+        assert counters.plan_cache_hits == hits_before
+
+    def test_clear_prefix_drops_the_skip_bookkeeping(self):
+        driver = DualControllerDriver(seed=5)
+        while not driver.apply("add"):
+            pass
+        (prefix,) = list(driver.requirements)
+        requirement = driver.requirements[prefix]
+        driver.check()
+        for controller in (driver.incremental, driver.oracle):
+            controller.clear_prefix(prefix)
+        driver.check(context="after clear")
+        counters = driver.incremental.reconciler.counters
+        recomputed_before = counters.plans_recomputed
+        # Same requirement, same version — but the lies are gone, so the
+        # reconciler must re-plan (a skip here would leave the prefix bare).
+        for controller in (driver.incremental, driver.oracle):
+            controller.enforce([requirement])
+        driver.check(context="re-enforce after clear")
+        assert counters.plans_recomputed > recomputed_before
+        assert driver.incremental.active_lie_count(prefix) == driver.oracle.active_lie_count(prefix)
+
+
+class TestReactCaching:
+    """Whole-reaction reuse: LP solutions and merged weight maps."""
+
+    def build(self, seed=19):
+        driver = DualControllerDriver(seed=seed)
+        # Demands near the link capacities (from non-announcing ingresses),
+        # so the LP must spread traffic off the shortest paths and the
+        # reaction actually installs lies (tiny demands would be pruned
+        # down to an empty requirement set).
+        matrix = TrafficMatrix()
+        prefixes = driver.topology.prefixes
+        for index in range(3):
+            prefix = prefixes[index % len(prefixes)]
+            announcers = {
+                attachment.router
+                for attachment in driver.topology.prefix_attachments(prefix)
+            }
+            ingress = next(
+                router
+                for router in driver.topology.routers[index:]
+                if router not in announcers
+            )
+            matrix.add(ingress, prefix, (20.0 + 5.0 * index) * 1e6)
+        driver.clients.matrix = matrix
+        return driver
+
+    def test_repeated_alarm_with_steady_demands_reuses_the_lp(self):
+        driver = self.build()
+        for balancer in driver.balancers.values():
+            balancer.react(AlarmEvent(time=1.0, hot_links=()))
+        driver.check(context="first reaction")
+        counters = driver.incremental.reconciler.counters
+        assert counters.opt_cache_hits == 0
+        # The workload premise: the reaction did plan requirements.
+        assert counters.plans_recomputed > 0
+        for balancer in driver.balancers.values():
+            balancer.react(AlarmEvent(time=2.0, hot_links=()))
+        driver.check(context="second reaction")
+        assert counters.opt_cache_hits == 1
+        assert counters.merge_cache_hits > 0
+        # An unchanged reaction is pure reuse: no plan was recomputed and
+        # no lie moved on the wire.
+        assert counters.plan_cache_hits > 0
+        # The oracle-side balancer never got a plan cache.
+        assert driver.oracle.reconciler.counters.opt_cache_hits == 0
+
+    def test_capacity_event_invalidates_the_lp_reuse(self):
+        """Capacities are invisible to the graph version; the cache must
+        still notice them (via the capacity digest) or it would re-install
+        a plan optimised for the old link sizes."""
+        driver = self.build()
+        for balancer in driver.balancers.values():
+            balancer.react(AlarmEvent(time=1.0, hot_links=()))
+        driver.check()
+        assert driver.apply("capacity")
+        counters = driver.incremental.reconciler.counters
+        hits_before = counters.opt_cache_hits
+        for balancer in driver.balancers.values():
+            balancer.react(AlarmEvent(time=2.0, hot_links=()))
+        driver.check(context="react after capacity event")
+        assert counters.opt_cache_hits == hits_before
+
+    def test_demand_change_invalidates_the_lp_reuse(self):
+        driver = self.build()
+        for balancer in driver.balancers.values():
+            balancer.react(AlarmEvent(time=1.0, hot_links=()))
+        driver.check()
+        driver.clients.matrix = driver.clients.matrix.scaled(1.5)
+        counters = driver.incremental.reconciler.counters
+        hits_before = counters.opt_cache_hits
+        for balancer in driver.balancers.values():
+            balancer.react(AlarmEvent(time=2.0, hot_links=()))
+        driver.check(context="react after demand change")
+        assert counters.opt_cache_hits == hits_before

@@ -153,3 +153,32 @@ class TestRequirementSet:
             ]
         )
         assert [req.prefix for req in bundle] == sorted([BLUE_PREFIX, OTHER_PREFIX])
+
+
+class TestDigests:
+    """The plan cache keys on these; they must be content-only and stable."""
+
+    def test_digest_is_insertion_order_independent(self):
+        forward = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"A": {"B": 1, "R1": 2}, "B": {"R2": 1}}
+        )
+        reversed_order = DestinationRequirement(
+            prefix=BLUE_PREFIX, next_hops={"B": {"R2": 1}, "A": {"R1": 2, "B": 1}}
+        )
+        assert forward.digest() == reversed_order.digest()
+
+    def test_digest_changes_with_content(self):
+        base = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 1}})
+        weight = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 2}})
+        hop = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"R1": 1}})
+        prefix = DestinationRequirement(prefix=OTHER_PREFIX, next_hops={"A": {"B": 1}})
+        assert len({r.digest() for r in (base, weight, hop, prefix)}) == 4
+
+    def test_set_digest_is_order_independent_and_content_sensitive(self):
+        first = DestinationRequirement(prefix=BLUE_PREFIX, next_hops={"A": {"B": 1}})
+        second = DestinationRequirement(prefix=OTHER_PREFIX, next_hops={"A": {"B": 1}})
+        assert (
+            RequirementSet([first, second]).digest()
+            == RequirementSet([second, first]).digest()
+        )
+        assert RequirementSet([first]).digest() != RequirementSet([first, second]).digest()

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.dataplane.events import EventLog, FlowEvent, SimulationEvent
+from repro.util.errors import SimulationError
 
 
 class TestEventLog:
@@ -48,3 +49,31 @@ class TestEventLog:
         event = FlowEvent(time=1.0, kind="flow-arrival", details="", flow_id=7)
         assert event.flow_id == 7
         assert isinstance(event, SimulationEvent)
+
+
+class TestMonotonicity:
+    """``record`` documents time order; since PR 4 it also enforces it."""
+
+    def test_time_regression_raises(self):
+        log = EventLog()
+        log.record(SimulationEvent(time=5.0, kind="flow-arrival"))
+        with pytest.raises(SimulationError, match="regression"):
+            log.record(SimulationEvent(time=4.999, kind="flow-departure"))
+        # The offending event must not have been appended.
+        assert len(log) == 1
+        assert log.all()[-1].time == 5.0
+
+    def test_monotone_and_equal_timestamps_are_accepted(self):
+        log = EventLog()
+        for time in [0.0, 1.0, 1.0, 2.5]:
+            log.record(SimulationEvent(time=time, kind="sample"))
+        assert [event.time for event in log] == [0.0, 1.0, 1.0, 2.5]
+
+    def test_log_stays_usable_after_a_rejected_event(self):
+        log = EventLog()
+        log.record(SimulationEvent(time=3.0, kind="sample"))
+        with pytest.raises(SimulationError):
+            log.record(SimulationEvent(time=1.0, kind="sample"))
+        log.record(SimulationEvent(time=3.0, kind="sample"))
+        log.record(SimulationEvent(time=7.0, kind="sample"))
+        assert len(log) == 3

@@ -14,7 +14,7 @@ import pathlib
 
 import pytest
 
-from repro.experiments.fig1 import fig1_rib_digests, run_fig1
+from repro.experiments.fig1 import fig1_lie_digests, fig1_rib_digests, run_fig1
 from repro.experiments.optimality import run_optimality_study
 from repro.igp.graph import ComputationGraph
 from repro.igp.rib import rib_digest
@@ -147,6 +147,47 @@ class TestFig2Golden:
         assert actual_counters == expected["link_counters"]
         assert result.dataplane_stats["dp_flows_reused"] == 0
         assert result.dataplane_stats["dp_alloc_warm_starts"] == 0
+
+
+class TestLieSetGolden:
+    """Installed-lie snapshots: per-prefix digests of the FakeNodeLsa sets
+    the controller pipeline programs (fake-node names included), for both
+    the static Fig. 1 enforcement and the dynamic Fig. 2 run.  Two engines
+    must land on each digest: the plan-cache reconciler and the
+    ``incremental=False`` clear-and-replay oracle — the controller-layer
+    mirror of the RIB/data-plane dual-engine guard rails."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load_golden("fig1_lies.json")
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_fig1_pipeline_digests_are_bit_identical(self, golden, incremental):
+        assert (
+            fig1_lie_digests(incremental=incremental)
+            == golden["fig1_controller_pipeline"]
+        )
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_fig2_final_lie_digests_are_bit_identical(self, golden, incremental):
+        from repro.experiments.fig2 import run_demo_timeseries
+
+        result = run_demo_timeseries(
+            with_controller=True, duration=60.0, controller_incremental=incremental
+        )
+        assert result.lie_digests == golden["fig2_final"]
+        # The run must actually have exercised the reconciler's accounting:
+        # every installed lie was injected (and counted) by it.
+        assert result.controller_stats["ctl_lies_injected"] >= result.lies_active
+        if incremental:
+            # The demo manages a single prefix, so a reaction that changes
+            # its requirement dirties 100% of the wave — at most one
+            # fallback per reaction, never more.
+            assert result.controller_stats["ctl_fallbacks"] <= len(result.actions)
+        else:
+            # The oracle never consults the plan cache.
+            assert result.controller_stats["ctl_plan_cache_hits"] == 0
+            assert result.controller_stats["ctl_fallbacks"] == 0
 
 
 class TestOptimalityGolden:

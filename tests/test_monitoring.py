@@ -120,6 +120,9 @@ class TestCollectorAndAlarm:
         timeline.run_until(5.0)
         assert len(alarm.events) >= 1
         assert ("B", "R2") in [view.link for view in alarm.events[0].hot_links]
+        # The controller-facing accessors used by the reconciliation loop.
+        assert alarm.last_event is alarm.events[-1]
+        assert ("B", "R2") in alarm.events[0].hot_link_keys
 
     def test_alarm_silent_below_threshold(self, monitored_engine):
         topology, timeline, engine, _, alarm = self.wire(monitored_engine)
@@ -127,6 +130,7 @@ class TestCollectorAndAlarm:
             engine.add_flow("B", BLUE_PREFIX, mbps(1))
         timeline.run_until(5.0)
         assert alarm.events == []
+        assert alarm.last_event is None
 
     def test_alarm_cooldown_limits_rate(self, monitored_engine):
         topology, timeline, engine, _, alarm = self.wire(monitored_engine, cooldown=100.0)

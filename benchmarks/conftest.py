@@ -14,12 +14,34 @@ reduced smoke mode (smaller sweeps and topologies) suitable for CI; the
 
 from __future__ import annotations
 
+import gc
 import pathlib
 from typing import Iterable, Sequence
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def _freeze_collection_heap():
+    """Keep cyclic-GC pauses proportional to what a benchmark allocates.
+
+    When the whole suite runs (`pytest` from the repository root), test
+    collection imports 50+ modules before the first benchmark executes;
+    generation-2 collections triggered inside a timed section then scan
+    that entire heap, taxing the allocation-heavy incremental engines far
+    more than the from-scratch baselines and skewing the measured
+    speedups (observed: the reconcile benchmark dropping from ~3x to
+    ~1.6x purely from suite-context heap size).  Freezing the pre-existing
+    heap for the duration of each benchmark removes it from the
+    collector's view; everything the benchmark itself allocates is still
+    tracked normally.
+    """
+    gc.collect()
+    gc.freeze()
+    yield
+    gc.unfreeze()
 
 
 class BenchmarkReport:

@@ -33,6 +33,11 @@ uneven splitting ratios.  The sub-modules follow the controller's pipeline:
     The Fibbing controller session: applies requirements to a live
     :class:`~repro.igp.network.IgpNetwork` (or returns static lies) and
     accounts for control-plane overhead.
+``shard``
+    The sharded multi-controller: N controller shards behind one
+    reconciliation facade, planning disjoint prefix sub-waves concurrently
+    and merging their deltas into one batched injection — bit-identical to
+    a single controller.
 ``loadbalancer``
     The demo's on-demand service: reacts to utilisation alarms by
     re-optimising the affected destinations and updating the lies.
@@ -48,6 +53,7 @@ from repro.core.lies import Lie, LieState, LieRegistry, LieUpdate
 from repro.core.reconciler import CtlCounters, LieReconciler, PlanCache
 from repro.core.optimizer import MinMaxLoadOptimizer, OptimizationResult
 from repro.core.controller import FibbingController, ControllerUpdate, ControllerStats
+from repro.core.shard import ShardCounters, ShardedFibbingController, default_shard_assignment
 from repro.core.loadbalancer import OnDemandLoadBalancer, RebalanceAction
 from repro.core.policies import LoadBalancerPolicy
 
@@ -74,6 +80,9 @@ __all__ = [
     "FibbingController",
     "ControllerUpdate",
     "ControllerStats",
+    "ShardCounters",
+    "ShardedFibbingController",
+    "default_shard_assignment",
     "OnDemandLoadBalancer",
     "RebalanceAction",
     "LoadBalancerPolicy",

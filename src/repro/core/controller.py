@@ -67,6 +67,13 @@ class ControllerStats:
     ctl_fallbacks: int = 0
     ctl_opt_cache_hits: int = 0
     ctl_merge_cache_hits: int = 0
+    # Sharded-facade counters (always zero for a single controller); see
+    # :class:`repro.core.shard.ShardCounters`.
+    shard_waves_parallel: int = 0
+    shard_waves_serial: int = 0
+    shard_dirty: int = 0
+    shard_clean: int = 0
+    shard_cross_fallbacks: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict copy for reporting."""
@@ -100,6 +107,11 @@ class ControllerStats:
             "ctl_fallbacks": self.ctl_fallbacks,
             "ctl_opt_cache_hits": self.ctl_opt_cache_hits,
             "ctl_merge_cache_hits": self.ctl_merge_cache_hits,
+            "shard_waves_parallel": self.shard_waves_parallel,
+            "shard_waves_serial": self.shard_waves_serial,
+            "shard_dirty": self.shard_dirty,
+            "shard_clean": self.shard_clean,
+            "shard_cross_fallbacks": self.shard_cross_fallbacks,
         }
 
 
@@ -262,11 +274,7 @@ class FibbingController:
             1 for requirement in reqs
             if not self.reconciler.is_clean(version, requirement)
         )
-        fallback = bool(
-            reqs
-            and self.reconciler.has_state
-            and dirty > self.reconciler.plan_dirty_threshold * len(reqs)
-        )
+        fallback = self.reconciler.wave_fallback(len(reqs), dirty)
         if fallback:
             counters.fallbacks += 1
         # One registry snapshot serves every skipped prefix of the wave; an

@@ -39,7 +39,33 @@ from repro.util.prefixes import Prefix
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.reconciler import PlanCache
 
-__all__ = ["OptimizationResult", "MinMaxLoadOptimizer", "capacity_digest"]
+__all__ = [
+    "OptimizationResult",
+    "MinMaxLoadOptimizer",
+    "capacity_digest",
+    "background_digest",
+]
+
+
+def background_digest(background: LinkLoads, quantum: float) -> str:
+    """Stable hex digest of measured per-link background loads, quantised.
+
+    Background loads are live measurements, which the graph version cannot
+    attest — historically their presence disabled whole-LP-solution reuse
+    outright.  This digest brings them into the plan-cache key instead:
+    with ``quantum <= 0`` two backgrounds share a digest only when every
+    link's load is bit-identical (reuse is then always exact); with a
+    positive ``quantum`` (in the loads' own units, bit/s) each load is
+    bucketed to ``round(load / quantum)`` first, so measurement jitter
+    smaller than the bucket no longer defeats the cache — at the cost of
+    reusing a solution optimised for a background up to one bucket away.
+    """
+    hasher = hashlib.sha256()
+    for source, target in background.links():
+        load = background.load(source, target)
+        bucket = repr(load) if quantum <= 0 else str(round(load / quantum))
+        hasher.update(f"{source}>{target}={bucket};".encode())
+    return hasher.hexdigest()
 
 
 def capacity_digest(topology: Topology) -> str:
@@ -139,6 +165,7 @@ class MinMaxLoadOptimizer:
         flow_penalty: float = 1e-6,
         max_stretch: Optional[float] = None,
         plan_cache: Optional["PlanCache"] = None,
+        background_quantum: float = 0.0,
     ) -> None:
         """Create an optimizer for ``topology``.
 
@@ -150,6 +177,12 @@ class MinMaxLoadOptimizer:
         on-demand load balancer uses a stretch of 1 so that traffic is only
         spread over reasonable detours (which also matches the paths the
         paper's controller uses); ``None`` leaves the LP unrestricted.
+
+        ``background_quantum`` tunes whole-LP reuse on the measurement-driven
+        path (a non-``None`` ``background``): 0 (the default) reuses a cached
+        solution only when the measured loads are bit-identical, a positive
+        value (bit/s) buckets each link's load first so sub-bucket jitter
+        keeps hitting the cache (see :func:`background_digest`).
         """
         self.topology = topology
         self.background = background
@@ -157,8 +190,13 @@ class MinMaxLoadOptimizer:
             raise ControllerError(f"flow_penalty must be non-negative, got {flow_penalty}")
         if max_stretch is not None and max_stretch < 0:
             raise ControllerError(f"max_stretch must be non-negative, got {max_stretch}")
+        if background_quantum < 0:
+            raise ControllerError(
+                f"background_quantum must be non-negative, got {background_quantum}"
+            )
         self.flow_penalty = flow_penalty
         self.max_stretch = max_stretch
+        self.background_quantum = background_quantum
         #: Optional plan cache for whole-LP-solution reuse (see class docs).
         self.plan_cache = plan_cache
         # Capacity digest memo keyed on the topology revision, so steady-
@@ -182,7 +220,10 @@ class MinMaxLoadOptimizer:
         version, the per-link capacities and the demands are all unchanged —
         the LP is deterministic, so the cached solution is exactly what a
         fresh solve would return.  Background loads are live measurements
-        the version cannot attest, so their presence disables the reuse.
+        the version cannot attest; they enter the key as a (quantised)
+        digest instead, so the measurement-driven path reuses solutions
+        whenever the loads are unchanged — or unchanged up to
+        ``background_quantum`` (see :func:`background_digest`).
         """
         if prefixes is None:
             prefixes = demands.prefixes
@@ -194,11 +235,7 @@ class MinMaxLoadOptimizer:
             self.topology.prefix_attachments(prefix)
 
         cache_key: Optional[Tuple] = None
-        if (
-            self.plan_cache is not None
-            and plan_version is not None
-            and self.background is None
-        ):
+        if self.plan_cache is not None and plan_version is not None:
             cache_key = (
                 plan_version,
                 demands.digest(),
@@ -206,6 +243,9 @@ class MinMaxLoadOptimizer:
                 tuple(str(prefix) for prefix in prefixes),
                 repr(self.flow_penalty),
                 repr(self.max_stretch),
+                ""
+                if self.background is None
+                else background_digest(self.background, self.background_quantum),
             )
             cached = self.plan_cache.optimization(cache_key)
             if cached is not None:

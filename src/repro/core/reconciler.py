@@ -51,7 +51,40 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.optimizer import OptimizationResult
     from repro.igp.topology import Topology
 
-__all__ = ["CtlCounters", "MergedPlan", "PlanCache", "LieReconciler"]
+__all__ = [
+    "CtlCounters",
+    "MergedPlan",
+    "PlanCache",
+    "LieReconciler",
+    "wave_past_threshold",
+    "fake_node_name",
+]
+
+
+def fake_node_name(controller: str, anchor: str, sequence: int) -> str:
+    """The canonical fake-node name for the ``sequence``-th injected lie.
+
+    Shared by :meth:`LieReconciler._allocate_name` and the sharded facade's
+    central allocator: the bit-identical-lies invariant requires both to
+    produce the exact same byte sequence for the same committed history, so
+    the format lives in one place.
+    """
+    return f"{controller}-fake-{anchor}-{sequence}"
+
+
+def wave_past_threshold(
+    wave_size: int, dirty: int, has_state: bool, threshold: float
+) -> bool:
+    """The dirty-threshold fallback predicate, in one place.
+
+    True when an enforce wave of ``wave_size`` requirements with ``dirty``
+    changed ones must be re-planned in full, clear-and-replay style.  Every
+    enforce path — the controller's wave loop, the sharded facade's
+    per-shard planner, its process-mode pre-selection and its serial
+    duplicate-prefix path — routes through this function, so the sites can
+    never drift apart.
+    """
+    return bool(wave_size and has_state and dirty > threshold * wave_size)
 
 
 @dataclass
@@ -279,6 +312,12 @@ class LieReconciler:
         """Whether any requirement has been enforced since the last clear."""
         return bool(self._enforced)
 
+    def wave_fallback(self, wave_size: int, dirty: int) -> bool:
+        """:func:`wave_past_threshold` against this reconciler's own state."""
+        return wave_past_threshold(
+            wave_size, dirty, self.has_state, self.plan_dirty_threshold
+        )
+
     def is_clean(
         self, version: Optional[int], requirement: DestinationRequirement
     ) -> bool:
@@ -329,28 +368,48 @@ class LieReconciler:
             )
             if version is not None:
                 self.plan_cache.store_shapes(version, requirement, epsilon, shapes)
+        return self.desired_from_shapes(requirement.prefix, shapes)
+
+    def desired_from_shapes(
+        self, prefix: Prefix, shapes: Tuple[LieShape, ...]
+    ) -> List[FakeNodeLsa]:
+        """Materialise placeholder-named LSAs from pre-computed lie shapes.
+
+        Used by :meth:`desired_lies` and by the sharded facade's process
+        mode, where the shapes of a wave are synthesised out-of-process and
+        only the (cheap) diffing runs in the controller.
+        """
         return [
             FakeNodeLsa(
                 origin=self.controller,
                 fake_node=f"pending-{index + 1}",
                 anchor=shape.anchor,
                 link_cost=shape.link_cost,
-                prefix=requirement.prefix,
+                prefix=prefix,
                 prefix_cost=shape.prefix_cost,
                 forwarding_address=shape.forwarding_address,
             )
             for index, shape in enumerate(shapes)
         ]
 
-    def reconcile(self, prefix: Prefix, desired: List[FakeNodeLsa]) -> LieUpdate:
+    def reconcile(
+        self, prefix: Prefix, desired: List[FakeNodeLsa], allocate_names: bool = True
+    ) -> LieUpdate:
         """Diff ``desired`` against the installed lies; name the injections.
 
         Matching is by behavioural signature, so unchanged lies keep their
         installed LSA (and name) untouched; only genuinely new lies receive
         a fresh name from the committed-history counter.
+
+        ``allocate_names=False`` defers the naming: the returned plan keeps
+        the placeholder names of ``desired``.  The sharded facade plans
+        shard waves concurrently this way and allocates final names
+        centrally, in wave order, so the name sequence stays a function of
+        the committed lie history only — independent of shard count and of
+        which worker finished first.
         """
         plan = self.registry.plan_update(prefix, desired)
-        if not plan.to_inject:
+        if not plan.to_inject or not allocate_names:
             return plan
         named = tuple(
             replace(lsa, fake_node=self._allocate_name(lsa.anchor))
@@ -386,7 +445,7 @@ class LieReconciler:
 
     def _allocate_name(self, anchor: str) -> str:
         self._name_counter += 1
-        return f"{self.controller}-fake-{anchor}-{self._name_counter}"
+        return fake_node_name(self.controller, anchor, self._name_counter)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

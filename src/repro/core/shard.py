@@ -1,0 +1,781 @@
+"""Sharded multi-controller: parallel per-shard reaction planning behind one
+reconciliation facade.
+
+This is the controller-layer mirror of the data plane's component
+decomposition (PR 3): where :func:`~repro.dataplane.fairness.max_min_fair_allocation`
+splits the flow-link hypergraph into connected components and repairs only
+the dirty ones, :class:`ShardedFibbingController` partitions the managed
+prefixes across N :class:`~repro.core.controller.FibbingController` shards —
+each with its own :class:`~repro.core.reconciler.PlanCache`, lie-registry
+slice and reconciler — and plans the shard sub-waves of every reaction
+independently:
+
+* **Partitioning** — a prefix's shard is a pure function of the prefix
+  (:func:`default_shard_assignment`, a stable content hash that does not
+  depend on ``PYTHONHASHSEED``; an explicit ``assignment`` callable can pin
+  prefixes to shards, e.g. one shard per region).  All planning state of a
+  prefix (installed lies, plan-cache entries, skip bookkeeping) lives in
+  exactly one shard, so shard sub-waves never contend.
+
+* **Parallel planning** — the expensive per-requirement work (validation
+  walk, lie synthesis, registry diff) runs per shard, dispatched through a
+  ``concurrent.futures`` executor: ``parallel="thread"`` uses a shared
+  :class:`~concurrent.futures.ThreadPoolExecutor`, ``parallel="process"``
+  farms the pure shape synthesis out to a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (the diffing stays
+  in-process), and ``parallel="serial"`` is the deterministic reference
+  mode.  All three produce identical plans; they only differ in wall-clock.
+
+* **Localised fallback** — the ``plan_dirty_threshold`` knob is evaluated
+  *per shard sub-wave*: a reaction that churns every requirement of one
+  shard trips only that shard's clear-and-replay fallback, while a single
+  controller would re-plan the whole wave.  This is where the sharded
+  facade wins even on one core (see
+  ``benchmarks/test_bench_shard_scaling.py``).
+
+* **Centralised merge** — the per-shard retract/inject deltas are merged
+  into one batched injection wave: fake-node names are allocated by the
+  facade, in wave order, from a single committed-history counter, and every
+  LSA of the wave enters the network through one
+  :meth:`~repro.igp.network.IgpNetwork.inject` call.
+
+The non-negotiable invariant, in the style of PRs 1–4:
+``ShardedFibbingController(shards=N)`` installs bit-identical lie sets
+(fake-node names included), FIBs and data-plane rates to the
+single-controller ``incremental=False`` oracle, for any N and any parallel
+mode — the differential suite ``tests/test_controller_sharded.py`` holds it
+to that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.augmentation import DEFAULT_EPSILON, LieShape, synthesize_lie_shapes
+from repro.core.controller import ControllerUpdate, FibbingController
+from repro.core.lies import Lie, LieUpdate
+from repro.core.reconciler import (
+    CtlCounters,
+    PlanCache,
+    fake_node_name,
+    wave_past_threshold,
+)
+from repro.core.requirements import DestinationRequirement, RequirementSet
+from repro.igp.fib import Fib
+from repro.igp.lsa import FakeNodeLsa, Lsa
+from repro.igp.network import IgpNetwork
+from repro.igp.topology import Topology
+from repro.util.errors import ControllerError
+from repro.util.prefixes import Prefix
+
+__all__ = [
+    "ShardCounters",
+    "ShardedFibbingController",
+    "default_shard_assignment",
+    "PARALLEL_MODES",
+]
+
+#: Accepted values of the ``parallel=`` knob.
+PARALLEL_MODES = ("serial", "thread", "process")
+
+
+def default_shard_assignment(prefix: Prefix, shards: int) -> int:
+    """The default prefix-to-shard mapping: a stable content hash.
+
+    Uses SHA-256 of the prefix's string form, so the mapping is identical
+    across processes, runs and ``PYTHONHASHSEED`` values — a prefix's lies
+    always live in the same shard, which the golden lie-set digests rely
+    on.
+    """
+    digest = hashlib.sha256(str(prefix).encode()).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+@dataclass
+class ShardCounters:
+    """Facade-level accounting of the sharded planner (``shard_*`` keys).
+
+    ``waves_parallel`` / ``waves_serial`` count enforce waves dispatched
+    through the executor versus planned inline (serial mode, single
+    populated shard, or a cross-shard fallback).  ``shards_dirty`` /
+    ``shards_clean`` count shard sub-waves that re-planned at least one
+    requirement versus sub-waves served entirely from the shard's plan
+    cache.  ``cross_shard_fallbacks`` are waves the facade could not
+    partition (a prefix appearing twice in one wave, or a caller-supplied
+    baseline) and planned serially in wave order instead.
+    """
+
+    waves_parallel: int = 0
+    waves_serial: int = 0
+    shards_dirty: int = 0
+    shards_clean: int = 0
+    cross_shard_fallbacks: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy for reporting."""
+        return {
+            "shard_waves_parallel": self.waves_parallel,
+            "shard_waves_serial": self.waves_serial,
+            "shard_dirty": self.shards_dirty,
+            "shard_clean": self.shards_clean,
+            "shard_cross_fallbacks": self.cross_shard_fallbacks,
+        }
+
+    def merge(self, other: "ShardCounters") -> None:
+        """Add ``other``'s counts into this instance (for fleet aggregation)."""
+        self.waves_parallel += other.waves_parallel
+        self.waves_serial += other.waves_serial
+        self.shards_dirty += other.shards_dirty
+        self.shards_clean += other.shards_clean
+        self.cross_shard_fallbacks += other.cross_shard_fallbacks
+
+
+def _plan_shard_wave(
+    shard: FibbingController,
+    reqs: List[DestinationRequirement],
+    topology: Topology,
+    baseline_fibs: Mapping[str, Fib],
+    version: Optional[int],
+    epsilon: float,
+    precomputed: Optional[Dict[Prefix, Tuple[LieShape, ...]]] = None,
+) -> Tuple[List[LieUpdate], int]:
+    """Plan one shard's sub-wave; returns ``(plans, dirty_count)``.
+
+    This is the per-shard body dispatched by the facade (possibly on a
+    worker thread): the skip/fallback logic of
+    :meth:`FibbingController.enforce` evaluated over the *shard's* slice of
+    the wave, producing per-requirement plans whose injected lies still
+    carry placeholder names.  Nothing is committed here — the facade
+    commits and names in wave order — so the only state touched is the
+    shard's own reconciler, plan cache and registry (reads), which no other
+    shard shares.
+    """
+    reconciler = shard.reconciler
+    counters = reconciler.counters
+    plans: List[LieUpdate] = []
+
+    def desired_for(req: DestinationRequirement) -> List[FakeNodeLsa]:
+        if precomputed is not None and req.prefix in precomputed:
+            return reconciler.desired_from_shapes(req.prefix, precomputed[req.prefix])
+        return reconciler.desired_lies(
+            topology=topology,
+            requirement=req,
+            baseline_fibs=baseline_fibs,
+            version=version,
+            epsilon=epsilon,
+        )
+
+    if version is None:
+        # Oracle mode: every requirement is re-planned, clear-and-replay
+        # style, exactly like FibbingController(incremental=False).
+        for req in reqs:
+            plans.append(
+                reconciler.reconcile(req.prefix, desired_for(req), allocate_names=False)
+            )
+        return plans, len(reqs)
+
+    dirty = sum(1 for req in reqs if not reconciler.is_clean(version, req))
+    fallback = reconciler.wave_fallback(len(reqs), dirty)
+    if fallback:
+        counters.fallbacks += 1
+    active_counts = shard.registry.active_counts()
+    for req in reqs:
+        if not fallback and reconciler.is_clean(version, req):
+            counters.plan_cache_hits += 1
+            plans.append(
+                reconciler.noop_plan(
+                    req.prefix, active_count=active_counts.get(req.prefix, 0)
+                )
+            )
+        else:
+            counters.plans_recomputed += 1
+            plans.append(
+                reconciler.reconcile(req.prefix, desired_for(req), allocate_names=False)
+            )
+    return plans, dirty
+
+
+def _synthesize_shapes_task(
+    topology: Topology,
+    reqs: List[DestinationRequirement],
+    epsilon: float,
+    baseline_fibs: Mapping[str, Fib],
+) -> List[Tuple[LieShape, ...]]:
+    """Process-pool task: pure shape synthesis for one shard's dirty slice."""
+    return [
+        synthesize_lie_shapes(
+            topology, req, epsilon=epsilon, baseline_fibs=baseline_fibs
+        )
+        for req in reqs
+    ]
+
+
+class _ShardedRegistryView:
+    """Read-only union of the shard registries, quacking like a LieRegistry.
+
+    Active lies are gathered across shards and sorted by fake-node name —
+    the exact order a single controller's registry reports — so callers
+    (the load balancer's stale-lie sweep, ``static_fibs``, the golden
+    digests) see one coherent lie set.
+    """
+
+    def __init__(self, shards: List[FibbingController]) -> None:
+        self._shards = shards
+
+    def active_lies(self, prefix: Optional[Prefix] = None) -> List[Lie]:
+        lies = [
+            lie
+            for shard in self._shards
+            for lie in shard.registry.active_lies(prefix)
+        ]
+        lies.sort(key=lambda lie: lie.lsa.fake_node)
+        return lies
+
+    def active_lsas(self, prefix: Optional[Prefix] = None) -> List[FakeNodeLsa]:
+        return [lie.lsa for lie in self.active_lies(prefix)]
+
+    def active_count(self, prefix: Optional[Prefix] = None) -> int:
+        return sum(shard.registry.active_count(prefix) for shard in self._shards)
+
+    def active_counts(self) -> Dict[Prefix, int]:
+        counts: Dict[Prefix, int] = {}
+        for shard in self._shards:
+            counts.update(shard.registry.active_counts())
+        return counts
+
+    def prefixes(self) -> List[Prefix]:
+        return sorted(
+            {prefix for shard in self._shards for prefix in shard.registry.prefixes()}
+        )
+
+    def history(self) -> List[Lie]:
+        """Every lie any shard ever registered (namespace-audit surface)."""
+        return [lie for shard in self._shards for lie in shard.registry.history()]
+
+    def __len__(self) -> int:
+        return self.active_count()
+
+
+class _AggregateReconciler:
+    """Counter/plan-cache view of the whole fleet.
+
+    Exposes what external consumers use off
+    ``FibbingController.reconciler``: ``counters`` (the merged ``ctl_*``
+    view across every shard plus the facade-level plan cache the optimizer
+    and merger share), ``plan_cache`` (that facade-level cache),
+    ``has_state`` and ``forget`` (routed to the owning shard).  Planning
+    methods are deliberately absent — planning happens inside the shards.
+    """
+
+    def __init__(self, facade: "ShardedFibbingController", plan_cache: PlanCache) -> None:
+        self._facade = facade
+        self.plan_cache = plan_cache
+        self.plan_dirty_threshold = facade.plan_dirty_threshold
+
+    @property
+    def counters(self) -> CtlCounters:
+        total = CtlCounters()
+        total.merge(self.plan_cache.counters)
+        for shard in self._facade.shards:
+            total.merge(shard.reconciler.counters)
+        return total
+
+    @property
+    def has_state(self) -> bool:
+        """Whether any shard has an enforced requirement on record."""
+        return any(shard.reconciler.has_state for shard in self._facade.shards)
+
+    def forget(self, prefix: Prefix) -> None:
+        """Drop the skip bookkeeping for ``prefix`` in its owning shard."""
+        self._facade._shard_for(prefix).reconciler.forget(prefix)
+
+
+class ShardedFibbingController(FibbingController):
+    """N controller shards behind one :class:`FibbingController` facade.
+
+    Drop-in for a single controller everywhere one is accepted (the
+    on-demand load balancer, the Fig. 1/Fig. 2 experiments, a live
+    :class:`~repro.igp.network.IgpNetwork`): requirements are partitioned
+    by prefix across ``shards`` inner controllers, shard sub-waves are
+    planned concurrently (``parallel=`` knob) and the resulting deltas are
+    named, committed and injected as one batched wave.  See the module
+    docstring for the decomposition and the equivalence guarantee.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        shards: int = 4,
+        name: str = "fibbing-controller",
+        network: Optional[IgpNetwork] = None,
+        attachment: Optional[str] = None,
+        epsilon: float = DEFAULT_EPSILON,
+        incremental: bool = True,
+        plan_dirty_threshold: float = 0.5,
+        parallel: str = "serial",
+        assignment: Optional[Callable[[Prefix, int], int]] = None,
+    ) -> None:
+        """Create a sharded controller for ``topology``.
+
+        ``assignment(prefix, shards)`` pins prefixes to shard indices
+        (default: :func:`default_shard_assignment`, a stable content hash).
+        ``parallel`` picks the executor: ``"serial"`` (deterministic
+        reference), ``"thread"`` (one worker per shard) or ``"process"``
+        (shape synthesis in a process pool).  ``incremental`` and
+        ``plan_dirty_threshold`` are forwarded to every shard; the
+        threshold is evaluated per shard sub-wave, which localises the
+        clear-and-replay fallback to the shard that actually churned.
+        """
+        if shards < 1:
+            raise ControllerError(f"need at least 1 shard, got {shards}")
+        if parallel not in PARALLEL_MODES:
+            raise ControllerError(
+                f"parallel must be one of {PARALLEL_MODES}, got {parallel!r}"
+            )
+        super().__init__(
+            topology,
+            name=name,
+            network=network,
+            attachment=attachment,
+            epsilon=epsilon,
+            incremental=incremental,
+            plan_dirty_threshold=plan_dirty_threshold,
+        )
+        self.shard_count = shards
+        self.parallel = parallel
+        self.plan_dirty_threshold = plan_dirty_threshold
+        self._assignment = assignment if assignment is not None else default_shard_assignment
+        self._shard_index: Dict[Prefix, int] = {}
+        # Shards are full controllers (not bare reconciler/registry pairs):
+        # each can answer the whole single-controller API over its slice
+        # (inspection, per-shard verification, future shard-local drains),
+        # and the unused route-cache lineages stay empty until touched.
+        # They carry the facade's name so the LSAs they synthesise are
+        # indistinguishable from a single controller's (the origin field and
+        # the fake-node name prefix both derive from it), and they never
+        # attach to the network themselves — the facade owns injection.
+        self.shards: List[FibbingController] = [
+            FibbingController(
+                topology,
+                name=name,
+                epsilon=epsilon,
+                incremental=incremental,
+                plan_dirty_threshold=plan_dirty_threshold,
+            )
+            for _ in range(shards)
+        ]
+        self.shard_counters = ShardCounters()
+        # The facade-level plan cache built by super().__init__ is kept for
+        # the optimizer/merger (whole-LP and merged-weight-map reuse); the
+        # per-requirement planning state lives in the shard caches.
+        facade_plan_cache = self.reconciler.plan_cache
+        self.registry = _ShardedRegistryView(self.shards)
+        self.reconciler = _AggregateReconciler(self, facade_plan_cache)
+        # Advances once per injected lie, in wave order — the exact name
+        # sequence a single controller's committed history would produce.
+        self._fake_name_counter = 0
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # Partitioning
+    # ------------------------------------------------------------------ #
+    def shard_of(self, prefix: Prefix) -> int:
+        """The shard index that owns ``prefix`` (memoised, stable)."""
+        index = self._shard_index.get(prefix)
+        if index is None:
+            index = self._assignment(prefix, self.shard_count)
+            if not 0 <= index < self.shard_count:
+                raise ControllerError(
+                    f"shard assignment returned {index} for {prefix}, "
+                    f"expected 0..{self.shard_count - 1}"
+                )
+            self._shard_index[prefix] = index
+        return index
+
+    def _shard_for(self, prefix: Prefix) -> FibbingController:
+        return self.shards[self.shard_of(prefix)]
+
+    # ------------------------------------------------------------------ #
+    # Requirement enforcement
+    # ------------------------------------------------------------------ #
+    def enforce(
+        self, requirements: RequirementSet | Iterable[DestinationRequirement]
+    ) -> List[ControllerUpdate]:
+        """Enforce a wave: partition, plan per shard, merge, inject once.
+
+        The wave is split into per-shard sub-waves (wave order preserved
+        within each shard), the sub-waves are planned concurrently per the
+        ``parallel`` mode, and the per-shard deltas are merged back in wave
+        order: fake-node names are allocated centrally, plans are committed
+        into their shard's registry, and every LSA ships in one injection.
+        A wave naming the same prefix more than once cannot be partitioned
+        (the later requirement must see the earlier one's committed lies)
+        and falls back to serial in-order planning, counted as a
+        ``shard_cross_fallback``.
+        """
+        reqs = list(requirements)
+        if not reqs:
+            return []
+        prefixes = [req.prefix for req in reqs]
+        if len(set(prefixes)) != len(prefixes):
+            self.shard_counters.cross_shard_fallbacks += 1
+            self.shard_counters.waves_serial += 1
+            return self._enforce_serial(reqs)
+
+        baseline_fibs = self.baseline_fibs()
+        version = self.baseline_route_cache.version if self.incremental else None
+        groups: Dict[int, List[DestinationRequirement]] = {}
+        for req in reqs:
+            groups.setdefault(self.shard_of(req.prefix), []).append(req)
+        jobs = [(index, self.shards[index], groups[index]) for index in sorted(groups)]
+
+        results = self._dispatch(jobs, baseline_fibs, version)
+        shard_plans: Dict[int, List[LieUpdate]] = {}
+        for (index, _shard, _reqs), (plans, dirty) in zip(jobs, results):
+            shard_plans[index] = plans
+            if dirty:
+                self.shard_counters.shards_dirty += 1
+            else:
+                self.shard_counters.shards_clean += 1
+
+        # Merge phase: consume each shard's plan queue in wave order.
+        cursors = {index: 0 for index in shard_plans}
+        ordered: List[Tuple[FibbingController, Optional[DestinationRequirement], LieUpdate]] = []
+        for req in reqs:
+            index = self.shard_of(req.prefix)
+            plan = shard_plans[index][cursors[index]]
+            cursors[index] += 1
+            ordered.append((self.shards[index], req, plan))
+        return self._commit_and_send(ordered, version)
+
+    def _enforce_serial(
+        self, reqs: List[DestinationRequirement]
+    ) -> List[ControllerUpdate]:
+        """The unpartitionable-wave path: plan, name and commit in order.
+
+        Matches the single controller's enforce loop step for step — the
+        wave-level dirty fraction is evaluated against the whole wave (a
+        fallback is counted on the facade's plan cache and re-plans clean
+        requirements too), active counts are snapshotted once, and a later
+        requirement for the same prefix sees the earlier one's committed
+        lies — just with each prefix's state living in its shard.
+        """
+        baseline_fibs = self.baseline_fibs()
+        version = self.baseline_route_cache.version if self.incremental else None
+        now = self._now()
+        fallback = False
+        if version is not None:
+            dirty = sum(
+                1
+                for req in reqs
+                if not self._shard_for(req.prefix).reconciler.is_clean(version, req)
+            )
+            fallback = wave_past_threshold(
+                len(reqs),
+                dirty,
+                any(shard.reconciler.has_state for shard in self.shards),
+                self.plan_dirty_threshold,
+            )
+            if fallback:
+                self.plan_cache.counters.fallbacks += 1
+        active_counts = self.registry.active_counts()
+        planned_prefixes = set()
+        committed: List[Tuple[FibbingController, LieUpdate]] = []
+        for req in reqs:
+            shard = self._shard_for(req.prefix)
+            reconciler = shard.reconciler
+            if (
+                not fallback
+                and version is not None
+                and reconciler.is_clean(version, req)
+            ):
+                reconciler.counters.plan_cache_hits += 1
+                plan = reconciler.noop_plan(
+                    req.prefix,
+                    active_count=(
+                        None
+                        if req.prefix in planned_prefixes
+                        else active_counts.get(req.prefix, 0)
+                    ),
+                )
+            else:
+                if version is not None:
+                    # The clear-and-replay oracle never touches the ctl_*
+                    # counters; count planning work in incremental mode only,
+                    # like FibbingController.enforce.
+                    reconciler.counters.plans_recomputed += 1
+                desired = reconciler.desired_lies(
+                    topology=self.topology,
+                    requirement=req,
+                    baseline_fibs=baseline_fibs,
+                    version=version,
+                    epsilon=self.epsilon,
+                )
+                plan = reconciler.reconcile(req.prefix, desired, allocate_names=False)
+            plan = self._name_plan(plan)
+            shard.registry.commit(plan, now=now)
+            reconciler.mark_enforced(version, req)
+            planned_prefixes.add(req.prefix)
+            committed.append((shard, plan))
+        return self._ship_committed(committed, now)
+
+    def enforce_requirement(
+        self,
+        requirement: DestinationRequirement,
+        baseline_fibs: Optional[Mapping[str, Fib]] = None,
+    ) -> ControllerUpdate:
+        """Single-requirement entry point (see the base class).
+
+        With caller-supplied ``baseline_fibs`` the plan cannot be attested
+        to a graph version; the owning shard plans it from scratch and its
+        skip bookkeeping is dropped, exactly like the single controller.
+        """
+        if baseline_fibs is None:
+            return self.enforce([requirement])[0]
+        # Like a duplicate-prefix wave, a caller-supplied baseline cannot be
+        # partitioned or attested; the wave is planned inline.  No ctl_*
+        # counter moves — the single controller's equivalent path does not
+        # count either, and per-reaction counter diffs must stay comparable
+        # across engines.
+        self.shard_counters.cross_shard_fallbacks += 1
+        self.shard_counters.waves_serial += 1
+        shard = self._shard_for(requirement.prefix)
+        reconciler = shard.reconciler
+        reconciler.forget(requirement.prefix)
+        desired = reconciler.desired_lies(
+            topology=self.topology,
+            requirement=requirement,
+            baseline_fibs=baseline_fibs,
+            version=None,
+            epsilon=self.epsilon,
+        )
+        plan = reconciler.reconcile(requirement.prefix, desired, allocate_names=False)
+        now = self._now()
+        plan = self._name_plan(plan)
+        shard.registry.commit(plan, now=now)
+        return self._ship_committed([(shard, plan)], now)[0]
+
+    def clear_prefix(self, prefix: Prefix) -> ControllerUpdate:
+        """Withdraw every lie programmed for ``prefix`` (in its shard)."""
+        shard = self._shard_for(prefix)
+        plan = shard.registry.clear(prefix)
+        shard.reconciler.forget(prefix)
+        now = self._now()
+        shard.registry.commit(plan, now=now)
+        return self._ship_committed([(shard, plan)], now)[0]
+
+    # ------------------------------------------------------------------ #
+    # Parallel dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, jobs, baseline_fibs, version):
+        """Run the per-shard planners per the ``parallel`` mode."""
+        topology = self.topology
+        if self.parallel == "thread" and len(jobs) > 1:
+            self.shard_counters.waves_parallel += 1
+            pool = self._threads()
+            futures = [
+                pool.submit(
+                    _plan_shard_wave,
+                    shard,
+                    shard_reqs,
+                    topology,
+                    baseline_fibs,
+                    version,
+                    self.epsilon,
+                )
+                for _index, shard, shard_reqs in jobs
+            ]
+            return [future.result() for future in futures]
+        if self.parallel == "process" and len(jobs) > 1:
+            self.shard_counters.waves_parallel += 1
+            return self._dispatch_process(jobs, baseline_fibs, version)
+        self.shard_counters.waves_serial += 1
+        return [
+            _plan_shard_wave(
+                shard, shard_reqs, topology, baseline_fibs, version, self.epsilon
+            )
+            for _index, shard, shard_reqs in jobs
+        ]
+
+    def _dispatch_process(self, jobs, baseline_fibs, version):
+        """Process mode: synthesise shapes out-of-process, diff in-process.
+
+        Only the pure, stateless stage (validation + lie synthesis) crosses
+        the process boundary; the registry diff needs the shard's installed
+        lies and stays local.  Requirements whose shapes are already cached
+        are not shipped at all.
+        """
+        pool = self._processes()
+        submissions = []
+        for _index, shard, shard_reqs in jobs:
+            to_plan = self._requirements_to_replan(shard, shard_reqs, version)
+            if version is not None:
+                to_plan = [
+                    req
+                    for req in to_plan
+                    if shard.reconciler.plan_cache.shapes(version, req, self.epsilon)
+                    is None
+                ]
+            future = (
+                pool.submit(
+                    _synthesize_shapes_task,
+                    self.topology,
+                    to_plan,
+                    self.epsilon,
+                    baseline_fibs,
+                )
+                if to_plan
+                else None
+            )
+            submissions.append((shard, shard_reqs, to_plan, future))
+
+        results = []
+        for shard, shard_reqs, to_plan, future in submissions:
+            precomputed: Dict[Prefix, Tuple[LieShape, ...]] = {}
+            if future is not None:
+                for req, shapes in zip(to_plan, future.result()):
+                    if version is not None:
+                        shard.reconciler.plan_cache.store_shapes(
+                            version, req, self.epsilon, shapes
+                        )
+                    else:
+                        precomputed[req.prefix] = shapes
+            results.append(
+                _plan_shard_wave(
+                    shard,
+                    shard_reqs,
+                    self.topology,
+                    baseline_fibs,
+                    version,
+                    self.epsilon,
+                    precomputed=precomputed or None,
+                )
+            )
+        return results
+
+    @staticmethod
+    def _requirements_to_replan(shard, shard_reqs, version):
+        """Which of ``shard_reqs`` the shard planner will actually re-plan."""
+        if version is None:
+            return list(shard_reqs)
+        reconciler = shard.reconciler
+        dirty = [
+            req for req in shard_reqs if not reconciler.is_clean(version, req)
+        ]
+        if reconciler.wave_fallback(len(shard_reqs), len(dirty)):
+            return list(shard_reqs)
+        return dirty
+
+    def _threads(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.shard_count,
+                thread_name_prefix=f"{self.name}-shard",
+            )
+        return self._thread_pool
+
+    def _processes(self) -> ProcessPoolExecutor:
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(max_workers=self.shard_count)
+        return self._process_pool
+
+    def close(self) -> None:
+        """Shut down the executors (idempotent; serial mode never starts any)."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+
+    def __enter__(self) -> "ShardedFibbingController":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Merge phase: naming, commit, batched injection
+    # ------------------------------------------------------------------ #
+    def _allocate_fake_name(self, anchor: str) -> str:
+        # Same shared format as LieReconciler._allocate_name: the
+        # differential suite compares installed LSAs, names included,
+        # against the single-controller oracle.
+        self._fake_name_counter += 1
+        return fake_node_name(self.name, anchor, self._fake_name_counter)
+
+    def _name_plan(self, plan: LieUpdate) -> LieUpdate:
+        """Replace the placeholder inject names with committed-history names."""
+        if not plan.to_inject:
+            return plan
+        named = tuple(
+            replace(lsa, fake_node=self._allocate_fake_name(lsa.anchor))
+            for lsa in plan.to_inject
+        )
+        return LieUpdate(
+            prefix=plan.prefix,
+            to_inject=named,
+            to_withdraw=plan.to_withdraw,
+            unchanged=plan.unchanged,
+        )
+
+    def _commit_and_send(self, ordered, version) -> List[ControllerUpdate]:
+        """Name, commit and mark the planned wave; ship one injection."""
+        now = self._now()
+        committed: List[Tuple[FibbingController, LieUpdate]] = []
+        for shard, req, plan in ordered:
+            plan = self._name_plan(plan)
+            shard.registry.commit(plan, now=now)
+            if req is not None:
+                shard.reconciler.mark_enforced(version, req)
+            committed.append((shard, plan))
+        return self._ship_committed(committed, now)
+
+    def _ship_committed(self, committed, now) -> List[ControllerUpdate]:
+        """Send the committed plans' LSAs as one wave and account for them."""
+        to_send: List[Lsa] = []
+        applied: List[ControllerUpdate] = []
+        for shard, plan in committed:
+            messages: List[Lsa] = list(plan.to_inject)
+            messages.extend(lsa.withdraw() for lsa in plan.to_withdraw)
+            to_send.extend(messages)
+            shard.reconciler.record_applied(plan)
+            update = ControllerUpdate(
+                time=now,
+                injected=plan.to_inject,
+                withdrawn=plan.to_withdraw,
+                unchanged=plan.unchanged,
+            )
+            self.updates.append(update)
+            applied.append(update)
+            self._stats.updates_applied += 1
+            self._stats.lies_injected += len(plan.to_inject)
+            self._stats.lies_withdrawn += len(plan.to_withdraw)
+            self._stats.messages_sent += len(messages)
+            self._stats.bytes_sent += sum(lsa.size_bytes for lsa in messages)
+        if self.network is not None and to_send:
+            assert self.attachment is not None  # enforced in __init__
+            self.network.inject(to_send, at_router=self.attachment)
+        return applied
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def _sync_spf_stats(self) -> None:
+        super()._sync_spf_stats()
+        counters = self.shard_counters
+        self._stats.shard_waves_parallel = counters.waves_parallel
+        self._stats.shard_waves_serial = counters.waves_serial
+        self._stats.shard_dirty = counters.shards_dirty
+        self._stats.shard_clean = counters.shards_clean
+        self._stats.shard_cross_fallbacks = counters.cross_shard_fallbacks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ShardedFibbingController(name={self.name!r}, shards={self.shard_count}, "
+            f"parallel={self.parallel!r}, active_lies={self.active_lie_count()})"
+        )

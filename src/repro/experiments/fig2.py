@@ -112,6 +112,8 @@ def run_demo_timeseries(
     hash_salt: int = 0,
     dataplane_incremental: bool = True,
     controller_incremental: bool = True,
+    controller_shards: int = 0,
+    controller_parallel: str = "serial",
 ) -> DemoRunResult:
     """Run the Fig. 2 experiment and return its measurements.
 
@@ -123,6 +125,11 @@ def run_demo_timeseries(
     wall-clock cost differ.  ``controller_incremental=False`` likewise runs
     the controller's clear-and-replay oracle instead of the plan-cache
     reconciler, with bit-identical installed lies and traffic.
+    ``controller_shards > 0`` swaps the single controller for a
+    :class:`~repro.core.shard.ShardedFibbingController` with that many
+    shards (``controller_parallel`` picks its dispatch mode) — again
+    bit-identical, per the shard differential suite; the run's
+    ``controller_stats`` then carry the ``shard_*`` wave counters.
     """
     if scenario is None:
         scenario = build_demo_scenario()
@@ -179,13 +186,26 @@ def run_demo_timeseries(
     balancer: Optional[OnDemandLoadBalancer] = None
     controller: Optional[FibbingController] = None
     if with_controller:
-        controller = FibbingController(
-            topology,
-            network=network,
-            attachment=scenario.controller_attachment,
-            epsilon=policy.epsilon,
-            incremental=controller_incremental,
-        )
+        if controller_shards > 0:
+            from repro.core.shard import ShardedFibbingController
+
+            controller = ShardedFibbingController(
+                topology,
+                shards=controller_shards,
+                network=network,
+                attachment=scenario.controller_attachment,
+                epsilon=policy.epsilon,
+                incremental=controller_incremental,
+                parallel=controller_parallel,
+            )
+        else:
+            controller = FibbingController(
+                topology,
+                network=network,
+                attachment=scenario.controller_attachment,
+                epsilon=policy.epsilon,
+                incremental=controller_incremental,
+            )
         registry = ClientRegistry()
         registry.attach(service.bus)
         balancer = OnDemandLoadBalancer(
@@ -210,7 +230,15 @@ def run_demo_timeseries(
     sessions = apply_schedule(service, timeline, schedule, scenario.blue_prefix)
 
     # --- run ------------------------------------------------------------------ #
-    timeline.run_until(epoch + duration)
+    try:
+        timeline.run_until(epoch + duration)
+    finally:
+        close = getattr(controller, "close", None)
+        if close is not None:
+            # Shut the sharded facade's executors down (also when the run
+            # raises); counters and installed lies survive for the result
+            # collection below.
+            close()
 
     # --- collect results ----------------------------------------------------- #
     throughput_series: Dict[LinkKey, List[Tuple[float, float]]] = {

@@ -35,6 +35,7 @@ from repro.util.timeline import Timeline
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.reconciler import CtlCounters
+    from repro.core.shard import ShardCounters
 
 __all__ = ["IgpNetwork", "compute_static_fibs"]
 
@@ -106,7 +107,29 @@ class IgpNetwork:
         attaches to a live network; the reconciliation counters (plan-cache
         hits, lies injected/retracted/kept, fallbacks) then complete the
         per-layer view in :attr:`spf_stats` and the monitoring collector.
+        Several controllers may register (e.g. one per tenant); their
+        counters are *merged*, never overwritten, by
+        :meth:`controller_counters`.  A
+        :class:`~repro.core.shard.ShardedFibbingController` registers only
+        its facade — its per-shard counters are already aggregated by the
+        facade's counter view, so registering the inner shards as well would
+        double-count them.
         """
+        shards = getattr(controller, "shards", None)
+        if shards:
+            # A facade's aggregate view covers its shards; drop any shard
+            # that was registered directly so it is not counted twice.
+            self._controllers = [
+                existing for existing in self._controllers
+                if all(existing is not shard for shard in shards)
+            ]
+        else:
+            for existing in self._controllers:
+                existing_shards = getattr(existing, "shards", None)
+                if existing_shards and any(
+                    controller is shard for shard in existing_shards
+                ):
+                    return  # already covered by its facade's view
         if controller not in self._controllers:
             self._controllers.append(controller)
 
@@ -240,7 +263,13 @@ class IgpNetwork:
         return self.dataplane_counters().snapshot()
 
     def controller_counters(self) -> "CtlCounters":
-        """Merged ``ctl_*`` counters of every registered controller."""
+        """Merged ``ctl_*`` counters of every registered controller.
+
+        Counters are summed across registrations: with several controllers
+        on one network (tenants, or a sharded facade whose aggregate view
+        already folds its shards in) every controller's reconciliation work
+        is represented exactly once.
+        """
         from repro.core.reconciler import CtlCounters
 
         total = CtlCounters()
@@ -248,10 +277,31 @@ class IgpNetwork:
             total.merge(controller.reconciler.counters)
         return total
 
+    def shard_counters(self) -> "ShardCounters":
+        """Merged ``shard_*`` counters of every registered sharded facade.
+
+        Plain controllers contribute nothing; each
+        :class:`~repro.core.shard.ShardedFibbingController` contributes its
+        wave-dispatch and shard dirty/clean accounting.
+        """
+        from repro.core.shard import ShardCounters
+
+        total = ShardCounters()
+        for controller in self._controllers:
+            counters = getattr(controller, "shard_counters", None)
+            if counters is not None:
+                total.merge(counters)
+        return total
+
     @property
     def controller_stats(self) -> Dict[str, int]:
         """Snapshot of the merged controller counters (``ctl_*`` keys)."""
         return self.controller_counters().snapshot()
+
+    @property
+    def shard_stats(self) -> Dict[str, int]:
+        """Snapshot of the merged sharded-facade counters (``shard_*`` keys)."""
+        return self.shard_counters().snapshot()
 
     @property
     def spf_stats(self) -> Dict[str, int]:
@@ -273,7 +323,11 @@ class IgpNetwork:
         ``ctl_*`` keys complete the stack with the reconciliation counters
         of every registered controller: requirement plans served from the
         plan cache vs. recomputed, and the lie churn each reaction actually
-        shipped (see :class:`~repro.core.reconciler.CtlCounters`).
+        shipped (see :class:`~repro.core.reconciler.CtlCounters`).  The
+        ``shard_*`` keys report the sharded facade's wave dispatch (waves
+        planned in parallel vs. serially, shard sub-waves dirty vs. clean,
+        cross-shard fallbacks; see :class:`~repro.core.shard.ShardCounters`)
+        and stay zero while only single controllers are registered.
         """
         total = SpfCounters()
         rib_total = RibCounters()
@@ -285,6 +339,7 @@ class IgpNetwork:
             **rib_total.snapshot(),
             **self.dataplane_counters().snapshot(),
             **self.controller_counters().snapshot(),
+            **self.shard_counters().snapshot(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

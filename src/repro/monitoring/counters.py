@@ -93,7 +93,11 @@ def collect_counters(network: "IgpNetwork") -> Dict[str, Dict[str, int]]:
     ``"controller"`` entry carries the ``ctl_*`` reconciliation counters of
     every registered controller (requirement plans served from the plan
     cache vs. recomputed, lies injected/retracted/kept, threshold
-    fallbacks); the ``"total"`` entry merges all four layers and matches
+    fallbacks), *merged across controllers* — several controllers (or one
+    sharded facade whose view folds its shards in) on one network each
+    contribute exactly once — plus the ``shard_*`` wave-dispatch counters
+    of any registered :class:`~repro.core.shard.ShardedFibbingController`;
+    the ``"total"`` entry merges all four layers and matches
     :attr:`repro.igp.network.IgpNetwork.spf_stats`.
     """
     per_router: Dict[str, Dict[str, int]] = {}
@@ -108,13 +112,15 @@ def collect_counters(network: "IgpNetwork") -> Dict[str, Dict[str, int]]:
         rib_total.merge(process.rib_cache.counters)
     dataplane = network.dataplane_counters()
     controller = network.controller_counters()
+    shard = network.shard_counters()
     per_router["dataplane"] = dataplane.snapshot()
-    per_router["controller"] = controller.snapshot()
+    per_router["controller"] = {**controller.snapshot(), **shard.snapshot()}
     per_router["total"] = {
         **total.snapshot(),
         **rib_total.snapshot(),
         **dataplane.snapshot(),
         **controller.snapshot(),
+        **shard.snapshot(),
     }
     return per_router
 

@@ -160,6 +160,12 @@ class Prefix:
         for index in range(count):
             yield Prefix(self.network + index * step, new_length)
 
+    def __reduce__(self) -> Tuple:
+        # Route unpickling through __new__(network, length) so prefixes
+        # crossing a process boundary (the sharded controller's process
+        # mode) re-intern in the receiving interpreter.
+        return (Prefix, (self.network, self.length))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Prefix):
             return NotImplemented

@@ -50,14 +50,27 @@ class DualControllerDriver:
     rate — is a plan-cache bug.
     """
 
-    def __init__(self, seed, num_routers=10, edge_probability=0.3, plan_dirty_threshold=0.5):
+    def __init__(
+        self,
+        seed,
+        num_routers=10,
+        edge_probability=0.3,
+        plan_dirty_threshold=0.5,
+        incremental_factory=None,
+    ):
+        """``incremental_factory(topology, plan_dirty_threshold)`` builds the
+        non-oracle side; the shard differential suite injects the sharded
+        facade through it (default: a plain plan-cache reconciler)."""
         self.rng = random.Random(seed)
         self.topology = random_topology(
             num_routers, edge_probability=edge_probability, seed=seed
         )
-        self.incremental = FibbingController(
-            self.topology, incremental=True, plan_dirty_threshold=plan_dirty_threshold
-        )
+        if incremental_factory is None:
+            self.incremental = FibbingController(
+                self.topology, incremental=True, plan_dirty_threshold=plan_dirty_threshold
+            )
+        else:
+            self.incremental = incremental_factory(self.topology, plan_dirty_threshold)
         self.oracle = FibbingController(self.topology, incremental=False)
         self.clients = StubClients()
         policy = LoadBalancerPolicy()

@@ -152,10 +152,11 @@ class TestFig2Golden:
 class TestLieSetGolden:
     """Installed-lie snapshots: per-prefix digests of the FakeNodeLsa sets
     the controller pipeline programs (fake-node names included), for both
-    the static Fig. 1 enforcement and the dynamic Fig. 2 run.  Two engines
-    must land on each digest: the plan-cache reconciler and the
-    ``incremental=False`` clear-and-replay oracle — the controller-layer
-    mirror of the RIB/data-plane dual-engine guard rails."""
+    the static Fig. 1 enforcement and the dynamic Fig. 2 run.  Three
+    engines must land on each digest: the plan-cache reconciler, the
+    ``incremental=False`` clear-and-replay oracle, and the sharded facade
+    (any shard count) — the controller-layer mirror of the RIB/data-plane
+    dual-engine guard rails."""
 
     @pytest.fixture(scope="class")
     def golden(self):
@@ -188,6 +189,25 @@ class TestLieSetGolden:
             # The oracle never consults the plan cache.
             assert result.controller_stats["ctl_plan_cache_hits"] == 0
             assert result.controller_stats["ctl_fallbacks"] == 0
+
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_fig1_sharded_digests_are_bit_identical(self, golden, shards):
+        digests = fig1_lie_digests(shards=shards)
+        assert digests == golden["fig1_sharded_pipeline"]
+        # The shard-equivalence guarantee, pinned at the golden layer too:
+        # sharding must not move a single digest byte.
+        assert golden["fig1_sharded_pipeline"] == golden["fig1_controller_pipeline"]
+
+    def test_fig2_sharded_final_lie_digests_are_bit_identical(self, golden):
+        from repro.experiments.fig2 import run_demo_timeseries
+
+        result = run_demo_timeseries(
+            with_controller=True, duration=60.0, controller_shards=3
+        )
+        assert result.lie_digests == golden["fig2_sharded_final"]
+        assert golden["fig2_sharded_final"] == golden["fig2_final"]
+        # The facade's wave accounting rode along the run.
+        assert result.controller_stats["shard_dirty"] > 0
 
 
 class TestOptimalityGolden:

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-quick golden
+.PHONY: test test-fast bench bench-quick sweep sweep-quick golden
 
 ## Tier-1 verification: the full test suite plus benchmarks-as-tests.
 test:
@@ -19,6 +19,16 @@ bench:
 ## Reduced smoke-mode benchmarks (what CI runs).
 bench-quick:
 	BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/ -q
+
+## Full parameter-grid sweep across a process pool; writes BENCH_default.json
+## at the repository root and verifies the process-pool run is byte-identical
+## to a serial re-run of the same grid.
+sweep:
+	$(PYTHON) -m repro sweep --parallel process --check
+
+## Reduced smoke sweep (2 seeds x 2 grid points per axis; what CI runs).
+sweep-quick:
+	BENCH_QUICK=1 $(PYTHON) -m repro sweep --parallel process --check
 
 ## Regenerate the golden regression snapshots (only when a change is meant
 ## to alter experiment numbers — say so in the commit message).

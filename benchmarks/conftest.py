@@ -3,9 +3,11 @@
 Every benchmark regenerates one table/figure of the paper (or one ablation
 from DESIGN.md).  Besides timing the underlying computation with
 pytest-benchmark, each benchmark *prints* the reproduced rows/series and
-appends them to ``benchmarks/results/<name>.txt`` so the regenerated numbers
-are inspectable after a ``pytest benchmarks/ --benchmark-only`` run, whose
-default output capture would otherwise hide them.
+saves them through :class:`repro.util.artifacts.BenchmarkReport`, which
+atomically rewrites ``benchmarks/results/<name>.txt`` (tmp file + rename,
+keyed per test and per pid — safe under process pools, and a regenerated
+result fully replaces the previous run instead of appending stale rows)
+plus a machine-readable ``BENCH_<name>.json`` at the repository root.
 
 Setting ``BENCH_QUICK=1`` in the environment switches the suite into a
 reduced smoke mode (smaller sweeps and topologies) suitable for CI; the
@@ -15,12 +17,16 @@ reduced smoke mode (smaller sweeps and topologies) suitable for CI; the
 from __future__ import annotations
 
 import gc
-import pathlib
-from typing import Iterable, Sequence
+import sys
+from pathlib import Path
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.util.artifacts import RESULTS_DIR, BenchmarkReport  # noqa: E402
+
+__all__ = ["RESULTS_DIR", "BenchmarkReport"]
 
 
 @pytest.fixture(autouse=True)
@@ -42,38 +48,6 @@ def _freeze_collection_heap():
     gc.freeze()
     yield
     gc.unfreeze()
-
-
-class BenchmarkReport:
-    """Collects the rows a benchmark reproduces and writes them to disk."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.lines: list[str] = []
-
-    def add_line(self, text: str = "") -> None:
-        """Append one line to the report (also echoed to stdout)."""
-        self.lines.append(text)
-        print(text)
-
-    def add_table(self, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
-        """Append a fixed-width table."""
-        rows = [tuple(str(cell) for cell in row) for row in rows]
-        widths = [len(header) for header in headers]
-        for row in rows:
-            widths = [max(width, len(cell)) for width, cell in zip(widths, row)]
-        line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
-        self.add_line(line)
-        self.add_line("  ".join("-" * width for width in widths))
-        for row in rows:
-            self.add_line("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
-
-    def save(self) -> pathlib.Path:
-        """Write the collected lines to ``benchmarks/results/<name>.txt``."""
-        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-        path = RESULTS_DIR / f"{self.name}.txt"
-        path.write_text("\n".join(self.lines) + "\n", encoding="utf-8")
-        return path
 
 
 @pytest.fixture

@@ -20,6 +20,10 @@ same code path:
 ``scaling``
     The extended ablations: lie-count scaling, split-approximation error and
     reaction-time sweeps.
+``sweep``
+    The declarative grid sweep harness: expands experiment × seeds × knob
+    grids into runs, executes them across a process pool, and merges the
+    per-run counter snapshots into one ``BENCH_*.json`` report.
 """
 
 from repro.experiments.fig1 import Fig1Result, run_fig1
@@ -27,10 +31,26 @@ from repro.experiments.fig2 import DemoRunResult, run_demo_timeseries, reaction_
 from repro.experiments.overhead import OverheadRow, run_overhead_comparison
 from repro.experiments.optimality import OptimalityRow, run_optimality_study
 from repro.experiments.scaling import (
+    FlashCrowdScalingRow,
     LieScalingRow,
+    ReconcileScalingRow,
+    ShardScalingRow,
     SplitApproximationRow,
+    run_flashcrowd_scaling,
     run_lie_scaling,
+    run_reconcile_scaling,
+    run_shard_scaling,
     run_split_approximation,
+)
+from repro.experiments.sweep import (
+    EXPERIMENTS,
+    SWEEPS,
+    GridSpec,
+    RunResult,
+    RunSpec,
+    SweepGrid,
+    SweepHarness,
+    SweepReport,
 )
 
 __all__ = [
@@ -43,8 +63,22 @@ __all__ = [
     "run_overhead_comparison",
     "OptimalityRow",
     "run_optimality_study",
+    "FlashCrowdScalingRow",
     "LieScalingRow",
+    "ReconcileScalingRow",
+    "ShardScalingRow",
     "SplitApproximationRow",
+    "run_flashcrowd_scaling",
     "run_lie_scaling",
+    "run_reconcile_scaling",
+    "run_shard_scaling",
     "run_split_approximation",
+    "EXPERIMENTS",
+    "SWEEPS",
+    "GridSpec",
+    "RunResult",
+    "RunSpec",
+    "SweepGrid",
+    "SweepHarness",
+    "SweepReport",
 ]

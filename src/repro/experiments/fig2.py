@@ -21,6 +21,7 @@ overhead counters.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -114,6 +115,7 @@ def run_demo_timeseries(
     controller_incremental: bool = True,
     controller_shards: int = 0,
     controller_parallel: str = "serial",
+    seed: Optional[int] = None,
 ) -> DemoRunResult:
     """Run the Fig. 2 experiment and return its measurements.
 
@@ -130,7 +132,14 @@ def run_demo_timeseries(
     shards (``controller_parallel`` picks its dispatch mode) — again
     bit-identical, per the shard differential suite; the run's
     ``controller_stats`` then carry the ``shard_*`` wave counters.
+    ``seed`` (the sweep harness entry point) derives the flow ``hash_salt``
+    from an explicit ``random.Random(seed)`` when no salt is given — the
+    run is a pure function of its arguments, with no module-level RNG state
+    to leak between runs sharing a sweep worker; ``seed=None`` keeps the
+    historical salt.
     """
+    if seed is not None and hash_salt == 0:
+        hash_salt = random.Random(seed).randrange(1 << 31)
     if scenario is None:
         scenario = build_demo_scenario()
     topology = scenario.topology

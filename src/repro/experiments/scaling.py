@@ -33,7 +33,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.merger import LieMerger
 from repro.core.optimizer import MinMaxLoadOptimizer
@@ -202,19 +202,29 @@ def pod_prefix(topology: Topology, pod: int) -> Prefix:
 
 
 def replay_wave(
-    engine: DataPlaneEngine, topology: Topology, pods: int, flows: int, churn: int
+    engine: DataPlaneEngine,
+    topology: Topology,
+    pods: int,
+    flows: int,
+    churn: int,
+    rng: Optional[random.Random] = None,
 ) -> float:
     """One flash-crowd wave: ``flows`` arrivals round-robin across the pods,
     followed by ``churn`` departures of the earliest viewers.  Returns the
-    wall-clock seconds the engine spent reacting.  Shared with
-    ``benchmarks/test_bench_dataplane_cache.py`` so the benchmark and the
-    A4 scaling rows always measure the same workload."""
+    wall-clock seconds the engine spent reacting.  With an explicit ``rng``
+    (a :class:`random.Random` — never module-level state, which would leak
+    across runs sharing a sweep worker) the per-flow rates are jittered
+    deterministically, so seeded sweep runs exercise distinct workloads;
+    two replays driven by equally-seeded instances see identical waves.
+    Shared with ``benchmarks/test_bench_dataplane_cache.py`` so the
+    benchmark and the A4 scaling rows always measure the same workload."""
     start = time.perf_counter()
     for index in range(flows):
         pod = index % pods
-        engine.add_flow(
-            f"S{pod}", pod_prefix(topology, pod), 1e6 + 1000.0 * index, label="wave"
-        )
+        rate = 1e6 + 1000.0 * index
+        if rng is not None:
+            rate += rng.random() * 1e5
+        engine.add_flow(f"S{pod}", pod_prefix(topology, pod), rate, label="wave")
     for flow_id in range(churn):
         engine.remove_flow(flow_id)
     return time.perf_counter() - start
@@ -224,6 +234,7 @@ def run_flashcrowd_scaling(
     flow_counts: Sequence[int] = (50, 100, 200),
     pods: int = 8,
     churn_fraction: float = 0.25,
+    seed: Optional[int] = None,
 ) -> List[FlashCrowdScalingRow]:
     """Replay growing flash-crowd waves with and without the data-plane cache.
 
@@ -233,6 +244,12 @@ def run_flashcrowd_scaling(
     (versioned path cache + warm-start allocation).  The differential suite
     guarantees both produce bit-identical flows; this experiment measures
     the wall-clock gap and the cache-effectiveness counters.
+
+    ``seed`` (sweep entry point) jitters the per-flow rates through an
+    explicit ``random.Random(seed)`` — one fresh instance per engine replay,
+    so both engines still see identical waves and the result is a pure
+    function of the arguments, independent of run order within a worker.
+    ``seed=None`` keeps the historical deterministic rates.
     """
     rows: List[FlashCrowdScalingRow] = []
     for flows in flow_counts:
@@ -245,11 +262,15 @@ def run_flashcrowd_scaling(
         full_engine = DataPlaneEngine(
             topology, lambda: fibs, Timeline(), incremental=False
         )
-        full_seconds = replay_wave(full_engine, topology, pods, flows, churn)
+        full_seconds = replay_wave(
+            full_engine, topology, pods, flows, churn,
+            rng=None if seed is None else random.Random(seed),
+        )
 
         incremental_engine = DataPlaneEngine(topology, lambda: fibs, Timeline())
         incremental_seconds = replay_wave(
-            incremental_engine, topology, pods, flows, churn
+            incremental_engine, topology, pods, flows, churn,
+            rng=None if seed is None else random.Random(seed),
         )
 
         counters = incremental_engine.counters
@@ -337,19 +358,29 @@ def churn_requirement(
     )
 
 
-def replay_requirement_churn(controller, topology: Topology, count: int, waves: int) -> float:
+def replay_requirement_churn(
+    controller,
+    topology: Topology,
+    count: int,
+    waves: int,
+    rng: Optional[random.Random] = None,
+) -> float:
     """Drive ``waves`` enforce waves with one of ``count`` requirements
     changing per wave (the rest unchanged) through ``controller``; returns
-    the wall-clock seconds spent planning and reconciling.  Shared with
-    ``benchmarks/test_bench_controller_reconcile.py`` so the benchmark and
-    the A5 scaling rows always measure the same workload."""
+    the wall-clock seconds spent planning and reconciling.  With an explicit
+    ``rng`` the churned requirement is drawn per wave instead of rotating
+    round-robin — equally-seeded instances replay identical churns, so the
+    oracle/reconciler comparison stays exact under seeded sweeps.  Shared
+    with ``benchmarks/test_bench_controller_reconcile.py`` so the benchmark
+    and the A5 scaling rows always measure the same workload."""
     generations = {index: 0 for index in range(count)}
     start = time.perf_counter()
     controller.enforce(
         [churn_requirement(topology, index, 0) for index in range(count)]
     )
     for wave in range(1, waves + 1):
-        generations[wave % count] += 1
+        target = rng.randrange(count) if rng is not None else wave % count
+        generations[target] += 1
         controller.enforce(
             [
                 churn_requirement(topology, index, generations[index])
@@ -363,6 +394,7 @@ def run_reconcile_scaling(
     requirement_counts: Sequence[int] = (8, 16, 32),
     waves: int = 60,
     ring: int = 32,
+    seed: Optional[int] = None,
 ) -> List[ReconcileScalingRow]:
     """Replay growing requirement churns through oracle and reconciler.
 
@@ -373,6 +405,11 @@ def run_reconcile_scaling(
     requirements are skipped outright).  The differential suite guarantees
     both install bit-identical lies; this experiment measures the wall-clock
     gap and the ``ctl_*`` effectiveness counters.
+
+    ``seed`` (sweep entry point) randomises which requirement churns per
+    wave through an explicit ``random.Random(seed)`` — one fresh instance
+    per controller replay, so oracle and reconciler still see identical
+    churn sequences.  ``seed=None`` keeps the historical round-robin churn.
     """
     from repro.core.controller import FibbingController
     from repro.core.lies import lie_set_digest
@@ -384,11 +421,15 @@ def run_reconcile_scaling(
         topology = build_ring_topology(ring, count)
 
         oracle = FibbingController(topology, incremental=False)
-        oracle_seconds = replay_requirement_churn(oracle, topology, count, waves)
+        oracle_seconds = replay_requirement_churn(
+            oracle, topology, count, waves,
+            rng=None if seed is None else random.Random(seed),
+        )
 
         reconciler = FibbingController(topology)
         incremental_seconds = replay_requirement_churn(
-            reconciler, topology, count, waves
+            reconciler, topology, count, waves,
+            rng=None if seed is None else random.Random(seed),
         )
 
         # The reconciler's whole point is that skipping clean requirements
@@ -465,7 +506,12 @@ def ring_shard_assignment(topology: Topology, count: int, shards: int):
 
 
 def replay_shard_churn(
-    controller, topology: Topology, count: int, waves: int, shards: int
+    controller,
+    topology: Topology,
+    count: int,
+    waves: int,
+    shards: int,
+    rng: Optional[random.Random] = None,
 ) -> float:
     """Drive ``waves`` enforce waves, each churning every requirement of
     exactly one shard (index residue ``wave % shards``, rotating) while the
@@ -473,7 +519,10 @@ def replay_shard_churn(
     seconds spent planning and reconciling the churn waves.  The initial
     all-new wave (and with it the one-time baseline-FIB computation, which
     both engines pay identically) runs before the clock starts: the study
-    object is the steady-state reaction cost.  Shared with
+    object is the steady-state reaction cost.  With an explicit ``rng`` the
+    churned shard is drawn per wave instead of rotating — equally-seeded
+    instances replay identical churns, keeping the single/sharded
+    comparison exact under seeded sweeps.  Shared with
     ``benchmarks/test_bench_shard_scaling.py`` so the benchmark and the A6
     scaling rows always measure the same workload."""
     generations = {index: 0 for index in range(count)}
@@ -482,7 +531,7 @@ def replay_shard_churn(
     )
     start = time.perf_counter()
     for wave in range(1, waves + 1):
-        target = wave % shards
+        target = rng.randrange(shards) if rng is not None else wave % shards
         for index in range(count):
             if index % shards == target:
                 generations[index] += 1
@@ -502,6 +551,7 @@ def run_shard_scaling(
     ring: int = 32,
     plan_dirty_threshold: float = 0.2,
     parallel: str = "serial",
+    seed: Optional[int] = None,
 ) -> List[ShardScalingRow]:
     """A6 — replay disjoint-prefix churn through single and sharded control.
 
@@ -514,7 +564,10 @@ def run_shard_scaling(
     The lie sets are verified identical before any timing is reported.  On
     multi-core hosts ``parallel="thread"`` (or ``"process"``) additionally
     overlaps the sub-wave planning; the algorithmic gap measured here needs
-    no extra cores.
+    no extra cores.  ``seed`` (sweep entry point) randomises which shard
+    churns per wave through an explicit ``random.Random(seed)`` — one fresh
+    instance per controller replay, so both sides see identical churns;
+    ``seed=None`` keeps the historical rotating churn.
     """
     from repro.core.controller import FibbingController
     from repro.core.lies import lie_set_digest
@@ -530,7 +583,8 @@ def run_shard_scaling(
             topology, plan_dirty_threshold=plan_dirty_threshold
         )
         single_seconds = replay_shard_churn(
-            single, topology, requirements, waves, shards
+            single, topology, requirements, waves, shards,
+            rng=None if seed is None else random.Random(seed),
         )
 
         sharded = ShardedFibbingController(
@@ -542,7 +596,8 @@ def run_shard_scaling(
         )
         try:
             sharded_seconds = replay_shard_churn(
-                sharded, topology, requirements, waves, shards
+                sharded, topology, requirements, waves, shards,
+                rng=None if seed is None else random.Random(seed),
             )
             if lie_set_digest(sharded.active_lies()) != lie_set_digest(
                 single.active_lies()

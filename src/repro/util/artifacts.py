@@ -1,0 +1,209 @@
+"""Machine-readable benchmark artifacts (``BENCH_*.json``) and atomic writes.
+
+Every benchmark and every sweep emits two artifacts: the human-readable
+table under ``benchmarks/results/<name>.txt`` (unchanged since PR 1) and a
+machine-readable ``BENCH_<name>.json`` at the repository root, so the perf
+trajectory can be tracked across PRs by diffing/parsing JSON instead of
+scraping text tables.
+
+All writes go through :func:`atomic_write_text`: the content lands in a
+unique temporary file first (keyed by pid, so concurrent workers of the
+process-pool sweep harness never share one) and is renamed into place with
+:func:`os.replace`.  A rewrite therefore fully replaces the previous run's
+artifact — no stale rows accumulate — and a reader never observes a
+half-written file, even with parallel writers.
+
+The JSON envelope is versioned (:data:`BENCH_SCHEMA`):
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "kind": "benchmark" | "sweep",
+      "name": "<artifact name>",
+      "git": "<git describe --always --dirty>",
+      ... kind-specific body ...
+    }
+
+``kind="benchmark"`` bodies carry the report's ``lines`` and structured
+``tables``; ``kind="sweep"`` bodies carry the grid, per-run digests and
+merged counters (see :class:`repro.experiments.sweep.SweepReport`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "REPO_ROOT",
+    "RESULTS_DIR",
+    "BenchmarkReport",
+    "atomic_write_text",
+    "atomic_write_json",
+    "bench_json_path",
+    "write_bench_json",
+    "load_bench_json",
+    "git_describe",
+]
+
+#: Version tag of the ``BENCH_*.json`` envelope.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Repository root (``src/repro/util/artifacts.py`` → three levels up).
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+
+#: Where the human-readable benchmark tables live.
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def git_describe(root: Optional[pathlib.Path] = None) -> str:
+    """``git describe --always --dirty`` of ``root`` (default: the repo).
+
+    Stamped into every ``BENCH_*.json`` so an artifact can be traced back to
+    the exact tree that produced it.  Returns ``"unknown"`` when git is
+    unavailable (e.g. a source tarball).
+    """
+    try:
+        output = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=root or REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        return output or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def atomic_write_text(path: pathlib.Path, text: str) -> pathlib.Path:
+    """Write ``text`` to ``path`` via a unique tmp file + rename.
+
+    The temporary name embeds the pid, so parallel workers rewriting the
+    same artifact never interleave partial lines; :func:`os.replace` makes
+    the final step atomic on POSIX.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed replace
+            tmp.unlink()
+    return path
+
+
+def atomic_write_json(path: pathlib.Path, payload: Dict[str, object]) -> pathlib.Path:
+    """Atomically write ``payload`` as canonical (sorted-key) JSON."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    )
+
+
+def bench_json_path(name: str, directory: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """The ``BENCH_<name>.json`` path for an artifact name (repo root default)."""
+    if not name or any(sep in name for sep in ("/", "\\", "\0")):
+        raise ValidationError(f"invalid artifact name {name!r}")
+    base = pathlib.Path(directory) if directory else REPO_ROOT
+    return base / f"BENCH_{name}.json"
+
+
+def write_bench_json(
+    name: str,
+    kind: str,
+    body: Dict[str, object],
+    directory: Optional[pathlib.Path] = None,
+) -> pathlib.Path:
+    """Write one ``BENCH_<name>.json`` artifact and return its path."""
+    path = bench_json_path(name, directory)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "kind": kind,
+        "name": name,
+        "git": git_describe(),
+        **body,
+    }
+    return atomic_write_json(path, payload)
+
+
+def load_bench_json(path: pathlib.Path) -> Dict[str, object]:
+    """Load and validate one ``BENCH_*.json`` artifact."""
+    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
+        raise ValidationError(
+            f"{path} is not a {BENCH_SCHEMA} artifact "
+            f"(schema={payload.get('schema') if isinstance(payload, dict) else None!r})"
+        )
+    for key in ("kind", "name", "git"):
+        if key not in payload:
+            raise ValidationError(f"{path} is missing the {key!r} envelope field")
+    return payload
+
+
+class BenchmarkReport:
+    """Collects the rows a benchmark reproduces and writes both artifacts.
+
+    Used by the ``report`` fixture of ``benchmarks/conftest.py``: lines and
+    tables are echoed to stdout as they are added (pytest's capture would
+    otherwise hide them) and :meth:`save` rewrites
+    ``benchmarks/results/<name>.txt`` plus ``BENCH_<name>.json`` atomically
+    — each save fully replaces the previous run's artifact, so regenerated
+    results never accumulate stale rows, and parallel workers never
+    interleave partial writes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        results_dir: Optional[pathlib.Path] = None,
+        bench_dir: Optional[pathlib.Path] = None,
+    ) -> None:
+        self.name = name
+        self.lines: List[str] = []
+        #: Structured copies of every :meth:`add_table` call, for the JSON.
+        self.tables: List[Dict[str, object]] = []
+        self.results_dir = pathlib.Path(results_dir) if results_dir else RESULTS_DIR
+        self.bench_dir = pathlib.Path(bench_dir) if bench_dir else REPO_ROOT
+
+    def add_line(self, text: str = "") -> None:
+        """Append one line to the report (also echoed to stdout)."""
+        self.lines.append(text)
+        print(text)
+
+    def add_table(self, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+        """Append a fixed-width table (recorded structurally for the JSON)."""
+        rows = [tuple(str(cell) for cell in row) for row in rows]
+        self.tables.append(
+            {"headers": [str(header) for header in headers], "rows": [list(row) for row in rows]}
+        )
+        widths = [len(header) for header in headers]
+        for row in rows:
+            widths = [max(width, len(cell)) for width, cell in zip(widths, row)]
+        line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+        self.add_line(line)
+        self.add_line("  ".join("-" * width for width in widths))
+        for row in rows:
+            self.add_line("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+    def save(self) -> pathlib.Path:
+        """Atomically rewrite ``<name>.txt`` and ``BENCH_<name>.json``."""
+        txt_path = atomic_write_text(
+            self.results_dir / f"{self.name}.txt", "\n".join(self.lines) + "\n"
+        )
+        write_bench_json(
+            self.name,
+            "benchmark",
+            {"lines": self.lines, "tables": self.tables},
+            directory=self.bench_dir,
+        )
+        return txt_path

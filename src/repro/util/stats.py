@@ -169,9 +169,27 @@ class TimeWeightedAverage:
         self.samples.append((time, float(value)))
 
     def finish(self, time: float) -> float:
-        """Close the signal at ``time`` and return the time-weighted average."""
-        self.observe(time, self._last_value)
-        return self.average
+        """Return the time-weighted average as if the signal closed at ``time``.
+
+        Non-mutating and therefore idempotent: the held value is *not*
+        folded into the running state, so repeated ``finish`` calls with the
+        same ``time`` return the same average, and a later ``observe``
+        continues from the last observation as if ``finish`` had never been
+        called.  (The old implementation routed through :meth:`observe`, so
+        a second ``finish`` silently inflated the duration and a late
+        ``observe`` could raise "time went backwards".)
+        """
+        time = float(time)
+        if self._last_time is None:
+            return 0.0
+        if time < self._last_time:
+            raise ValidationError(
+                f"time went backwards: {time} < {self._last_time}"
+            )
+        span = time - self._last_time
+        weighted_sum = self._weighted_sum + self._last_value * span
+        duration = self._duration + span
+        return weighted_sum / duration if duration > 0 else 0.0
 
     @property
     def average(self) -> float:

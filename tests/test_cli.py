@@ -8,7 +8,8 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_every_subcommand_registered(self):
         parser = build_parser()
-        subcommands = {"fig1", "fig2", "qoe", "overhead", "optimality", "lie-scaling", "split-approx"}
+        subcommands = {"fig1", "fig2", "qoe", "overhead", "optimality", "lie-scaling",
+                       "split-approx", "sweep"}
         # argparse stores subparsers in the last action.
         choices = None
         for action in parser._actions:  # noqa: SLF001 - inspecting argparse internals in a test
@@ -66,3 +67,20 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "optimal-mcf" in output
         assert "fibbing" in output
+
+    def test_sweep_quick_writes_bench_json(self, capsys, tmp_path):
+        assert main(["sweep", "--sweep", "quick", "--parallel", "serial",
+                     "--out", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "sweep digest:" in output
+        assert (tmp_path / "BENCH_quick.json").exists()
+
+    def test_sweep_check_passes_on_quick_grid(self, capsys, tmp_path):
+        assert main(["sweep", "--sweep", "quick", "--parallel", "process",
+                     "--check", "--out", str(tmp_path)]) == 0
+        assert "determinism check passed" in capsys.readouterr().out
+
+    def test_sweep_honors_bench_quick_env(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("BENCH_QUICK", "1")
+        assert main(["sweep", "--parallel", "serial", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "BENCH_quick.json").exists()

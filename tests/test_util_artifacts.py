@@ -1,0 +1,103 @@
+"""Tests for the benchmark artifact helpers (``util/artifacts.py``)."""
+
+import json
+
+import pytest
+
+from repro.util.artifacts import (
+    BENCH_SCHEMA,
+    BenchmarkReport,
+    atomic_write_text,
+    bench_json_path,
+    git_describe,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.util.errors import ValidationError
+
+
+class TestAtomicWrite:
+    def test_rewrite_fully_replaces_previous_content(self, tmp_path):
+        # Regression: the old benchmark report appended via write_text on a
+        # shared path; a regenerated run must not accumulate stale rows.
+        path = tmp_path / "report.txt"
+        atomic_write_text(path, "old row 1\nold row 2\n")
+        atomic_write_text(path, "new row\n")
+        assert path.read_text() == "new row\n"
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "a.txt", "x\n")
+        assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "deep" / "a.txt"
+        atomic_write_text(path, "x\n")
+        assert path.read_text() == "x\n"
+
+
+class TestBenchJson:
+    def test_path_defaults_to_repo_root(self):
+        from repro.util.artifacts import REPO_ROOT
+
+        assert bench_json_path("demo") == REPO_ROOT / "BENCH_demo.json"
+
+    def test_rejects_path_separators_in_names(self):
+        with pytest.raises(ValidationError):
+            bench_json_path("../escape")
+        with pytest.raises(ValidationError):
+            bench_json_path("")
+
+    def test_write_then_load_round_trip(self, tmp_path):
+        path = write_bench_json("demo", "benchmark", {"lines": ["a"]}, directory=tmp_path)
+        payload = load_bench_json(path)
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["kind"] == "benchmark"
+        assert payload["name"] == "demo"
+        assert payload["lines"] == ["a"]
+        assert payload["git"]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": "other/1"}))
+        with pytest.raises(ValidationError):
+            load_bench_json(path)
+
+    def test_load_rejects_missing_envelope_fields(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA, "kind": "benchmark"}))
+        with pytest.raises(ValidationError, match="name"):
+            load_bench_json(path)
+
+    def test_git_describe_returns_something(self):
+        assert git_describe()  # "unknown" at worst, never empty
+
+
+class TestBenchmarkReport:
+    def test_save_writes_txt_and_json(self, tmp_path, capsys):
+        report = BenchmarkReport(
+            "demo", results_dir=tmp_path / "results", bench_dir=tmp_path
+        )
+        report.add_line("hello")
+        report.add_table(["a", "b"], [(1, 2), (3, 4)])
+        txt_path = report.save()
+        assert txt_path == tmp_path / "results" / "demo.txt"
+        text = txt_path.read_text()
+        assert "hello" in text and "1  2" in text
+        payload = load_bench_json(tmp_path / "BENCH_demo.json")
+        assert payload["kind"] == "benchmark"
+        assert payload["lines"] == report.lines
+        assert payload["tables"] == [
+            {"headers": ["a", "b"], "rows": [["1", "2"], ["3", "4"]]}
+        ]
+        assert "hello" in capsys.readouterr().out  # lines echo to stdout
+
+    def test_resave_replaces_instead_of_appending(self, tmp_path):
+        kwargs = {"results_dir": tmp_path / "results", "bench_dir": tmp_path}
+        first = BenchmarkReport("demo", **kwargs)
+        first.add_line("stale")
+        first.save()
+        second = BenchmarkReport("demo", **kwargs)
+        second.add_line("fresh")
+        path = second.save()
+        assert path.read_text() == "fresh\n"
+        assert load_bench_json(tmp_path / "BENCH_demo.json")["lines"] == ["fresh"]

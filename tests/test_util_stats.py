@@ -122,3 +122,39 @@ class TestTimeWeightedAverage:
         twa.observe(0.0, 1.0)
         twa.observe(1.0, 2.0)
         assert twa.samples == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_finish_is_idempotent(self):
+        # Regression: finish used to route through observe, so a second
+        # finish at the same instant silently inflated the duration.
+        twa = TimeWeightedAverage()
+        twa.observe(0.0, 10.0)
+        twa.observe(5.0, 0.0)
+        first = twa.finish(10.0)
+        second = twa.finish(10.0)
+        assert first == second == pytest.approx(5.0)
+
+    def test_finish_does_not_mutate_state(self):
+        twa = TimeWeightedAverage()
+        twa.observe(0.0, 4.0)
+        twa.finish(2.0)
+        # The closing sample must not be recorded or folded into the state:
+        # a later observe continues from the last real observation.
+        assert twa.samples == [(0.0, 4.0)]
+        assert twa.average == 0.0
+        twa.observe(1.0, 8.0)  # before the finish time; legal after the fix
+        assert twa.finish(2.0) == pytest.approx((4.0 * 1.0 + 8.0 * 1.0) / 2.0)
+
+    def test_finish_before_last_observation_raises(self):
+        twa = TimeWeightedAverage()
+        twa.observe(5.0, 1.0)
+        with pytest.raises(ValidationError):
+            twa.finish(4.0)
+
+    def test_finish_without_observations_is_zero(self):
+        assert TimeWeightedAverage().finish(10.0) == 0.0
+
+    def test_finish_at_last_observation_time(self):
+        twa = TimeWeightedAverage()
+        twa.observe(0.0, 2.0)
+        twa.observe(4.0, 6.0)
+        assert twa.finish(4.0) == pytest.approx(2.0)

@@ -74,6 +74,9 @@ def test_requirement_churn_reconcile_speedup(benchmark, report):
             f"{key}={stats[key]}" for key in sorted(stats) if key.startswith("ctl_")
         )
     )
+    report.add_metric("oracle_seconds", oracle_time)
+    report.add_metric("incremental_seconds", incremental_time)
+    report.add_metric("speedup", speedup)
 
     # The acceptance bar for the incremental controller.  Quick mode
     # measures sub-millisecond waves on shared CI runners, so it only
@@ -126,6 +129,9 @@ def test_reconcile_scaling_rows(benchmark, report):
             for row in rows
         ],
     )
+
+    for row in rows:
+        report.add_metric(f"speedup_{row.requirements}_requirements", row.speedup)
 
     for row in rows:
         assert row.fallbacks == 0

@@ -72,6 +72,9 @@ def test_flash_crowd_wave_speedup(benchmark, report):
         ],
     )
     report.add_line(f"cache counters: {counters}")
+    report.add_metric("full_seconds", full_time)
+    report.add_metric("cached_seconds", cached_time)
+    report.add_metric("speedup", speedup)
 
     # The acceptance bar for the incremental data plane.  Quick mode runs a
     # smaller wave on shared CI runners, so its bar is the same >= 2x but on
@@ -101,6 +104,8 @@ def test_fig2_demo_counters_with_cache(benchmark, report):
     report.add_line(
         ", ".join(f"{key}={value}" for key, value in sorted(stats.items()))
     )
+    report.add_metric("dp_flows_reused", stats["dp_flows_reused"])
+    report.add_metric("dp_flows_rerouted", stats["dp_flows_rerouted"])
     # The demo's FIB churn (initial convergence + the controller's lies) and
     # its 62 arrivals must be served mostly from the path cache.
     assert stats["dp_flows_reused"] > stats["dp_flows_rerouted"]

@@ -32,6 +32,8 @@ def test_fig1_baseline_loads(benchmark, report):
         ],
     )
     report.add_line(f"max relative load: paper 200, measured {result.max_load:.1f}")
+    report.add_metric("max_load", result.max_load)
+    report.add_metric("lie_count", result.lie_count)
 
     for (source, target), expected in PAPER_LOADS.items():
         assert result.load_of(source, target) == pytest.approx(expected)

@@ -39,6 +39,8 @@ def test_fig1_fibbing_loads_with_paper_lies(benchmark, report):
     )
     report.add_line(f"fake nodes injected: paper 3, measured {result.lie_count}")
     report.add_line(f"max relative load: paper ~66, measured {result.max_load:.1f}")
+    report.add_metric("max_load", result.max_load)
+    report.add_metric("lie_count", result.lie_count)
 
     for (source, target), expected in PAPER_LOADS.items():
         assert result.load_of(source, target) == pytest.approx(expected, rel=1e-6)
@@ -54,6 +56,8 @@ def test_fig1_fibbing_loads_via_controller_pipeline(benchmark, report):
     report.add_line("Fig. 1d — controller pipeline (LP + approximation + merger)")
     report.add_line(f"fake nodes injected: {result.lie_count} (paper hand-crafted set: 3)")
     report.add_line(f"max relative load: {result.max_load:.2f} (paper ~66)")
+    report.add_metric("max_load", result.max_load)
+    report.add_metric("lie_count", result.lie_count)
 
     assert result.lie_count == 3
     assert result.max_load == pytest.approx(200.0 / 3, rel=1e-3)

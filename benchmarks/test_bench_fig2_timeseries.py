@@ -37,6 +37,8 @@ def test_fig2_throughput_timeseries(benchmark, report):
         f"(lies per action: {[action.lies_injected for action in result.actions]})"
     )
     report.add_line(f"total fake nodes at the end of the run: {result.lies_active} (paper: 3)")
+    report.add_metric("controller_actions", len(result.actions))
+    report.add_metric("lies_active", result.lies_active)
 
     # --- shape assertions ------------------------------------------------ #
     def first_active(source, target, threshold=1e5):

@@ -41,6 +41,9 @@ def test_lie_count_scaling(benchmark, report):
     )
 
     for row in rows:
+        report.add_metric(f"lies_with_merger_{row.routers}_routers", row.lies_with_merger)
+
+    for row in rows:
         # The merger never hurts, and the remaining lie count stays small —
         # a handful of LSAs per rebalanced destination, not per path.
         assert row.lies_with_merger <= row.lies_without_merger

@@ -44,6 +44,10 @@ def test_optimality_gap_random_instances(benchmark, report):
             )
         )
     report.add_table(["scheme", "mean max-util", "mean gap", "worst gap"], table_rows)
+    for scheme, scheme_rows in sorted(by_scheme.items()):
+        report.add_metric(
+            f"mean_gap_{scheme}", statistics.mean(row.gap for row in scheme_rows)
+        )
 
     fibbing_gaps = [row.gap for row in by_scheme["fibbing"]]
     ecmp_gaps = [row.gap for row in by_scheme["igp-ecmp"]]
@@ -84,6 +88,8 @@ def test_optimality_on_demo_network(benchmark, report):
         [(name, f"{outcome.max_utilization:.4f}") for name, outcome in outcomes.items()],
     )
     report.add_line("paper: Fibbing realises the min-max optimum on this scenario")
+    for name, outcome in outcomes.items():
+        report.add_metric(f"max_utilization_{name}", outcome.max_utilization)
 
     assert outcomes["fibbing"].max_utilization == pytest.approx(
         outcomes["optimal"].max_utilization, rel=0.02

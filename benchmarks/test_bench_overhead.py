@@ -47,6 +47,9 @@ def test_overhead_fibbing_vs_mpls(benchmark, report):
     )
 
     by_key = {(row.scheme, row.destinations): row for row in rows}
+    for (scheme, count), row in sorted(by_key.items()):
+        report.add_metric(f"state_entries_{scheme}_{count}", row.state_entries)
+        report.add_metric(f"control_bytes_{scheme}_{count}", row.control_bytes)
     for count in DESTINATION_COUNTS:
         fibbing = by_key[("fibbing", count)]
         mpls = by_key[("mpls-rsvp-te", count)]

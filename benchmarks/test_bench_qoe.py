@@ -43,6 +43,10 @@ def test_qoe_with_and_without_controller(benchmark, report):
         ],
     )
     report.add_line("paper: smooth with the controller, stutters without")
+    report.add_metric("stall_time_with_controller", enabled.qoe.total_stall_time)
+    report.add_metric("stall_time_without_controller", disabled.qoe.total_stall_time)
+    report.add_metric("rebuffer_ratio_with_controller", enabled.qoe.mean_rebuffer_ratio)
+    report.add_metric("rebuffer_ratio_without_controller", disabled.qoe.mean_rebuffer_ratio)
 
     # With the controller: every playback is smooth (the paper's claim).
     assert enabled.qoe.all_smooth

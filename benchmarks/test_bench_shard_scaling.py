@@ -114,6 +114,9 @@ def test_shard_wave_speedup(benchmark, report):
         "shard counters: "
         + ", ".join(f"{key}={shard[key]}" for key in sorted(shard))
     )
+    report.add_metric("single_seconds", single_time)
+    report.add_metric("sharded_seconds", sharded_time)
+    report.add_metric("speedup", speedup)
 
     # The acceptance bar for the sharded facade: >= 2x on the disjoint-
     # prefix wave at 4 shards.  Quick mode measures sub-millisecond waves
@@ -186,6 +189,9 @@ def test_shard_scaling_rows(benchmark, report):
             for row in rows
         ],
     )
+
+    for row in rows:
+        report.add_metric(f"speedup_{row.shards}_shards", row.speedup)
 
     for row in rows:
         # The single side re-plans the full set every churn wave; the

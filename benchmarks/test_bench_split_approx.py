@@ -31,6 +31,9 @@ def test_split_approximation_error(benchmark, report):
         ],
     )
 
+    for row in rows:
+        report.add_metric(f"mean_l1_error_{row.max_entries}_entries", row.mean_error)
+
     errors = [row.mean_error for row in rows]
     # Error decreases monotonically with the table size ...
     assert errors == sorted(errors, reverse=True)

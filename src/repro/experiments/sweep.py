@@ -546,9 +546,21 @@ class SweepReport:
             "runs": [run.to_payload() for run in self.runs],
         }
 
+    def metrics(self) -> Dict[str, float]:
+        """Scalar measurements for the artifact's ``metrics`` mapping."""
+        metrics: Dict[str, float] = {
+            "run_count": float(len(self.runs)),
+            "total_seconds": float(self.total_seconds),
+        }
+        for key, value in self.merged_counters.items():
+            metrics[f"counter_{key}"] = float(value)
+        return metrics
+
     def save(self, directory=None):
         """Write ``BENCH_<name>.json`` (repo root by default); returns the path."""
-        return write_bench_json(self.name, "sweep", self.to_payload(), directory)
+        return write_bench_json(
+            self.name, "sweep", self.to_payload(), directory, metrics=self.metrics()
+        )
 
     def json_path(self, directory=None):
         return bench_json_path(self.name, directory)

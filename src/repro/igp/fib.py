@@ -86,6 +86,9 @@ class Fib:
     def __init__(self, router: str, prefix_fibs: Mapping[Prefix, PrefixFib]) -> None:
         self.router = router
         self._prefix_fibs = dict(prefix_fibs)
+        # Lazily built by via_fake_prefixes(); a Fib is immutable once
+        # handed out, so the index never goes stale.
+        self._via_fake_index: Optional[Dict[str, Set[Prefix]]] = None
 
     @property
     def prefixes(self) -> List[Prefix]:
@@ -115,6 +118,24 @@ class Fib:
     def entry_count(self) -> int:
         """Total number of installed forwarding entries (all prefixes)."""
         return sum(len(pf.entries) for pf in self._prefix_fibs.values())
+
+    def via_fake_prefixes(self) -> Dict[str, Set[Prefix]]:
+        """Index of fake-node name to the prefixes forwarding through it.
+
+        Built lazily on first use and cached (a ``Fib`` is immutable once
+        returned).  This is what lets the RIB cache's per-event resolution
+        churn check touch only the handful of lie-dependent prefixes instead
+        of scanning every installed entry — see
+        :meth:`repro.igp.rib_cache.RibCache._fib_dirty`.
+        """
+        if self._via_fake_index is None:
+            index: Dict[str, Set[Prefix]] = {}
+            for prefix, prefix_fib in self._prefix_fibs.items():
+                for entry in prefix_fib.entries:
+                    for fake in entry.via_fake:
+                        index.setdefault(fake, set()).add(prefix)
+            self._via_fake_index = index
+        return self._via_fake_index
 
     def changed_prefixes(self, other: "Fib") -> Set[Prefix]:
         """Prefixes whose forwarding entry differs between ``self`` and ``other``.

@@ -1,0 +1,804 @@
+"""Array-compiled SPF kernels (``REPRO_KERNEL=numpy``).
+
+The pure-Python SPF/repair path in :mod:`repro.igp.spf` is the semantic
+oracle: dicts keyed by node name, a ``(distance, name)`` heap, and frozenset
+ECMP/predecessor sets.  This module compiles the same algorithms down to
+numpy arrays so that the per-event constant factor stops being Python
+dict-and-heap overhead:
+
+* :class:`InternTable` — an append-only node-name interning table.  Ids are
+  *stable for the lifetime of the table*: a node removed from the graph keeps
+  its id (it is merely deactivated in later indexes), so cached per-source
+  states survive graph churn without any array remapping.
+* :class:`CsrIndex` — an integer-indexed CSR adjacency view (out- and
+  in-edges) of one :class:`~repro.igp.graph.ComputationGraph` build, rebuilt
+  lazily per graph version by :class:`~repro.igp.spf_cache.SpfCache` and
+  shared by every per-source computation at that version.
+* :class:`ArraySpf` — the packed per-source state: a float64 distance vector
+  plus uint64 *bitset matrices* for the predecessor DAG and first-hop ECMP
+  sets (one 64-node word-column per 64 interned ids).  It duck-types the
+  :class:`~repro.igp.spf.ShortestPaths` query surface (``reachable`` /
+  ``distance_to`` / ``next_hops_to`` / ``paths_to`` and the ``distance`` /
+  ``next_hops`` / ``predecessors`` mappings, the latter materialised lazily)
+  so the RIB/FIB layers consume either representation unchanged.
+* :func:`compute_spf_arrays` / :func:`update_spf_arrays` — the Dijkstra and
+  Ramalingam–Reps repair kernels.  They mirror :func:`~repro.igp.spf.
+  compute_spf` / :func:`~repro.igp.spf.update_spf` *operation for operation*
+  — same ``cost_tolerance`` comparisons, same heap keys (ties broken by node
+  name via a precomputed rank array, exactly like the oracle's
+  ``(distance, name)`` tuples), same fallback thresholds — so the produced
+  distances are bit-identical IEEE float64 values and every ECMP/predecessor
+  set matches the Python kernel exactly.  The golden RIB digests (which hash
+  ``repr(cost)``) therefore pass unchanged under both kernels.
+
+numpy is optional at import time: the module degrades to ``NUMPY_AVAILABLE
+= False`` and :func:`resolve_kernel` rejects ``numpy`` loudly, keeping the
+pure-Python kernel fully functional on minimal installs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.igp.graph import ComputationGraph, EdgeDelta
+from repro.igp.spf import ShortestPaths, _COST_EPSILON
+from repro.util.errors import RoutingError, ValidationError
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as np
+except ImportError:  # pragma: no cover - minimal installs only
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "KERNEL_ENV",
+    "KERNEL_NAMES",
+    "NUMPY_AVAILABLE",
+    "resolve_kernel",
+    "InternTable",
+    "CsrIndex",
+    "ArraySpf",
+    "compute_spf_arrays",
+    "update_spf_arrays",
+    "changed_nodes",
+]
+
+#: Environment variable selecting the default kernel for new caches.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: The recognised kernel names.
+KERNEL_NAMES = ("python", "numpy")
+
+#: Whether the numpy kernel can actually run in this interpreter.
+NUMPY_AVAILABLE = np is not None
+
+if NUMPY_AVAILABLE:
+    #: ``_BIT[k]`` is the uint64 word with only bit ``k`` set.
+    _BIT = np.left_shift(np.uint64(1), np.arange(64, dtype=np.uint64))
+
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """Resolve an explicit ``kernel=`` knob or the ``REPRO_KERNEL`` env var.
+
+    ``None`` falls back to the environment (default ``"python"``); unknown
+    names and a ``numpy`` request without numpy installed fail loudly — a
+    silently degraded kernel would invalidate benchmark comparisons.
+    """
+    chosen = kernel if kernel is not None else os.environ.get(KERNEL_ENV, "")
+    chosen = (chosen or "python").strip().lower()
+    if chosen not in KERNEL_NAMES:
+        raise ValidationError(
+            f"unknown SPF kernel {chosen!r}; expected one of {KERNEL_NAMES}"
+        )
+    if chosen == "numpy" and not NUMPY_AVAILABLE:
+        raise ValidationError(
+            "REPRO_KERNEL=numpy requested but numpy is not importable"
+        )
+    return chosen
+
+
+class InternTable:
+    """Append-only node-name interning: ``name -> id`` with stable ids.
+
+    Ids are never reused or remapped; :class:`CsrIndex` builds mark the ids
+    present in the current graph as *active*.  Stability is what lets a
+    cached :class:`ArraySpf` from version ``v`` be repaired in place against
+    an index built at version ``v+k`` with nothing but zero-padding.
+    """
+
+    __slots__ = ("names", "ids")
+
+    def __init__(self) -> None:
+        self.names: List[str] = []
+        self.ids: Dict[str, int] = {}
+
+    def intern(self, name: str) -> int:
+        """The id of ``name``, allocating the next id on first sight."""
+        got = self.ids.get(name)
+        if got is None:
+            got = len(self.names)
+            self.ids[name] = got
+            self.names.append(name)
+        return got
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"InternTable(size={len(self.names)})"
+
+
+class CsrIndex:
+    """Integer CSR adjacency view of one graph build (out- and in-edges).
+
+    ``rank`` maps an id to the position of its name in the sorted order of
+    *all* interned names, so a heap keyed ``(distance, rank, id)`` pops in
+    exactly the order the oracle's ``(distance, name)`` heap does.
+    """
+
+    __slots__ = (
+        "intern",
+        "size",
+        "words",
+        "active",
+        "inactive_ids",
+        "rank",
+        "out_ptr",
+        "out_idx",
+        "out_cost",
+        "in_ptr",
+        "in_idx",
+        "in_cost",
+    )
+
+    def __init__(self, intern: InternTable) -> None:
+        self.intern = intern
+
+    @classmethod
+    def build(cls, graph: ComputationGraph, intern: InternTable) -> "CsrIndex":
+        """Index ``graph``'s current adjacency, growing ``intern`` as needed."""
+        index = cls(intern)
+        graph_names = graph.nodes
+        graph_ids = [intern.intern(name) for name in graph_names]
+        n = len(intern)
+        index.size = n
+        index.words = (max(1, n) + 63) // 64
+        active = np.zeros(n, dtype=bool)
+        if graph_ids:
+            active[graph_ids] = True
+        index.active = active
+        # Tombstoned ids (interned nodes no longer in the graph); precomputed
+        # so each repair masks them with one indexed assignment.
+        index.inactive_ids = np.flatnonzero(~active)
+
+        ids = intern.ids
+        srcs: List[int] = []
+        dsts: List[int] = []
+        costs: List[float] = []
+        for name, node_id in zip(graph_names, graph_ids):
+            for neighbor, cost in graph.successors(name).items():
+                srcs.append(node_id)
+                dsts.append(ids[neighbor])
+                costs.append(cost)
+        src_a = np.array(srcs, dtype=np.int64)
+        dst_a = np.array(dsts, dtype=np.int64)
+        cost_a = np.array(costs, dtype=np.float64)
+        index.out_ptr, index.out_idx, index.out_cost = _csr(src_a, dst_a, cost_a, n)
+        index.in_ptr, index.in_idx, index.in_cost = _csr(dst_a, src_a, cost_a, n)
+
+        order = sorted(range(n), key=intern.names.__getitem__)
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n, dtype=np.int64)
+        index.rank = rank
+        return index
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"CsrIndex(size={self.size}, active={int(self.active.sum())}, "
+            f"edges={len(self.out_idx)})"
+        )
+
+
+def _csr(
+    src: "np.ndarray", dst: "np.ndarray", cost: "np.ndarray", n: int
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Group ``(src, dst, cost)`` edge triples into CSR form over ``n`` ids."""
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    if src.size == 0:
+        return ptr, src.copy(), cost.copy()
+    order = np.argsort(src, kind="stable")
+    np.cumsum(np.bincount(src, minlength=n), out=ptr[1:])
+    return ptr, dst[order], cost[order]
+
+
+def _bits_to_ids(row: "np.ndarray") -> "np.ndarray":
+    """Decode one packed uint64 bitset row into the sorted array of set ids."""
+    return np.flatnonzero(
+        np.unpackbits(row.view(np.uint8), bitorder="little")
+    )
+
+
+def _ids_to_bits(ids: "np.ndarray", words: int) -> "np.ndarray":
+    """Pack an id array into one uint64 bitset row of ``words`` words."""
+    row = np.zeros(words, dtype=np.uint64)
+    if ids.size:
+        np.bitwise_or.at(row, ids >> 6, _BIT[ids & 63])
+    return row
+
+
+def _pad_vector(vector: "np.ndarray", n: int, fill: object) -> "np.ndarray":
+    """Copy of ``vector`` grown to length ``n`` (new lanes get ``fill``)."""
+    if vector.shape[0] == n:
+        return vector.copy()
+    grown = np.full(n, fill, dtype=vector.dtype)
+    grown[: vector.shape[0]] = vector
+    return grown
+
+
+def _pad_rows(rows: "np.ndarray", n: int, words: int) -> "np.ndarray":
+    """Copy of a bitset matrix grown to ``(n, words)`` (new lanes zeroed)."""
+    if rows.shape == (n, words):
+        return rows.copy()
+    grown = np.zeros((n, words), dtype=np.uint64)
+    grown[: rows.shape[0], : rows.shape[1]] = rows
+    return grown
+
+
+def _grown_vector(vector: "np.ndarray", n: int, fill: object) -> "np.ndarray":
+    """``vector`` grown to length ``n``; the original when already sized (read-only use)."""
+    if vector.shape[0] == n:
+        return vector
+    grown = np.full(n, fill, dtype=vector.dtype)
+    grown[: vector.shape[0]] = vector
+    return grown
+
+
+def _grown_rows(rows: "np.ndarray", n: int, words: int) -> "np.ndarray":
+    """Bitset matrix grown to ``(n, words)``; the original when already sized."""
+    if rows.shape == (n, words):
+        return rows
+    grown = np.zeros((n, words), dtype=np.uint64)
+    grown[: rows.shape[0], : rows.shape[1]] = rows
+    return grown
+
+
+class ArraySpf:
+    """Packed per-source SPF state over a :class:`CsrIndex`.
+
+    Duck-types the :class:`~repro.igp.spf.ShortestPaths` surface.  The scalar
+    accessors (``reachable``/``distance_to``/``next_hops_to``) answer
+    straight from the arrays — the hot path for per-prefix RIB repair — while
+    the ``distance``/``next_hops``/``predecessors`` mappings materialise a
+    full :class:`~repro.igp.spf.ShortestPaths` lazily on first touch (tests
+    and path enumeration only).  Like ``ShortestPaths``, instances must be
+    treated as immutable once returned.
+    """
+
+    __slots__ = (
+        "index",
+        "source",
+        "src_id",
+        "dist",
+        "finite",
+        "pred_bits",
+        "hop_bits",
+        "hop_present",
+        "reach_count",
+        "_dense",
+        "_hop_sets",
+    )
+
+    def __init__(
+        self,
+        index: CsrIndex,
+        source: str,
+        src_id: int,
+        dist: "np.ndarray",
+        finite: "np.ndarray",
+        pred_bits: "np.ndarray",
+        hop_bits: "np.ndarray",
+        hop_present: "np.ndarray",
+    ) -> None:
+        self.index = index
+        self.source = source
+        self.src_id = src_id
+        self.dist = dist
+        #: ``np.isfinite(dist)`` — the reachability mask, kept alongside the
+        #: distances because the next repair reads it immediately.
+        self.finite = finite
+        self.pred_bits = pred_bits
+        self.hop_bits = hop_bits
+        self.hop_present = hop_present
+        self.reach_count = int(finite.sum())
+        self._dense: Optional[ShortestPaths] = None
+        self._hop_sets: Dict[int, FrozenSet[str]] = {}
+
+    # -------------------------------------------------------------- #
+    # Scalar queries (no materialisation)
+    # -------------------------------------------------------------- #
+    def _id_of(self, node: str) -> Optional[int]:
+        node_id = self.index.intern.ids.get(node)
+        if node_id is None or node_id >= self.dist.shape[0]:
+            return None
+        return node_id
+
+    def reachable(self, node: str) -> bool:
+        """Whether ``node`` is reachable from the source."""
+        node_id = self._id_of(node)
+        return node_id is not None and bool(self.finite[node_id])
+
+    def distance_to(self, node: str) -> float:
+        """Shortest distance to ``node``; raises :class:`RoutingError` if unreachable."""
+        node_id = self._id_of(node)
+        if node_id is None or not self.finite[node_id]:
+            raise RoutingError(f"{node!r} is unreachable from {self.source!r}")
+        return float(self.dist[node_id])
+
+    def next_hops_to(self, node: str) -> FrozenSet[str]:
+        """ECMP set of first hops toward ``node``; raises if unreachable."""
+        node_id = self._id_of(node)
+        if node_id is None or not self.finite[node_id]:
+            raise RoutingError(f"{node!r} is unreachable from {self.source!r}")
+        if not self.hop_present[node_id]:
+            return frozenset()
+        cached = self._hop_sets.get(node_id)
+        if cached is None:
+            names = self.index.intern.names
+            cached = frozenset(
+                names[i] for i in _bits_to_ids(self.hop_bits[node_id]).tolist()
+            )
+            self._hop_sets[node_id] = cached
+        return cached
+
+    def __contains__(self, node: str) -> bool:
+        return self.reachable(node)
+
+    # -------------------------------------------------------------- #
+    # Dense (oracle-shaped) views
+    # -------------------------------------------------------------- #
+    def as_shortest_paths(self) -> ShortestPaths:
+        """Materialise the oracle-shaped :class:`ShortestPaths` (cached)."""
+        if self._dense is None:
+            names = self.index.intern.names
+            reach = np.flatnonzero(self.finite).tolist()
+            distance = {names[i]: float(self.dist[i]) for i in reach}
+            next_hops = {
+                names[i]: frozenset(
+                    names[j] for j in _bits_to_ids(self.hop_bits[i]).tolist()
+                )
+                for i in reach
+                if self.hop_present[i]
+            }
+            predecessors = {
+                names[i]: frozenset(
+                    names[j] for j in _bits_to_ids(self.pred_bits[i]).tolist()
+                )
+                for i in reach
+            }
+            self._dense = ShortestPaths(
+                source=self.source,
+                distance=distance,
+                next_hops=next_hops,
+                predecessors=predecessors,
+            )
+        return self._dense
+
+    @property
+    def distance(self) -> Dict[str, float]:
+        return self.as_shortest_paths().distance
+
+    @property
+    def next_hops(self) -> Dict[str, FrozenSet[str]]:
+        return self.as_shortest_paths().next_hops
+
+    @property
+    def predecessors(self) -> Dict[str, FrozenSet[str]]:
+        return self.as_shortest_paths().predecessors
+
+    def paths_to(self, node: str, limit: int = 1024, *, partial: bool = False):
+        """Enumerate equal-cost paths (delegates to the dense view)."""
+        return self.as_shortest_paths().paths_to(node, limit, partial=partial)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ArraySpf(source={self.source!r}, reachable={self.reach_count}, "
+            f"size={self.dist.shape[0]})"
+        )
+
+
+def compute_spf_arrays(
+    graph: ComputationGraph,
+    index: CsrIndex,
+    source: str,
+    counters: Optional[object] = None,
+) -> ArraySpf:
+    """Array-kernel Dijkstra; mirrors :func:`repro.igp.spf.compute_spf`.
+
+    Heap keys are ``(distance, rank, id)`` with ``rank`` the name-sort
+    position, so nodes settle in exactly the oracle's ``(distance, name)``
+    order and every accumulated float64 distance is bit-identical.
+    """
+    if not graph.has_node(source):
+        raise RoutingError(f"SPF source {source!r} is not in the computation graph")
+    if counters is not None:
+        counters.kernel_computes += 1
+
+    n, words = index.size, index.words
+    rank = index.rank
+    out_ptr, out_idx, out_cost = index.out_ptr, index.out_idx, index.out_cost
+    src_id = index.intern.ids[source]
+
+    dist = np.full(n, np.inf, dtype=np.float64)
+    pred_bits = np.zeros((n, words), dtype=np.uint64)
+    hop_bits = np.zeros((n, words), dtype=np.uint64)
+    settled = np.zeros(n, dtype=bool)
+    dist[src_id] = 0.0
+    heap: List[Tuple[float, int, int]] = [(0.0, int(rank[src_id]), src_id)]
+
+    with np.errstate(invalid="ignore"):
+        while heap:
+            d, _, u = heapq.heappop(heap)
+            if settled[u]:
+                continue
+            if d > dist[u] + _COST_EPSILON * max(1.0, abs(d)):
+                continue
+            settled[u] = True
+            s, e = out_ptr[u], out_ptr[u + 1]
+            if s == e:
+                continue
+            neighbors = out_idx[s:e]
+            candidate = d + out_cost[s:e]
+            current = dist[neighbors]
+            finite = np.isfinite(current)
+            improve = ~finite | (
+                candidate < current - _COST_EPSILON * np.maximum(1.0, np.abs(current))
+            )
+            equal = (
+                finite
+                & ~improve
+                & (
+                    np.abs(candidate - current)
+                    <= _COST_EPSILON
+                    * np.maximum(1.0, np.maximum(np.abs(candidate), np.abs(current)))
+                )
+            )
+            word_u, bit_u = u >> 6, _BIT[u & 63]
+            if improve.any():
+                improved = neighbors[improve]
+                dist[improved] = candidate[improve]
+                pred_bits[improved] = 0
+                pred_bits[improved, word_u] = bit_u
+                for c, r, v in zip(
+                    candidate[improve].tolist(),
+                    rank[improved].tolist(),
+                    improved.tolist(),
+                ):
+                    heapq.heappush(heap, (c, r, v))
+            if equal.any():
+                pred_bits[neighbors[equal], word_u] |= bit_u
+
+    # Derive first-hop ECMP sets in (distance, name) order, as the oracle does.
+    finite = np.isfinite(dist)
+    reach = np.flatnonzero(finite)
+    order = reach[np.lexsort((rank[reach], dist[reach]))]
+    hop_present = np.zeros(n, dtype=bool)
+    hop_present[reach] = True
+    for u in order.tolist():
+        if u == src_id:
+            continue
+        preds = _bits_to_ids(pred_bits[u])
+        row = np.zeros(words, dtype=np.uint64)
+        if preds.size:
+            direct = preds == src_id
+            if direct.any():
+                row[u >> 6] |= _BIT[u & 63]
+            upstream = preds[~direct]
+            if upstream.size:
+                row |= np.bitwise_or.reduce(hop_bits[upstream], axis=0)
+        hop_bits[u] = row
+
+    return ArraySpf(
+        index=index,
+        source=source,
+        src_id=src_id,
+        dist=dist,
+        finite=finite,
+        pred_bits=pred_bits,
+        hop_bits=hop_bits,
+        hop_present=hop_present,
+    )
+
+
+def collapse_deltas(
+    graph: ComputationGraph, index: CsrIndex, deltas: Iterable[EdgeDelta]
+) -> List[Tuple[Optional[int], Optional[int], Optional[float], Optional[float]]]:
+    """Collapse a delta log into effective id-space edge changes.
+
+    Mirrors the oracle's collapse (oldest ``old_cost`` vs. the graph's
+    current cost, discarding edges that ended up unchanged).  The result
+    depends only on ``(graph, deltas)`` — per-source repairs of the same
+    wave share one collapsed list via :class:`~repro.igp.spf_cache.SpfCache`.
+    Ids are ``None`` for nodes the interning table has never seen (possible
+    only for transient nodes that no longer exist).
+    """
+    collapsed: Dict[Tuple[str, str], Optional[float]] = {}
+    for delta in deltas:
+        key = (delta.source, delta.target)
+        if key not in collapsed:
+            collapsed[key] = delta.old_cost
+    ids = index.intern.ids
+    effective: List[Tuple[Optional[int], Optional[int], Optional[float], Optional[float]]] = []
+    for (u_name, v_name), old_cost in collapsed.items():
+        new_cost = graph.successors(u_name).get(v_name) if graph.has_node(u_name) else None
+        if old_cost != new_cost:
+            effective.append((ids.get(u_name), ids.get(v_name), old_cost, new_cost))
+    return effective
+
+
+def update_spf_arrays(
+    prev: ArraySpf,
+    graph: ComputationGraph,
+    index: CsrIndex,
+    deltas: Iterable[EdgeDelta],
+    full_threshold: float = 0.5,
+    counters: Optional[object] = None,
+    effective: Optional[List[Tuple[Optional[int], Optional[int], Optional[float], Optional[float]]]] = None,
+) -> ArraySpf:
+    """Array-kernel Ramalingam–Reps repair; mirrors :func:`~repro.igp.spf.update_spf`.
+
+    Same invalidation rule, same fallback thresholds, same bounded Dijkstra
+    and hop-propagation heaps (keyed by ``(distance, rank, id)``), operating
+    on zero-padded copies of ``prev``'s packed buffers.  Returns ``prev``
+    itself when the deltas do not affect this source.  ``effective`` may
+    carry a precomputed :func:`collapse_deltas` result (one collapse is
+    shared by every per-source repair of the same wave).
+    """
+    source = prev.source
+    if not graph.has_node(source):
+        raise RoutingError(f"SPF source {source!r} is not in the computation graph")
+    if prev.index.intern is not index.intern:
+        raise RoutingError("cannot repair an ArraySpf across interning tables")
+
+    def fall_back() -> ArraySpf:
+        if counters is not None:
+            counters.fallbacks += 1
+        return compute_spf_arrays(graph, index, source, counters=counters)
+
+    if effective is None:
+        effective = collapse_deltas(graph, index, deltas)
+    if not effective:
+        if counters is not None:
+            counters.incremental_updates += 1
+        return prev
+
+    n, words = index.size, index.words
+    dist0 = _grown_vector(prev.dist, n, np.inf)
+    finite0 = _grown_vector(prev.finite, n, False)
+    reach_prev = prev.reach_count
+    if len(effective) > max(16, reach_prev):
+        return fall_back()
+    if counters is not None:
+        counters.kernel_updates += 1
+
+    rank = index.rank
+    active = index.active
+    out_ptr, out_idx, out_cost = index.out_ptr, index.out_idx, index.out_cost
+    in_ptr, in_idx, in_cost = index.in_ptr, index.in_idx, index.in_cost
+    src_id = prev.src_id
+    pred0 = _grown_rows(prev.pred_bits, n, words)
+
+    # ----- 1. invalidate the subtree hanging off worsened DAG edges ------ #
+    stack: List[int] = []
+    for u, v, old_cost, new_cost in effective:
+        worsened = old_cost is not None and (new_cost is None or new_cost > old_cost)
+        if (
+            worsened
+            and u is not None
+            and v is not None
+            and finite0[v]
+            and pred0[v, u >> 6] & _BIT[u & 63]
+        ):
+            stack.append(v)
+    invalid_mask: Optional["np.ndarray"] = None
+    invalid_list: List[int] = []
+    if stack:
+        invalid_mask = np.zeros(n, dtype=bool)
+        while stack:
+            node = stack.pop()
+            if invalid_mask[node]:
+                continue
+            invalid_mask[node] = True
+            invalid_list.append(node)
+            children = np.flatnonzero(
+                ((pred0[:, node >> 6] & _BIT[node & 63]) != 0) & finite0
+            )
+            stack.extend(children.tolist())
+        if invalid_mask[src_id] or len(invalid_list) > full_threshold * max(
+            1, reach_prev
+        ):
+            return fall_back()
+    if counters is not None:
+        counters.incremental_updates += 1
+
+    # ----- 2. bounded Dijkstra over the affected region ------------------ #
+    tentative = dist0.copy()
+    if index.inactive_ids.size:
+        tentative[index.inactive_ids] = np.inf
+    if invalid_list:
+        tentative[invalid_list] = np.inf
+    tentative[src_id] = 0.0
+    heap: List[Tuple[float, int, int]] = []
+    for node in invalid_list:
+        if not active[node]:
+            continue
+        s, e = in_ptr[node], in_ptr[node + 1]
+        base = tentative[in_idx[s:e]]
+        candidate = base + in_cost[s:e]
+        finite = np.isfinite(base)
+        node_rank = int(rank[node])
+        for c in candidate[finite].tolist():
+            heapq.heappush(heap, (c, node_rank, node))
+    for u, v, old_cost, new_cost in effective:
+        if new_cost is None or v is None or not active[v]:
+            continue
+        base = tentative[u] if u is not None else np.inf
+        if np.isfinite(base):
+            heapq.heappush(heap, (float(base) + new_cost, int(rank[v]), v))
+
+    settled = np.zeros(n, dtype=bool)
+    dist_dirty = set(node for node in invalid_list if active[node])
+    with np.errstate(invalid="ignore"):
+        while heap:
+            d, _, u = heapq.heappop(heap)
+            if settled[u]:
+                continue
+            current = tentative[u]
+            if np.isfinite(current) and d >= current - _COST_EPSILON * max(
+                1.0, abs(current)
+            ):
+                settled[u] = True
+                continue
+            tentative[u] = d
+            settled[u] = True
+            dist_dirty.add(u)
+            s, e = out_ptr[u], out_ptr[u + 1]
+            if s == e:
+                continue
+            neighbors = out_idx[s:e]
+            candidate = d + out_cost[s:e]
+            known = tentative[neighbors]
+            push = ~np.isfinite(known) | (
+                candidate < known - _COST_EPSILON * np.maximum(1.0, np.abs(known))
+            )
+            if invalid_mask is not None:
+                push |= invalid_mask[neighbors] & ~settled[neighbors]
+            if push.any():
+                pushed = neighbors[push]
+                for c, r, v in zip(
+                    candidate[push].tolist(), rank[pushed].tolist(), pushed.tolist()
+                ):
+                    heapq.heappush(heap, (c, r, v))
+
+    # Invalidated nodes that were never re-settled are now unreachable.
+    finite_now = np.isfinite(tentative)
+    dist_dirty = {node for node in dist_dirty if finite_now[node]}
+
+    # ----- 3. re-derive ECMP predecessor sets for affected nodes --------- #
+    pred_dirty = set(dist_dirty)
+    for u, v, old_cost, new_cost in effective:
+        if v is not None:
+            pred_dirty.add(v)
+    for node in dist_dirty:
+        pred_dirty.update(out_idx[out_ptr[node] : out_ptr[node + 1]].tolist())
+    pred_dirty = {
+        node for node in pred_dirty if finite_now[node] and node != src_id
+    }
+
+    pred_new = pred0.copy()
+    with np.errstate(invalid="ignore"):
+        for node in pred_dirty:
+            s, e = in_ptr[node], in_ptr[node + 1]
+            neighbors = in_idx[s:e]
+            base = tentative[neighbors]
+            candidate = base + in_cost[s:e]
+            target = tentative[node]
+            equal = np.isfinite(base) & (
+                np.abs(candidate - target)
+                <= _COST_EPSILON
+                * np.maximum(1.0, np.maximum(np.abs(candidate), abs(target)))
+            )
+            pred_new[node] = _ids_to_bits(neighbors[equal], words)
+    pred_new[src_id] = 0
+
+    # ----- 4. propagate first-hop changes down the new DAG --------------- #
+    hop_new = _pad_rows(prev.hop_bits, n, words)
+    hop_present = _pad_vector(prev.hop_present, n, False)
+    hop_present &= finite_now
+    hop_new[src_id] = 0
+    hop_present[src_id] = True
+    hop_heap: List[Tuple[float, int, int]] = [
+        (float(tentative[node]), int(rank[node]), node)
+        for node in pred_dirty | dist_dirty
+        if node != src_id
+    ]
+    heapq.heapify(hop_heap)
+    hop_done = np.zeros(n, dtype=bool)
+    while hop_heap:
+        _, _, node = heapq.heappop(hop_heap)
+        if hop_done[node] or node == src_id:
+            hop_done[node] = True
+            continue
+        hop_done[node] = True
+        preds = _bits_to_ids(pred_new[node])
+        row = np.zeros(words, dtype=np.uint64)
+        if preds.size:
+            direct = preds == src_id
+            if direct.any():
+                row[node >> 6] |= _BIT[node & 63]
+            upstream = preds[~direct]
+            upstream = upstream[hop_present[upstream]]
+            if upstream.size:
+                row |= np.bitwise_or.reduce(hop_new[upstream], axis=0)
+        changed = not hop_present[node] or bool((row != hop_new[node]).any())
+        hop_new[node] = row
+        hop_present[node] = True
+        if changed:
+            s, e = out_ptr[node], out_ptr[node + 1]
+            neighbors = out_idx[s:e]
+            follow = (
+                finite_now[neighbors]
+                & ~hop_done[neighbors]
+                & ((pred_new[neighbors, node >> 6] & _BIT[node & 63]) != 0)
+            )
+            if follow.any():
+                followed = neighbors[follow]
+                for d, r, v in zip(
+                    tentative[followed].tolist(),
+                    rank[followed].tolist(),
+                    followed.tolist(),
+                ):
+                    heapq.heappush(hop_heap, (d, r, v))
+
+    return ArraySpf(
+        index=index,
+        source=source,
+        src_id=src_id,
+        dist=tentative,
+        finite=finite_now,
+        pred_bits=pred_new,
+        hop_bits=hop_new,
+        hop_present=hop_present,
+    )
+
+
+def changed_nodes(prev_spf: object, spf: object) -> Optional[List[str]]:
+    """Nodes whose distance or ECMP first-hop set differs between two states.
+
+    The array fast path behind :func:`repro.igp.rib.dirty_prefixes`: when
+    both states are :class:`ArraySpf` over the same interning table, the
+    union-over-keys dict comparison of the oracle collapses to three
+    vectorised comparisons over the padded buffers.  Returns ``None`` when
+    the fast path does not apply (caller falls back to the dict walk).
+    """
+    if not (isinstance(prev_spf, ArraySpf) and isinstance(spf, ArraySpf)):
+        return None
+    if prev_spf.index.intern is not spf.index.intern:
+        return None
+    n = max(prev_spf.dist.shape[0], spf.dist.shape[0])
+    words = max(prev_spf.pred_bits.shape[1], spf.pred_bits.shape[1])
+    dist_a = _pad_vector(prev_spf.dist, n, np.inf)
+    dist_b = _pad_vector(spf.dist, n, np.inf)
+    finite_a = np.isfinite(dist_a)
+    finite_b = np.isfinite(dist_b)
+    with np.errstate(invalid="ignore"):
+        dist_diff = (finite_a != finite_b) | (finite_a & finite_b & (dist_a != dist_b))
+    present_a = _pad_vector(prev_spf.hop_present, n, False)
+    present_b = _pad_vector(spf.hop_present, n, False)
+    rows_a = _pad_rows(prev_spf.hop_bits, n, words)
+    rows_b = _pad_rows(spf.hop_bits, n, words)
+    hop_diff = (present_a != present_b) | (
+        present_a & present_b & (rows_a != rows_b).any(axis=1)
+    )
+    names = prev_spf.index.intern.names
+    return [names[i] for i in np.flatnonzero(dist_diff | hop_diff).tolist()]

@@ -96,14 +96,17 @@ class RibCache:
         self,
         spf_cache: Optional[SpfCache] = None,
         dirty_threshold: float = 0.5,
+        kernel: Optional[str] = None,
     ) -> None:
         if not 0.0 <= dirty_threshold <= 1.0:
             raise RoutingError(
                 f"dirty_threshold must be in [0, 1], got {dirty_threshold}"
             )
         #: Underlying per-source SPF cache (shared or owned); its lineage is
-        #: also this cache's lineage.
-        self.spf_cache = spf_cache if spf_cache is not None else SpfCache()
+        #: also this cache's lineage.  ``kernel`` selects the SPF kernel of
+        #: an *owned* cache (``REPRO_KERNEL`` by default); a shared
+        #: ``spf_cache`` keeps whatever kernel it was built with.
+        self.spf_cache = spf_cache if spf_cache is not None else SpfCache(kernel=kernel)
         #: Fraction of the announced prefixes beyond which a repair falls
         #: back to a from-scratch ``compute_rib`` (the fallback threshold
         #: knob; see README).
@@ -127,6 +130,11 @@ class RibCache:
     def version(self) -> Optional[int]:
         """Version of the lineage's most recently observed graph."""
         return self.spf_cache.version
+
+    @property
+    def kernel(self) -> str:
+        """The SPF kernel of the underlying cache (``"python"``/``"numpy"``)."""
+        return self.spf_cache.kernel
 
     # ------------------------------------------------------------------ #
     # Lookups
@@ -248,16 +256,13 @@ class RibCache:
         if not change.fake_nodes and not router_edges_changed:
             return set(dirty)
         fib_dirty = set(dirty)
-        for prefix_fib in prev_fib:
-            if prefix_fib.prefix in fib_dirty:
-                continue
-            for fib_entry in prefix_fib.entries:
-                if fib_entry.via_fake and (
-                    router_edges_changed
-                    or any(name in change.fake_nodes for name in fib_entry.via_fake)
-                ):
-                    fib_dirty.add(prefix_fib.prefix)
-                    break
+        via_fake = prev_fib.via_fake_prefixes()
+        if router_edges_changed:
+            for prefixes in via_fake.values():
+                fib_dirty.update(prefixes)
+        else:
+            for name in change.fake_nodes:
+                fib_dirty.update(via_fake.get(name, ()))
         return fib_dirty
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

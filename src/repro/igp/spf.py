@@ -80,27 +80,47 @@ class ShortestPaths:
             raise RoutingError(f"{node!r} is unreachable from {self.source!r}")
         return self.next_hops.get(node, frozenset())
 
-    def paths_to(self, node: str, limit: int = 1024) -> List[Tuple[str, ...]]:
+    def paths_to(
+        self, node: str, limit: int = 1024, *, partial: bool = False
+    ) -> List[Tuple[str, ...]]:
         """Enumerate every equal-cost shortest path from the source to ``node``.
 
         Paths are returned as node tuples ``(source, ..., node)``, sorted
         lexicographically for determinism.  ``limit`` bounds the enumeration
-        to protect against combinatorial blow-up on dense graphs.
+        to protect against combinatorial blow-up on dense graphs; when more
+        than ``limit`` paths exist the enumeration is *truncated*, which
+        raises :class:`RoutingError` unless ``partial=True`` explicitly opts
+        into receiving the first ``limit`` paths (in predecessor-DFS order).
+
+        The walk is iterative — path depth is bounded by the topology
+        diameter, not by the interpreter recursion limit, so paths thousands
+        of hops deep enumerate fine.
         """
         if node not in self.distance:
             raise RoutingError(f"{node!r} is unreachable from {self.source!r}")
         paths: List[Tuple[str, ...]] = []
-
-        def expand(current: str, suffix: Tuple[str, ...]) -> None:
-            if len(paths) >= limit:
-                return
+        truncated = False
+        # Depth-first over the predecessor DAG; predecessors are pushed in
+        # reverse-sorted order so they pop ascending, preserving the
+        # enumeration order of the old recursive implementation.
+        stack: List[Tuple[str, Tuple[str, ...]]] = [(node, ())]
+        while stack:
+            current, suffix = stack.pop()
             if current == self.source:
+                if len(paths) >= limit:
+                    truncated = True
+                    break
                 paths.append((current,) + suffix)
-                return
-            for predecessor in sorted(self.predecessors.get(current, frozenset())):
-                expand(predecessor, (current,) + suffix)
-
-        expand(node, ())
+                continue
+            for predecessor in sorted(
+                self.predecessors.get(current, frozenset()), reverse=True
+            ):
+                stack.append((predecessor, (current,) + suffix))
+        if truncated and not partial:
+            raise RoutingError(
+                f"more than {limit} equal-cost paths from {self.source!r} to "
+                f"{node!r}; raise limit or pass partial=True for a truncated set"
+            )
         return sorted(paths)
 
     def __contains__(self, node: str) -> bool:

@@ -27,21 +27,36 @@ The JSON envelope is versioned (:data:`BENCH_SCHEMA`):
 
 ``kind="benchmark"`` bodies carry the report's ``lines`` and structured
 ``tables``; ``kind="sweep"`` bodies carry the grid, per-run digests and
-merged counters (see :class:`repro.experiments.sweep.SweepReport`).
+merged counters (see :class:`repro.experiments.sweep.SweepReport`).  Both
+kinds may carry a ``metrics`` mapping of scalar measurements
+(``{name: float}``) so downstream tooling can track numbers like speedups
+across PRs without parsing the formatted table strings.
+
+Artifacts produced from a dirty working tree (``git`` stamp ending in
+``-dirty``) additionally carry a ``warnings`` list flagging that the tree
+did not match any commit; committed artifacts are expected to be
+regenerated from a clean checkout.  Dirtiness is judged on *source* files
+only — modifications confined to the harness's own tracked outputs
+(``BENCH_*.json``, ``benchmarks/results/``) are what a regeneration run
+produces and do not taint it.
 """
 
 from __future__ import annotations
 
+import fnmatch
 import json
+import logging
+import math
 import os
 import pathlib
 import subprocess
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.util.errors import ValidationError
 
 __all__ = [
     "BENCH_SCHEMA",
+    "DIRTY_TREE_WARNING",
     "REPO_ROOT",
     "RESULTS_DIR",
     "BenchmarkReport",
@@ -53,8 +68,16 @@ __all__ = [
     "git_describe",
 ]
 
+logger = logging.getLogger(__name__)
+
 #: Version tag of the ``BENCH_*.json`` envelope.
 BENCH_SCHEMA = "repro-bench/1"
+
+#: Warning stamped into artifacts written from a tree with local edits.
+DIRTY_TREE_WARNING = (
+    "artifact produced from a dirty working tree ({describe}); "
+    "regenerate from a clean checkout before committing it"
+)
 
 #: Repository root (``src/repro/util/artifacts.py`` → three levels up).
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
@@ -63,25 +86,58 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
 
 
+#: Tracked outputs of the benchmark harness, relative to the repository root.
+#: Local modifications to these paths do not count as a dirty tree: a full
+#: ``make bench`` run rewrites them one by one, and the first rewrite would
+#: otherwise stamp every later artifact of the same (clean-source) run as
+#: dirty.
+ARTIFACT_PATH_PATTERNS = ("BENCH_*.json", "benchmarks/results/*")
+
+
+def _is_artifact_path(path: str) -> bool:
+    path = path.strip().strip('"')
+    return any(fnmatch.fnmatch(path, pattern) for pattern in ARTIFACT_PATH_PATTERNS)
+
+
 def git_describe(root: Optional[pathlib.Path] = None) -> str:
-    """``git describe --always --dirty`` of ``root`` (default: the repo).
+    """``git describe --always`` of ``root`` plus a ``-dirty`` suffix.
 
     Stamped into every ``BENCH_*.json`` so an artifact can be traced back to
-    the exact tree that produced it.  Returns ``"unknown"`` when git is
-    unavailable (e.g. a source tarball).
+    the exact tree that produced it.  The dirty check looks at *source* state
+    only: modifications confined to the harness's own tracked outputs (see
+    :data:`ARTIFACT_PATH_PATTERNS`) are what a regeneration run produces and
+    do not taint the artifacts being regenerated.  Returns ``"unknown"`` when
+    git is unavailable (e.g. a source tarball).
     """
+    cwd = root or REPO_ROOT
     try:
-        output = subprocess.run(
-            ["git", "describe", "--always", "--dirty"],
-            cwd=root or REPO_ROOT,
+        describe = subprocess.run(
+            ["git", "describe", "--always"],
+            cwd=cwd,
             capture_output=True,
             text=True,
             timeout=10,
             check=True,
         ).stdout.strip()
-        return output or "unknown"
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout
     except (OSError, subprocess.SubprocessError):
         return "unknown"
+    if not describe:
+        return "unknown"
+    for line in status.splitlines():
+        # Porcelain format: two status columns, a space, then the path
+        # (``old -> new`` for renames — either side counts).
+        paths = line[3:].split(" -> ")
+        if any(not _is_artifact_path(path) for path in paths):
+            return f"{describe}-dirty"
+    return describe
 
 
 def atomic_write_text(path: pathlib.Path, text: str) -> pathlib.Path:
@@ -118,21 +174,51 @@ def bench_json_path(name: str, directory: Optional[pathlib.Path] = None) -> path
     return base / f"BENCH_{name}.json"
 
 
+def _validated_metrics(metrics: Mapping[str, float]) -> Dict[str, float]:
+    """Normalise a metrics mapping to ``{str: float}`` with finite values."""
+    validated: Dict[str, float] = {}
+    for key, value in metrics.items():
+        if not isinstance(key, str) or not key:
+            raise ValidationError(f"metric name {key!r} must be a non-empty string")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValidationError(f"metric {key!r} value {value!r} is not a number")
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValidationError(f"metric {key!r} value {value!r} is not finite")
+        validated[key] = value
+    return validated
+
+
 def write_bench_json(
     name: str,
     kind: str,
     body: Dict[str, object],
     directory: Optional[pathlib.Path] = None,
+    metrics: Optional[Mapping[str, float]] = None,
 ) -> pathlib.Path:
-    """Write one ``BENCH_<name>.json`` artifact and return its path."""
+    """Write one ``BENCH_<name>.json`` artifact and return its path.
+
+    ``metrics`` (``{name: float}``) lands in the payload as a structured
+    ``metrics`` mapping, separate from the formatted ``lines``/``tables``.
+    A dirty git tree is recorded as a ``warnings`` entry (and logged).
+    """
     path = bench_json_path(name, directory)
+    describe = git_describe()
     payload = {
         "schema": BENCH_SCHEMA,
         "kind": kind,
         "name": name,
-        "git": git_describe(),
+        "git": describe,
         **body,
     }
+    if metrics is not None:
+        payload["metrics"] = _validated_metrics(metrics)
+    if describe.endswith("-dirty"):
+        warning = DIRTY_TREE_WARNING.format(describe=describe)
+        logger.warning("%s: %s", path.name, warning)
+        warnings = list(payload.get("warnings", []))
+        warnings.append(warning)
+        payload["warnings"] = warnings
     return atomic_write_json(path, payload)
 
 
@@ -147,6 +233,11 @@ def load_bench_json(path: pathlib.Path) -> Dict[str, object]:
     for key in ("kind", "name", "git"):
         if key not in payload:
             raise ValidationError(f"{path} is missing the {key!r} envelope field")
+    if "metrics" in payload:
+        metrics = payload["metrics"]
+        if not isinstance(metrics, dict):
+            raise ValidationError(f"{path} has a non-mapping metrics field")
+        _validated_metrics(metrics)
     return payload
 
 
@@ -172,6 +263,8 @@ class BenchmarkReport:
         self.lines: List[str] = []
         #: Structured copies of every :meth:`add_table` call, for the JSON.
         self.tables: List[Dict[str, object]] = []
+        #: Scalar measurements (``{name: float}``) for the JSON ``metrics``.
+        self.metrics: Dict[str, float] = {}
         self.results_dir = pathlib.Path(results_dir) if results_dir else RESULTS_DIR
         self.bench_dir = pathlib.Path(bench_dir) if bench_dir else REPO_ROOT
 
@@ -179,6 +272,14 @@ class BenchmarkReport:
         """Append one line to the report (also echoed to stdout)."""
         self.lines.append(text)
         print(text)
+
+    def add_metric(self, name: str, value: float) -> None:
+        """Record one scalar measurement for the JSON ``metrics`` mapping.
+
+        Metrics are the machine-readable counterpart of the formatted
+        tables: plain floats keyed by name, validated at save time.
+        """
+        self.metrics[name] = float(value)
 
     def add_table(self, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
         """Append a fixed-width table (recorded structurally for the JSON)."""
@@ -205,5 +306,6 @@ class BenchmarkReport:
             "benchmark",
             {"lines": self.lines, "tables": self.tables},
             directory=self.bench_dir,
+            metrics=self.metrics,
         )
         return txt_path

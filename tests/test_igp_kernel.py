@@ -1,0 +1,257 @@
+"""Tests for repro.igp.kernel (array-compiled SPF/RIB kernels).
+
+The numpy kernel must be *bit-identical* to the pure-Python oracle: same
+float64 distances (same IEEE operation order), same ECMP next-hop and
+predecessor sets, same RIB digests.  These tests compare the two kernels
+on fixed topologies, seeded random graphs up to 1000 nodes, and under a
+long churn driven through the version-aware caches.
+"""
+
+import random
+
+import pytest
+
+from repro.igp import kernel as kernel_mod
+from repro.igp.graph import ComputationGraph
+from repro.igp.rib import compute_rib, rib_digest
+from repro.igp.spf import compute_spf
+from repro.igp.spf_cache import SpfCache
+from repro.topologies.demo import build_demo_topology, demo_lies
+from repro.topologies.random import random_topology
+from repro.util.errors import RoutingError, ValidationError
+from repro.util.prefixes import Prefix
+
+numpy_required = pytest.mark.skipif(
+    not kernel_mod.NUMPY_AVAILABLE, reason="numpy not installed"
+)
+
+
+def assert_spf_equal(oracle, got, graph=None, router=None):
+    """``got`` must match the oracle exactly (not approximately)."""
+    assert dict(oracle.distance) == dict(got.distance)
+    assert dict(oracle.next_hops) == dict(got.next_hops)
+    assert dict(oracle.predecessors) == dict(got.predecessors)
+    if graph is not None:
+        digest_oracle = rib_digest(compute_rib(graph, router, oracle))
+        digest_got = rib_digest(compute_rib(graph, router, got))
+        assert digest_oracle == digest_got
+
+
+def compute_with_kernel(graph, source):
+    index = kernel_mod.CsrIndex.build(graph, kernel_mod.InternTable())
+    return kernel_mod.compute_spf_arrays(graph, index, source)
+
+
+class TestKernelResolution:
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv(kernel_mod.KERNEL_ENV, raising=False)
+        assert kernel_mod.resolve_kernel(None) == "python"
+
+    def test_env_selects_numpy(self, monkeypatch):
+        monkeypatch.setenv(kernel_mod.KERNEL_ENV, "numpy")
+        if kernel_mod.NUMPY_AVAILABLE:
+            assert kernel_mod.resolve_kernel(None) == "numpy"
+        else:
+            with pytest.raises(ValidationError):
+                kernel_mod.resolve_kernel(None)
+
+    def test_explicit_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(kernel_mod.KERNEL_ENV, "numpy")
+        assert kernel_mod.resolve_kernel("python") == "python"
+
+    def test_unknown_kernel_rejected(self, monkeypatch):
+        monkeypatch.delenv(kernel_mod.KERNEL_ENV, raising=False)
+        with pytest.raises(ValidationError):
+            kernel_mod.resolve_kernel("fortran")
+
+    def test_unknown_env_kernel_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernel_mod.KERNEL_ENV, "fortran")
+        with pytest.raises(ValidationError):
+            kernel_mod.resolve_kernel(None)
+
+    def test_caches_resolve_at_construction(self, monkeypatch):
+        monkeypatch.delenv(kernel_mod.KERNEL_ENV, raising=False)
+        assert SpfCache().kernel == "python"
+        if kernel_mod.NUMPY_AVAILABLE:
+            assert SpfCache(kernel="numpy").kernel == "numpy"
+
+
+class TestLongChainPaths:
+    """Regression: ``paths_to`` recursed once per hop and blew the stack
+    at ~1000 hops; it must now handle arbitrarily long chains."""
+
+    HOPS = 1500
+
+    def chain_graph(self):
+        graph = ComputationGraph()
+        for i in range(self.HOPS):
+            graph.add_edge(f"n{i}", f"n{i + 1}", 1.0)
+            graph.add_edge(f"n{i + 1}", f"n{i}", 1.0)
+        return graph
+
+    def test_long_chain_single_path(self):
+        spf = compute_spf(self.chain_graph(), "n0")
+        last = f"n{self.HOPS}"
+        assert spf.distance_to(last) == float(self.HOPS)
+        paths = spf.paths_to(last)  # would raise RecursionError before
+        assert len(paths) == 1
+        assert len(paths[0]) == self.HOPS + 1
+        assert paths[0][0] == "n0" and paths[0][-1] == last
+
+    @numpy_required
+    def test_long_chain_single_path_numpy(self):
+        graph = self.chain_graph()
+        spf = compute_with_kernel(graph, "n0")
+        paths = spf.paths_to(f"n{self.HOPS}")
+        assert len(paths) == 1
+        assert len(paths[0]) == self.HOPS + 1
+
+
+@numpy_required
+class TestComputeEquivalence:
+    def test_demo_topology_all_sources(self):
+        graph = ComputationGraph.from_topology(build_demo_topology(), demo_lies())
+        for source in graph.real_nodes:
+            oracle = compute_spf(graph, source)
+            got = compute_with_kernel(graph, source)
+            assert_spf_equal(oracle, got, graph, source)
+
+    def test_ring_topology_all_sources(self):
+        from repro.experiments.scaling import build_ring_topology
+
+        graph = ComputationGraph.from_topology(build_ring_topology(16, 8))
+        for source in graph.real_nodes:
+            oracle = compute_spf(graph, source)
+            got = compute_with_kernel(graph, source)
+            assert_spf_equal(oracle, got, graph, source)
+
+    def test_pod_topology_all_sources(self):
+        from repro.experiments.scaling import build_pod_topology
+
+        graph = ComputationGraph.from_topology(build_pod_topology(6))
+        for source in graph.real_nodes:
+            oracle = compute_spf(graph, source)
+            got = compute_with_kernel(graph, source)
+            assert_spf_equal(oracle, got, graph, source)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_100_nodes_all_sources(self, seed):
+        topology = random_topology(100, edge_probability=0.05, seed=seed)
+        graph = ComputationGraph.from_topology(topology)
+        for source in topology.routers[:20]:
+            oracle = compute_spf(graph, source)
+            got = compute_with_kernel(graph, source)
+            assert_spf_equal(oracle, got, graph, source)
+
+    @pytest.mark.parametrize("size,sources", [(500, 4), (1000, 2)])
+    def test_random_large_graphs(self, size, sources):
+        topology = random_topology(size, edge_probability=4.0 / size, seed=11)
+        graph = ComputationGraph.from_topology(topology)
+        index = kernel_mod.CsrIndex.build(graph, kernel_mod.InternTable())
+        for source in topology.routers[:sources]:
+            oracle = compute_spf(graph, source)
+            got = kernel_mod.compute_spf_arrays(graph, index, source)
+            assert_spf_equal(oracle, got, graph, source)
+
+    def test_unreachable_and_fake_nodes(self):
+        graph = ComputationGraph.from_topology(build_demo_topology())
+        graph.add_node("island")
+        graph.add_fake_node(
+            "fX", "B", 1.5, Prefix.parse("10.42.0.0/24"), 2.5, "B"
+        )
+        oracle = compute_spf(graph, "A")
+        got = compute_with_kernel(graph, "A")
+        assert_spf_equal(oracle, got, graph, "A")
+        assert not got.reachable("island")
+        with pytest.raises(RoutingError):
+            got.distance_to("island")
+
+
+@numpy_required
+class TestChurnEquivalence:
+    """Cache-driven repairs must track the oracle bit-for-bit under churn."""
+
+    def test_update_path_matches_oracle(self):
+        topology = random_topology(24, edge_probability=0.2, seed=5)
+        graph = ComputationGraph.from_topology(topology)
+        routers = list(topology.routers)
+        edges = [(link.source, link.target) for link in topology.links]
+        cache = SpfCache(kernel="numpy")
+        rng = random.Random(17)
+        live = []
+        for event in range(25):
+            roll = rng.random()
+            if roll < 0.45:
+                name = f"fk{event}"
+                anchor = rng.choice(routers)
+                graph.add_fake_node(
+                    name,
+                    anchor,
+                    float(rng.randint(1, 4)),
+                    Prefix.parse(f"10.{event % 200}.0.0/24"),
+                    float(rng.randint(1, 8)),
+                    anchor,
+                )
+                live.append(name)
+            elif roll < 0.6 and live:
+                graph.remove_fake_node(live.pop(rng.randrange(len(live))))
+            else:
+                u, v = rng.choice(edges)
+                graph.add_edge(u, v, float(rng.randint(1, 15)))
+            for source in routers:
+                oracle = compute_spf(graph, source)
+                got = cache.spf(graph, source)
+                assert_spf_equal(oracle, got, graph, source)
+        counters = cache.counters.snapshot()
+        assert counters["spf_kernel_computes"] >= len(routers)
+        assert counters["spf_kernel_updates"] > 0
+        assert counters["spf_kernel_index_builds"] > 0
+
+    def test_python_and_numpy_counter_trajectories_match(self):
+        topology = random_topology(16, edge_probability=0.25, seed=9)
+        graph_py = ComputationGraph.from_topology(topology)
+        graph_np = ComputationGraph.from_topology(topology)
+        py = SpfCache(kernel="python")
+        np_ = SpfCache(kernel="numpy")
+        routers = list(topology.routers)
+        edges = [(link.source, link.target) for link in topology.links]
+        rng = random.Random(3)
+        for event in range(12):
+            u, v = rng.choice(edges)
+            cost = float(rng.randint(1, 12))
+            graph_py.add_edge(u, v, cost)
+            graph_np.add_edge(u, v, cost)
+            for source in routers:
+                assert_spf_equal(py.spf(graph_py, source), np_.spf(graph_np, source))
+        ps, ns = py.counters.snapshot(), np_.counters.snapshot()
+        for key in (
+            "spf_cache_hits",
+            "spf_incremental_updates",
+            "spf_full_recomputes",
+            "spf_fallbacks",
+        ):
+            assert ps[key] == ns[key], key
+
+
+@numpy_required
+class TestKernelCounters:
+    def test_python_kernel_leaves_kernel_counters_zero(self):
+        graph = ComputationGraph.from_topology(build_demo_topology())
+        cache = SpfCache(kernel="python")
+        for source in graph.real_nodes:
+            cache.spf(graph, source)
+        counters = cache.counters.snapshot()
+        assert counters["spf_kernel_computes"] == 0
+        assert counters["spf_kernel_updates"] == 0
+        assert counters["spf_kernel_index_builds"] == 0
+
+    def test_numpy_kernel_counts_computes_and_index_builds(self):
+        graph = ComputationGraph.from_topology(build_demo_topology())
+        cache = SpfCache(kernel="numpy")
+        sources = graph.real_nodes
+        for source in sources:
+            cache.spf(graph, source)
+        counters = cache.counters.snapshot()
+        assert counters["spf_kernel_computes"] == len(sources)
+        assert counters["spf_kernel_index_builds"] == 1  # shared across sources
+        assert counters["spf_full_recomputes"] == len(sources)

@@ -121,10 +121,23 @@ class TestPathEnumeration:
         assert len(paths) == 6  # binomial(4, 2) lattice paths
         assert all(len(path) == 5 for path in paths)
 
-    def test_paths_respect_limit(self):
+    def test_paths_over_limit_raise_unless_partial(self):
         graph = ComputationGraph.from_topology(grid(3, 3, with_loopbacks=False))
         spf = compute_spf(graph, "G0_0")
-        assert len(spf.paths_to("G2_2", limit=2)) == 2
+        with pytest.raises(RoutingError, match="equal-cost paths"):
+            spf.paths_to("G2_2", limit=2)
+
+    def test_partial_paths_respect_limit(self):
+        graph = ComputationGraph.from_topology(grid(3, 3, with_loopbacks=False))
+        spf = compute_spf(graph, "G0_0")
+        partial = spf.paths_to("G2_2", limit=2, partial=True)
+        assert len(partial) == 2
+        assert set(partial) < set(spf.paths_to("G2_2"))
+
+    def test_limit_equal_to_path_count_is_not_truncation(self):
+        graph = ComputationGraph.from_topology(grid(3, 3, with_loopbacks=False))
+        spf = compute_spf(graph, "G0_0")
+        assert len(spf.paths_to("G2_2", limit=6)) == 6
 
     def test_path_to_unreachable_raises(self):
         graph = diamond_graph()

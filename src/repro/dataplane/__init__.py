@@ -9,7 +9,8 @@ per-flow rates, congestion) with a fluid, flow-level model:
     book-keeping for collections of flows.
 ``demand``
     Aggregated traffic matrices used by the static analyses and by the
-    TE baselines.
+    TE baselines, plus demand classes — ``(ingress, prefix, rate, count)``
+    session cohorts, the unit of the aggregate-demand engine.
 ``forwarding``
     Routing of traffic over the routers' FIBs: exact fractional splitting
     (fluid mode) and per-flow ECMP hashing (hash mode), plus loop detection.
@@ -24,20 +25,29 @@ per-flow rates, congestion) with a fluid, flow-level model:
     entries a path traverses, and warm-start max-min repair per dirty
     component, with the ``dp_*`` counters.
 ``engine``
-    The event-driven simulation loop tying everything to the shared
-    timeline: flow arrivals/departures, FIB changes, capacity changes, SNMP
-    counters, and the periodic sampling used to draw Fig. 2.
+    The event-driven simulation loops tying everything to the shared
+    timeline: flow arrivals/departures (``DataPlaneEngine``) or class-level
+    cohort arrivals (``AggregateDemandEngine``), FIB changes, capacity
+    changes, SNMP counters, and the periodic sampling used to draw Fig. 2.
 ``events``
     Typed records of everything that happened during a run (for tracing,
     tests, and benchmark reporting).
 """
 
 from repro.dataplane.flows import Flow, FlowSet, FlowSpec
-from repro.dataplane.demand import TrafficMatrix, DemandEntry
+from repro.dataplane.demand import (
+    TrafficMatrix,
+    DemandEntry,
+    ClassSpec,
+    DemandClass,
+    ClassSet,
+)
 from repro.dataplane.forwarding import (
     ForwardingOutcome,
+    ClassPathGroup,
     route_fractional,
     route_flows_hashed,
+    route_class_sessions,
     forwarding_graph,
 )
 from repro.dataplane.linkstats import LinkLoads, LinkUtilization
@@ -51,7 +61,7 @@ from repro.dataplane.path_cache import (
     FlowPathCache,
     WarmStartAllocator,
 )
-from repro.dataplane.engine import DataPlaneEngine, LinkSample
+from repro.dataplane.engine import AggregateDemandEngine, DataPlaneEngine, LinkSample
 from repro.dataplane.events import SimulationEvent, FlowEvent
 
 __all__ = [
@@ -60,9 +70,14 @@ __all__ = [
     "FlowSpec",
     "TrafficMatrix",
     "DemandEntry",
+    "ClassSpec",
+    "DemandClass",
+    "ClassSet",
     "ForwardingOutcome",
+    "ClassPathGroup",
     "route_fractional",
     "route_flows_hashed",
+    "route_class_sessions",
     "forwarding_graph",
     "LinkLoads",
     "LinkUtilization",
@@ -73,6 +88,7 @@ __all__ = [
     "FlowPathCache",
     "WarmStartAllocator",
     "DataPlaneEngine",
+    "AggregateDemandEngine",
     "LinkSample",
     "SimulationEvent",
     "FlowEvent",

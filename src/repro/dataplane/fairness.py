@@ -17,52 +17,107 @@ is filled independently.  This is what makes the warm-start repair of
 :class:`~repro.dataplane.path_cache.WarmStartAllocator` exact — re-filling
 only the dirty components through the very same :func:`fill_component`
 reproduces a from-scratch allocation bit for bit.
+
+Two generalisations support the aggregate-demand data plane:
+
+* **Multiplicity.**  Every allocation entity carries a session ``count``;
+  a link crossed by an entity consumes ``count`` fair shares.  Capacity is
+  drained *once per link and round* as ``remaining -= usage * increment``
+  (``usage`` being the exact integer sum of active counts), so one entity
+  of count ``n`` produces bit-identical rates to ``n`` separate entities of
+  count 1 — the property the aggregate engine's differential oracle pins.
+* **Kernels.**  ``kernel="numpy"`` (or ``REPRO_KERNEL=numpy``) runs each
+  progressive-filling round over entity×link incidence arrays instead of
+  Python dicts.  Every per-round operation is elementwise or an
+  order-independent minimum, so the array kernel reproduces the Python
+  kernel's IEEE float64 rates bit for bit — same discipline as the SPF
+  kernels in :mod:`repro.igp.kernel`, whose ``resolve_kernel`` knob idiom
+  this module reuses.
+
+Saturation and progress tests use a *capacity-relative* epsilon
+(:func:`rate_tolerance`).  The previous absolute ``1e-6`` bit/s threshold
+was tuned for Mbit/s demo flows; at Gbit/s aggregate rates a single round's
+float residue can exceed it, leaving a saturated link nominally
+"unsaturated" and burning rounds until the ``max_rounds`` guard raised a
+spurious :class:`~repro.util.errors.SimulationError`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.igp.kernel import resolve_kernel
 from repro.util.errors import SimulationError, ValidationError
 from repro.util.validation import check_non_negative
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as np
+except ImportError:  # pragma: no cover - minimal installs only
+    np = None  # type: ignore[assignment]
 
 __all__ = [
     "max_min_fair_allocation",
     "decompose_components",
     "fill_component",
+    "rate_tolerance",
+    "RATE_EPSILON",
 ]
 
 LinkKey = Tuple[str, str]
 
-#: Rates below this value (bit/s) are treated as zero to avoid endless
-#: progressive-filling rounds on numerical dust.
-_RATE_EPSILON = 1e-6
+#: Relative tolerance for rate comparisons.  A link is saturated when its
+#: remaining capacity is below ``rate_tolerance(capacity)``; a flow reached
+#: its demand when the headroom is below ``rate_tolerance(demand)``.
+RATE_EPSILON = 1e-9
+
+#: Backwards-compatible alias (pre-PR-8 name; the value used to be an
+#: *absolute* 1e-6 bit/s threshold).
+_RATE_EPSILON = RATE_EPSILON
+
+
+def rate_tolerance(scale: float) -> float:
+    """Absolute tolerance for rates at magnitude ``scale`` (bit/s).
+
+    Relative above 1 bit/s, floored at ``RATE_EPSILON`` below it so that
+    zero-scale comparisons still have a non-zero slack.
+    """
+    return RATE_EPSILON * (scale if scale > 1.0 else 1.0)
 
 
 def max_min_fair_allocation(
     flow_links: Mapping[int, Sequence[LinkKey]],
     demands: Mapping[int, float],
     capacities: Mapping[LinkKey, float],
+    counts: Optional[Mapping[int, int]] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[int, float]:
-    """Compute the max-min fair rate of every flow.
+    """Compute the max-min fair rate of every flow (or demand class).
 
     Parameters
     ----------
     flow_links:
-        For each flow id, the sequence of directed links its path traverses.
-        A flow with an empty path (delivered at its ingress) is not
-        capacity-constrained and simply receives its demand.
+        For each entity id, the sequence of directed links its path
+        traverses.  An entity with an empty path (delivered at its ingress)
+        is not capacity-constrained and simply receives its demand.
     demands:
-        Upper bound (bit/s) on each flow's rate — the application sending
-        rate, e.g. the video bitrate.
+        Upper bound (bit/s) on each entity's *per-session* rate — the
+        application sending rate, e.g. the video bitrate.
     capacities:
         Capacity (bit/s) of every link appearing in the paths.
+    counts:
+        Session multiplicity of each entity (default 1).  An entity of
+        count ``n`` receives the same per-session rate as ``n`` identical
+        count-1 entities would, bit for bit.
+    kernel:
+        ``"python"`` / ``"numpy"`` / ``None`` (= the ``REPRO_KERNEL``
+        environment default), as in :func:`repro.igp.kernel.resolve_kernel`.
 
     Returns
     -------
     dict
-        Mapping from flow id to allocated rate.
+        Mapping from entity id to allocated per-session rate.
     """
+    kernel_name = resolve_kernel(kernel)
     for flow_id in flow_links:
         if flow_id not in demands:
             raise ValidationError(f"flow {flow_id} has a path but no demand")
@@ -70,7 +125,7 @@ def max_min_fair_allocation(
     constrained: Dict[int, Tuple[LinkKey, ...]] = {}
     for flow_id, links in flow_links.items():
         demand = check_non_negative(demands[flow_id], f"demand of flow {flow_id}")
-        if demand <= _RATE_EPSILON:
+        if demand <= rate_tolerance(demand):
             rates[flow_id] = 0.0
             continue
         if not links:
@@ -82,7 +137,11 @@ def max_min_fair_allocation(
         constrained[flow_id] = tuple(links)
 
     for component in decompose_components(constrained):
-        rates.update(fill_component(component, constrained, demands, capacities))
+        rates.update(
+            fill_component(
+                component, constrained, demands, capacities, counts=counts, kernel=kernel_name
+            )
+        )
     return rates
 
 
@@ -127,36 +186,82 @@ def fill_component(
     flow_links: Mapping[int, Sequence[LinkKey]],
     demands: Mapping[int, float],
     capacities: Mapping[LinkKey, float],
+    counts: Optional[Mapping[int, int]] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[int, float]:
     """Progressive filling restricted to one connected component.
 
-    ``flow_ids`` must be the component's flows in ascending id order; every
-    flow must have a non-empty path and a demand above the rate epsilon.
-    The result depends only on the *set* of flows and their links, demands
-    and capacities, so re-filling an unchanged component always reproduces
-    the exact same floating-point rates.
+    ``flow_ids`` must be the component's entities in ascending id order;
+    every entity must have a non-empty path and a demand above the rate
+    tolerance.  The result depends only on the *set* of entities and their
+    links, demands, counts and capacities — not on iteration order or on
+    the kernel — so re-filling an unchanged component always reproduces the
+    exact same floating-point rates.
     """
+    kernel_name = resolve_kernel(kernel)
+    entity_counts = _resolve_counts(flow_ids, counts)
+    if kernel_name == "numpy":
+        return _fill_component_numpy(flow_ids, flow_links, demands, capacities, entity_counts)
+    return _fill_component_python(flow_ids, flow_links, demands, capacities, entity_counts)
+
+
+def _resolve_counts(
+    flow_ids: Sequence[int], counts: Optional[Mapping[int, int]]
+) -> Dict[int, int]:
+    resolved: Dict[int, int] = {}
+    for flow_id in flow_ids:
+        count = 1 if counts is None else counts.get(flow_id, 1)
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise ValidationError(
+                f"entity {flow_id} has invalid session count {count!r}; expected a positive int"
+            )
+        resolved[flow_id] = count
+    return resolved
+
+
+def _fill_component_python(
+    flow_ids: Sequence[int],
+    flow_links: Mapping[int, Sequence[LinkKey]],
+    demands: Mapping[int, float],
+    capacities: Mapping[LinkKey, float],
+    counts: Dict[int, int],
+) -> Dict[int, float]:
     rates: Dict[int, float] = {}
     active: Dict[int, Tuple[LinkKey, ...]] = {}
+    demand_tol: Dict[int, float] = {}
     for flow_id in flow_ids:
         rates[flow_id] = 0.0
         active[flow_id] = tuple(flow_links[flow_id])
+        demand_tol[flow_id] = rate_tolerance(demands[flow_id])
 
     remaining: Dict[LinkKey, float] = {}
+    link_tol: Dict[LinkKey, float] = {}
     for links in active.values():
         for link in links:
-            remaining.setdefault(link, float(capacities[link]))
+            if link not in remaining:
+                capacity = float(capacities[link])
+                remaining[link] = capacity
+                link_tol[link] = rate_tolerance(capacity)
+
+    progress_tol = rate_tolerance(
+        max(
+            max((float(capacities[link]) for link in remaining), default=0.0),
+            max((demands[flow_id] for flow_id in flow_ids), default=0.0),
+        )
+    )
 
     max_rounds = len(active) + len(remaining) + 1
     for _ in range(max_rounds):
         if not active:
             break
-        # How many active flows traverse each link (a flow crossing a link
-        # twice — which only happens with looping paths — counts twice).
+        # How many active sessions traverse each link (an entity crossing a
+        # link twice — which only happens with looping paths — counts its
+        # sessions twice).  Integer arithmetic: exact regardless of order.
         usage: Dict[LinkKey, int] = {}
-        for links in active.values():
+        for flow_id, links in active.items():
+            count = counts[flow_id]
             for link in links:
-                usage[link] = usage.get(link, 0) + 1
+                usage[link] = usage.get(link, 0) + count
 
         # The common increment is limited by the tightest link fair share and
         # by the closest remaining demand headroom.
@@ -172,20 +277,23 @@ def fill_component(
             raise SimulationError("negative increment during progressive filling")
 
         if increment > 0:
-            for flow_id, links in active.items():
+            for flow_id in active:
                 rates[flow_id] += increment
-                for link in links:
-                    remaining[link] -= increment
+            # Capacity drains once per link: ``usage`` is an exact integer,
+            # so n count-1 entities and one count-n entity subtract the very
+            # same float64 value.
+            for link, count in usage.items():
+                remaining[link] -= count * increment
 
-        # Freeze flows that reached their demand or hit a saturated link.
+        # Freeze entities that reached their demand or hit a saturated link.
         frozen: List[int] = []
         for flow_id, links in active.items():
-            if demands[flow_id] - rates[flow_id] <= _RATE_EPSILON:
+            if demands[flow_id] - rates[flow_id] <= demand_tol[flow_id]:
                 frozen.append(flow_id)
                 continue
-            if any(remaining[link] <= _RATE_EPSILON for link in links):
+            if any(remaining[link] <= link_tol[link] for link in links):
                 frozen.append(flow_id)
-        if not frozen and increment <= _RATE_EPSILON:
+        if not frozen and increment <= progress_tol:
             raise SimulationError(
                 "progressive filling made no progress; capacities may be inconsistent"
             )
@@ -197,3 +305,98 @@ def fill_component(
             f"progressive filling did not converge; {len(active)} flows still active"
         )
     return rates
+
+
+def _fill_component_numpy(
+    flow_ids: Sequence[int],
+    flow_links: Mapping[int, Sequence[LinkKey]],
+    demands: Mapping[int, float],
+    capacities: Mapping[LinkKey, float],
+    counts: Dict[int, int],
+) -> Dict[int, float]:
+    """Array kernel: one progressive-filling round per numpy pass.
+
+    Mirrors :func:`_fill_component_python` operation for operation.  The
+    entity×link incidence is a CSR-style multiplicity matrix; per round the
+    kernel computes integer link usage (exact), the order-independent
+    link/demand minima, and the elementwise rate/remaining updates — all
+    IEEE float64 ops identical to the Python loop, hence bit-identical
+    results.
+    """
+    if np is None:  # pragma: no cover - resolve_kernel rejects this earlier
+        raise ValidationError("numpy kernel requested but numpy is not importable")
+
+    entities = list(flow_ids)
+    n = len(entities)
+    link_names = sorted({link for flow_id in entities for link in flow_links[flow_id]})
+    link_index = {link: j for j, link in enumerate(link_names)}
+    m = len(link_names)
+
+    # CSR-style multiplicity incidence: incidence[i, j] counts how many
+    # times entity i's path crosses link j.
+    incidence = np.zeros((n, m), dtype=np.int64)
+    for i, flow_id in enumerate(entities):
+        for link in flow_links[flow_id]:
+            incidence[i, link_index[link]] += 1
+
+    count_vec = np.array([counts[flow_id] for flow_id in entities], dtype=np.int64)
+    demand_vec = np.array([demands[flow_id] for flow_id in entities], dtype=np.float64)
+    demand_tol = np.array(
+        [rate_tolerance(demands[flow_id]) for flow_id in entities], dtype=np.float64
+    )
+    capacity_vec = np.array(
+        [float(capacities[link]) for link in link_names], dtype=np.float64
+    )
+    link_tol = np.array(
+        [rate_tolerance(float(capacities[link])) for link in link_names], dtype=np.float64
+    )
+
+    rates = np.zeros(n, dtype=np.float64)
+    remaining = capacity_vec.copy()
+    active = np.ones(n, dtype=bool)
+
+    progress_tol = rate_tolerance(
+        max(
+            float(capacity_vec.max()) if m else 0.0,
+            float(demand_vec.max()) if n else 0.0,
+        )
+    )
+
+    max_rounds = n + m + 1
+    for _ in range(max_rounds):
+        if not active.any():
+            break
+        usage = (count_vec * active) @ incidence  # int64: exact session sums
+        live = usage > 0
+        if live.any():
+            link_limit = float(np.min(remaining[live] / usage[live]))
+        else:
+            link_limit = float("inf")
+        headroom = demand_vec - rates
+        demand_limit = float(np.min(headroom[active]))
+        increment = min(link_limit, demand_limit)
+        if increment < 0:
+            raise SimulationError("negative increment during progressive filling")
+
+        if increment > 0:
+            rates[active] += increment
+            remaining[live] -= usage[live] * increment
+
+        headroom = demand_vec - rates
+        saturated = remaining <= link_tol
+        frozen = active & (
+            (headroom <= demand_tol) | ((incidence @ saturated.astype(np.int64)) > 0)
+        )
+        if not frozen.any() and increment <= progress_tol:
+            raise SimulationError(
+                "progressive filling made no progress; capacities may be inconsistent"
+            )
+        active &= ~frozen
+
+    if active.any():
+        raise SimulationError(
+            f"progressive filling did not converge; {int(active.sum())} flows still active"
+        )
+    # Materialise builtin floats so results are indistinguishable from the
+    # Python kernel's to every downstream consumer (repr, json, digests).
+    return {flow_id: float(rates[i]) for i, flow_id in enumerate(entities)}

@@ -20,6 +20,7 @@ assert that Fibbing never creates loops).
 from __future__ import annotations
 
 import hashlib
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -33,9 +34,11 @@ from repro.util.prefixes import Prefix
 __all__ = [
     "ForwardingOutcome",
     "FlowPath",
+    "ClassPathGroup",
     "forwarding_graph",
     "route_fractional",
     "route_flows_hashed",
+    "route_class_sessions",
 ]
 
 
@@ -190,6 +193,117 @@ def _pick_next_hop(split: Mapping[str, float], fraction: float) -> str:
         if fraction < cumulative:
             return next_hop
     return last  # numerical slack: the hash fell into the rounding tail
+
+
+@dataclass(frozen=True)
+class ClassPathGroup:
+    """One path group of a routed demand class: the sessions sharing a path.
+
+    ``ids`` is the ascending session-id population pinned to ``hops`` —
+    a :class:`range` while the cohort has not crossed any ECMP branch, an
+    ``array('q')`` once a hash partition split it.  Every session in the
+    group follows exactly the path :func:`route_flows_hashed` would give a
+    flow with the same id.
+    """
+
+    hops: Tuple[str, ...]
+    delivered: bool
+    looped: bool
+    ids: Sequence[int]
+
+    @property
+    def count(self) -> int:
+        """Number of sessions in the group."""
+        return len(self.ids)
+
+    @property
+    def links(self) -> Tuple[Tuple[str, str], ...]:
+        """The directed links traversed by the group."""
+        return tuple(zip(self.hops, self.hops[1:]))
+
+
+def route_class_sessions(
+    fibs: Mapping[str, Fib],
+    ingress: str,
+    prefix: Prefix,
+    session_ids: Sequence[int],
+    salt: int = 0,
+    max_hops: int = 64,
+) -> Tuple[List[ClassPathGroup], int]:
+    """Route a whole session population at once; returns ``(groups, splits)``.
+
+    The population walks the per-prefix forwarding DAG as a unit: at every
+    router with a single effective next hop the entire group moves together
+    (no hashing at all), and only at genuine ECMP branch points is
+    :func:`_hash_fraction` evaluated per session id to partition the
+    population — mirroring :func:`route_flows_hashed` decision for
+    decision (same local-delivery rules, loop detection and ``max_hops``
+    budget), so each session lands on the bit-identical path it would get
+    as an individual flow.  ``splits`` counts the hash partitions performed
+    (the only O(sessions) work).
+    """
+    groups: List[ClassPathGroup] = []
+    splits = 0
+
+    def finish(ids: Sequence[int], hops: List[str], delivered: bool, looped: bool) -> None:
+        groups.append(
+            ClassPathGroup(hops=tuple(hops), delivered=delivered, looped=looped, ids=ids)
+        )
+
+    def walk(ids: Sequence[int], current: str, hops: List[str], visited: Set[str]) -> None:
+        nonlocal splits
+        while True:
+            if len(hops) - 1 >= max_hops:
+                finish(ids, hops, delivered=False, looped=False)
+                return
+            fib = fibs.get(current)
+            if fib is None or not fib.has_entry(prefix):
+                finish(ids, hops, delivered=False, looped=False)
+                return
+            prefix_fib = fib.lookup(prefix)
+            if prefix_fib.local:
+                # Local delivery wins even for a multi-homed prefix with
+                # equal-cost remote entries, as in route_flows_hashed.
+                finish(ids, hops, delivered=True, looped=False)
+                return
+            split = prefix_fib.split_ratios()
+            if not split:
+                finish(ids, hops, delivered=False, looped=False)
+                return
+            if len(split) == 1:
+                next_hop = next(iter(split))
+            else:
+                # Genuine ECMP branch: hash every session id exactly as the
+                # per-flow walk does and recurse per non-empty bucket in
+                # next-hop order.
+                splits += 1
+                buckets: Dict[str, array] = {}
+                for session_id in ids:
+                    choice = _pick_next_hop(
+                        split, _hash_fraction(session_id, current, salt)
+                    )
+                    bucket = buckets.get(choice)
+                    if bucket is None:
+                        bucket = array("q")
+                        buckets[choice] = bucket
+                    bucket.append(session_id)
+                for next_hop in sorted(buckets):
+                    bucket = buckets[next_hop]
+                    branch_hops = hops + [next_hop]
+                    if next_hop in visited:
+                        finish(bucket, branch_hops, delivered=False, looped=True)
+                    else:
+                        walk(bucket, next_hop, branch_hops, visited | {next_hop})
+                return
+            hops.append(next_hop)
+            if next_hop in visited:
+                finish(ids, hops, delivered=False, looped=True)
+                return
+            visited.add(next_hop)
+            current = next_hop
+
+    walk(session_ids, ingress, [ingress], {ingress})
+    return groups, splits
 
 
 def route_flows_hashed(

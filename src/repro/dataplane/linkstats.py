@@ -67,20 +67,29 @@ class LinkLoads:
         return sum(self._loads.values())
 
     def merge(self, other: "LinkLoads") -> "LinkLoads":
-        """Return a new :class:`LinkLoads` combining this one and ``other``."""
+        """Return a new :class:`LinkLoads` combining this one and ``other``.
+
+        Every contribution is routed through :meth:`add`: the per-prefix
+        breakdown of each link is re-added prefix by prefix (sorted, for
+        determinism) and whatever part of the link total no prefix accounts
+        for is re-added unattributed.  The old implementation added totals
+        via :meth:`add` but hand-merged ``_per_prefix`` behind its back,
+        skipping the validation and total/breakdown bookkeeping invariant
+        :meth:`add` maintains — the two views could silently diverge as
+        soon as either accessor grew new semantics.
+        """
         combined = LinkLoads()
-        for source_target, load in self._loads.items():
-            combined.add(source_target[0], source_target[1], load)
-        for source_target, breakdown in self._per_prefix.items():
-            for prefix, load in breakdown.items():
-                combined._per_prefix.setdefault(source_target, {}).setdefault(prefix, 0.0)
-                combined._per_prefix[source_target][prefix] += load
-        for source_target, load in other._loads.items():
-            combined.add(source_target[0], source_target[1], load)
-        for source_target, breakdown in other._per_prefix.items():
-            for prefix, load in breakdown.items():
-                combined._per_prefix.setdefault(source_target, {}).setdefault(prefix, 0.0)
-                combined._per_prefix[source_target][prefix] += load
+        for loads in (self, other):
+            for (source, target), load in sorted(loads._loads.items()):
+                breakdown = loads._per_prefix.get((source, target), {})
+                attributed = 0.0
+                for prefix in sorted(breakdown):
+                    rate = breakdown[prefix]
+                    combined.add(source, target, rate, prefix=prefix)
+                    attributed += rate
+                residual = load - attributed
+                if residual > 0.0:
+                    combined.add(source, target, residual)
         return combined
 
     # ------------------------------------------------------------------ #

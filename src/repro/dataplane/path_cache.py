@@ -33,10 +33,11 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.dataplane.fairness import (
-    _RATE_EPSILON,
     decompose_components,
     fill_component,
+    rate_tolerance,
 )
+from repro.igp.kernel import resolve_kernel
 from repro.dataplane.flows import Flow
 from repro.dataplane.forwarding import FlowPath
 from repro.igp.fib import Fib
@@ -57,10 +58,11 @@ LinkKey = Tuple[str, str]
 #: dirtiness, mirroring the RIB cache's dirty prefixes.
 FibEntryKey = Tuple[str, Prefix]
 
-#: Flow inputs as the allocator sees them: the effective links of the flow's
-#: path (empty when undeliverable) and its effective demand (zero when
-#: undeliverable, so the flow sends nothing).
-FlowInput = Tuple[Tuple[LinkKey, ...], float]
+#: Allocation inputs as the allocator sees them: the effective links of the
+#: entity's path (empty when undeliverable), its effective *per-session*
+#: demand (zero when undeliverable, so the entity sends nothing) and its
+#: session count (1 for plain flows, ``n`` for an aggregate path group).
+FlowInput = Tuple[Tuple[LinkKey, ...], float, int]
 
 
 @dataclass
@@ -73,6 +75,12 @@ class DataPlaneCounters:
     repair), ``alloc_full`` (from-scratch decomposition: cold start or cache
     disabled) or ``fallbacks`` (repair abandoned past the dirty-flow
     threshold, recomputed in full).
+
+    The ``classes_*`` fields are the aggregate-demand engine's mirror of
+    the ``flows_*`` pair: demand classes whose forwarding DAG was re-walked
+    vs. served from the class path cache, plus ``class_splits`` — how many
+    per-session ECMP hash partitions the population walks performed (the
+    only place the aggregate engine does O(sessions) work).
     """
 
     flows_rerouted: int = 0
@@ -80,6 +88,9 @@ class DataPlaneCounters:
     alloc_warm_starts: int = 0
     alloc_full: int = 0
     fallbacks: int = 0
+    classes_rewalked: int = 0
+    classes_reused: int = 0
+    class_splits: int = 0
 
     @property
     def alloc_events(self) -> int:
@@ -94,6 +105,9 @@ class DataPlaneCounters:
             "dp_alloc_warm_starts": self.alloc_warm_starts,
             "dp_alloc_full": self.alloc_full,
             "dp_fallbacks": self.fallbacks,
+            "dp_classes_rewalked": self.classes_rewalked,
+            "dp_classes_reused": self.classes_reused,
+            "dp_classes_splits": self.class_splits,
         }
 
     def merge(self, other: "DataPlaneCounters") -> None:
@@ -103,6 +117,9 @@ class DataPlaneCounters:
         self.alloc_warm_starts += other.alloc_warm_starts
         self.alloc_full += other.alloc_full
         self.fallbacks += other.fallbacks
+        self.classes_rewalked += other.classes_rewalked
+        self.classes_reused += other.classes_reused
+        self.class_splits += other.class_splits
 
 
 class FlowPathCache:
@@ -169,18 +186,35 @@ class FlowPathCache:
     # ------------------------------------------------------------------ #
     def store(self, flow: Flow, path: FlowPath) -> None:
         """Cache ``path`` for ``flow``, keyed on its current entry versions."""
-        self.drop(flow.flow_id)
         # The walk consulted the FIB entry for the flow's prefix at every
         # router it visited (the last hop's entry decided termination), so
         # those entries are exactly the path's version dependencies.
-        deps = tuple((hop, flow.prefix) for hop in dict.fromkeys(path.hops))
-        self._paths[flow.flow_id] = path
-        self._deps[flow.flow_id] = deps
-        self._dep_versions[flow.flow_id] = tuple(
+        self.store_entity(flow.flow_id, flow.prefix, path.hops, path=path)
+
+    def store_entity(
+        self,
+        entity_id: int,
+        prefix: Prefix,
+        hops: Iterable[str],
+        path: Optional[FlowPath] = None,
+    ) -> None:
+        """Cache the routing of one entity (flow or demand class).
+
+        ``hops`` is every router the forwarding walk visited — for a demand
+        class, the union of all its path groups' hops.  The entity is
+        re-validated against the versions of those routers' entries for
+        ``prefix``, exactly like a per-flow path.
+        """
+        self.drop(entity_id)
+        deps = tuple((hop, prefix) for hop in dict.fromkeys(hops))
+        if path is not None:
+            self._paths[entity_id] = path
+        self._deps[entity_id] = deps
+        self._dep_versions[entity_id] = tuple(
             self._entry_versions.get(dep, 0) for dep in deps
         )
         for dep in deps:
-            self._watchers.setdefault(dep, set()).add(flow.flow_id)
+            self._watchers.setdefault(dep, set()).add(entity_id)
 
     def drop(self, flow_id: int) -> None:
         """Forget the cached path of a departed (or about-to-be-rerouted) flow."""
@@ -256,7 +290,7 @@ class _Component:
 class WarmStartAllocator:
     """Max-min fair allocation with per-component warm-start repair."""
 
-    def __init__(self, dirty_threshold: float = 0.5) -> None:
+    def __init__(self, dirty_threshold: float = 0.5, kernel: Optional[str] = None) -> None:
         if not 0.0 <= dirty_threshold <= 1.0:
             raise SimulationError(
                 f"dirty_threshold must be in [0, 1], got {dirty_threshold}"
@@ -264,6 +298,9 @@ class WarmStartAllocator:
         #: Fraction of the active flows beyond which a repair falls back to
         #: a from-scratch decomposition (the fallback threshold knob).
         self.dirty_threshold = dirty_threshold
+        #: Progressive-filling kernel (``"python"``/``"numpy"``), resolved
+        #: once from the knob or the ``REPRO_KERNEL`` environment default.
+        self.kernel = resolve_kernel(kernel)
         #: Current per-flow rates; the engine reads this mapping directly.
         self.rates: Dict[int, float] = {}
         self._inputs: Dict[int, FlowInput] = {}
@@ -312,7 +349,7 @@ class WarmStartAllocator:
             component = self._flow_component.get(flow_id)
             if component is not None:
                 affected.add(component)
-        for flow_id, (links, _demand) in changed.items():
+        for flow_id, (links, _demand, _count) in changed.items():
             component = self._flow_component.get(flow_id)
             if component is not None:
                 affected.add(component)
@@ -364,15 +401,15 @@ class WarmStartAllocator:
         """The capacity-constrained subset of ``flow_ids`` (links + real demand)."""
         constrained: Dict[int, Tuple[LinkKey, ...]] = {}
         for flow_id in flow_ids:
-            links, demand = self._inputs[flow_id]
-            if links and demand > _RATE_EPSILON:
+            links, demand, _count = self._inputs[flow_id]
+            if links and demand > rate_tolerance(demand):
                 constrained[flow_id] = links
         return constrained
 
     def _direct_rate(self, flow_id: int) -> float:
         """Rate of an unconstrained flow: its demand, or zero demand → zero."""
-        links, demand = self._inputs[flow_id]
-        if demand <= _RATE_EPSILON:
+        links, demand, _count = self._inputs[flow_id]
+        if demand <= rate_tolerance(demand):
             return 0.0
         assert not links, "constrained flows are rated by fill_component"
         return demand
@@ -385,9 +422,17 @@ class WarmStartAllocator:
     ) -> None:
         """Decompose ``constrained``, fill each component, record the partition."""
         demands = {flow_id: self._inputs[flow_id][1] for flow_id in constrained}
+        counts = {flow_id: self._inputs[flow_id][2] for flow_id in constrained}
         for flow_ids in decompose_components(constrained):
             new_rates.update(
-                fill_component(flow_ids, constrained, demands, capacities)
+                fill_component(
+                    flow_ids,
+                    constrained,
+                    demands,
+                    capacities,
+                    counts=counts,
+                    kernel=self.kernel,
+                )
             )
             links = frozenset(
                 link for flow_id in flow_ids for link in constrained[flow_id]

@@ -11,6 +11,10 @@ same code path:
     The dynamic Fig. 2 experiment: the full closed loop (IGP, data plane,
     video sessions, SNMP monitoring, on-demand load balancer) producing the
     per-link throughput time series and the QoE report.
+``flashcrowd_classes``
+    The Fig. 2 scenario scaled to millions of viewers over the
+    aggregate-demand data plane: session counts and capacities grow
+    together, each arrival batch is one demand class, QoE is class-level.
 ``overhead``
     The §2 control-plane/data-plane overhead comparison between Fibbing and
     MPLS RSVP-TE.
@@ -28,6 +32,11 @@ same code path:
 
 from repro.experiments.fig1 import Fig1Result, run_fig1
 from repro.experiments.fig2 import DemoRunResult, run_demo_timeseries, reaction_times
+from repro.experiments.flashcrowd_classes import (
+    FlashCrowdClassesResult,
+    build_scaled_demo_scenario,
+    run_flashcrowd_classes,
+)
 from repro.experiments.overhead import OverheadRow, run_overhead_comparison
 from repro.experiments.optimality import OptimalityRow, run_optimality_study
 from repro.experiments.scaling import (
@@ -59,6 +68,9 @@ __all__ = [
     "DemoRunResult",
     "run_demo_timeseries",
     "reaction_times",
+    "FlashCrowdClassesResult",
+    "build_scaled_demo_scenario",
+    "run_flashcrowd_classes",
     "OverheadRow",
     "run_overhead_comparison",
     "OptimalityRow",

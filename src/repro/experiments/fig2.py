@@ -29,7 +29,7 @@ from repro.core.controller import FibbingController
 from repro.core.lies import per_prefix_lie_digests
 from repro.core.loadbalancer import OnDemandLoadBalancer, RebalanceAction
 from repro.core.policies import LoadBalancerPolicy
-from repro.dataplane.engine import DataPlaneEngine, LinkSample
+from repro.dataplane.engine import AggregateDemandEngine, DataPlaneEngine, LinkSample
 from repro.igp.network import IgpNetwork
 from repro.igp.router import RouterTimers
 from repro.monitoring.alarms import AlarmEvent, UtilizationAlarm
@@ -112,6 +112,8 @@ def run_demo_timeseries(
     router_timers: RouterTimers = RouterTimers(),
     hash_salt: int = 0,
     dataplane_incremental: bool = True,
+    dataplane_aggregate: bool = False,
+    dataplane_kernel: Optional[str] = None,
     controller_incremental: bool = True,
     controller_shards: int = 0,
     controller_parallel: str = "serial",
@@ -124,7 +126,15 @@ def run_demo_timeseries(
     ``dataplane_incremental=False`` disables the data plane's path cache and
     warm-start allocator (from-scratch recomputation per event) — the
     results are bit-identical either way; only the ``dp_*`` counters and the
-    wall-clock cost differ.  ``controller_incremental=False`` likewise runs
+    wall-clock cost differ.  ``dataplane_aggregate=True`` swaps the per-flow
+    engine for the :class:`~repro.dataplane.engine.AggregateDemandEngine`:
+    each arrival batch becomes one demand class and one cohort QoE client,
+    so the run's cost is O(arrival batches), not O(sessions) — link series,
+    byte counters and samples stay bit-identical to the per-flow run (the
+    dual-engine differential suite pins this), while the QoE report
+    aggregates count-weighted cohorts.  ``dataplane_kernel`` picks the
+    progressive-filling kernel (``"python"``/``"numpy"``; default follows
+    ``REPRO_KERNEL``).  ``controller_incremental=False`` likewise runs
     the controller's clear-and-replay oracle instead of the plan-cache
     reconciler, with bit-identical installed lies and traffic.
     ``controller_shards > 0`` swaps the single controller for a
@@ -159,13 +169,15 @@ def run_demo_timeseries(
             if process.fib is not None
         }
 
-    engine = DataPlaneEngine(
+    engine_cls = AggregateDemandEngine if dataplane_aggregate else DataPlaneEngine
+    engine = engine_cls(
         topology,
         fib_provider,
         timeline,
         sample_interval=sample_interval,
         hash_salt=hash_salt,
         incremental=dataplane_incremental,
+        kernel=dataplane_kernel,
     )
     engine.bind_to_network(network)
     engine.start()

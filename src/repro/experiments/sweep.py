@@ -212,6 +212,31 @@ def _split_approx_experiment(seed, params):
     return [asdict(row) for row in rows], {"split_tables": len(rows)}
 
 
+def _flashcrowd_classes_experiment(seed, params):
+    """Scaled class-level flash crowd (seed draws the ECMP hash salt)."""
+    from repro.experiments.flashcrowd_classes import run_flashcrowd_classes
+
+    result = run_flashcrowd_classes(seed=seed, keep_demo_result=False, **params)
+    row = {
+        "sessions": result.sessions,
+        "scale": result.scale,
+        "smooth_sessions": result.qoe.smooth_sessions,
+        "stalled_sessions": result.qoe.stalled_sessions,
+        "total_stall_time": round(result.qoe.total_stall_time, 9),
+        "peak_utilization": round(result.peak_utilization, 9),
+        "alarms": result.alarms,
+        "actions": result.actions,
+        "lies_active": result.lies_active,
+        "wall_seconds": result.wall_seconds,
+    }
+    counters = {
+        key: value
+        for key, value in result.dataplane_stats.items()
+        if isinstance(value, int)
+    }
+    return [row], counters
+
+
 def _fig2_experiment(seed, params):
     """Fig. 2 — the full closed-loop demo (seed draws the flow hash salt)."""
     from repro.experiments.fig2 import run_demo_timeseries
@@ -280,6 +305,11 @@ register_experiment(
     "split-approx", _split_approx_experiment, "A3 split-approximation error"
 )
 register_experiment("fig2", _fig2_experiment, "Fig. 2 closed-loop demo run")
+register_experiment(
+    "flashcrowd-classes",
+    _flashcrowd_classes_experiment,
+    "scaled class-level flash crowd on the aggregate data plane",
+)
 register_experiment(
     "selftest-fail", _selftest_fail_experiment, "harness self-test: always raises"
 )
@@ -660,6 +690,9 @@ _DEFAULT_SWEEP = SweepGrid(
         ),
         GridSpec.build("lie-scaling", seeds=(0, 1), core_sizes=[(4,)], pops=[2]),
         GridSpec.build("fig2", seeds=(0, 1), duration=[25.0]),
+        GridSpec.build(
+            "flashcrowd-classes", seeds=(0, 1), sessions=[62_000, 1_000_000]
+        ),
     ),
 )
 
@@ -670,6 +703,9 @@ _QUICK_SWEEP = SweepGrid(
         GridSpec.build("flashcrowd", seeds=(0, 1), flow_counts=[(10,)], pods=[2, 4]),
         GridSpec.build(
             "reconcile", seeds=(0, 1), requirement_counts=[(4,)], waves=[4, 6], ring=[8]
+        ),
+        GridSpec.build(
+            "flashcrowd-classes", seeds=(0,), sessions=[6_200], duration=[25.0]
         ),
     ),
 )

@@ -92,7 +92,10 @@ def collect_counters(network: "IgpNetwork") -> Dict[str, Dict[str, int]]:
     rescans, or fallbacks past the dirty-prefix threshold (the ``rib_*``
     keys).  The ``"dataplane"`` entry carries the flow-level ``dp_*``
     counters of every data-plane engine registered with the network (paths
-    reused vs. re-walked, warm-started vs. full fair-share allocations); the
+    reused vs. re-walked, warm-started vs. full fair-share allocations,
+    plus the aggregate engine's ``dp_classes_rewalked`` /
+    ``dp_classes_reused`` / ``dp_classes_splits`` demand-class mirror of
+    the flow pair); the
     ``"controller"`` entry carries the ``ctl_*`` reconciliation counters of
     every registered controller (requirement plans served from the plan
     cache vs. recomputed, lies injected/retracted/kept, threshold

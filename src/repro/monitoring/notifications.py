@@ -26,8 +26,9 @@ class ClientNotification:
 
     ``ingress`` is the router where the server's traffic enters the network,
     ``prefix`` the destination prefix the client belongs to, ``bitrate`` the
-    per-client video bitrate, and ``delta`` is +1 for a new client or -1 for
-    a departing one.
+    per-client video bitrate, and ``delta`` is the signed client-count
+    change: +1/-1 for an individual viewer, ±n when a server announces a
+    whole flash-crowd cohort (an aggregate demand class) in one message.
     """
 
     time: float
@@ -39,8 +40,8 @@ class ClientNotification:
 
     def __post_init__(self) -> None:
         check_positive(self.bitrate, "bitrate")
-        if self.delta not in (1, -1):
-            raise MonitoringError(f"delta must be +1 or -1, got {self.delta}")
+        if not isinstance(self.delta, int) or isinstance(self.delta, bool) or self.delta == 0:
+            raise MonitoringError(f"delta must be a non-zero int, got {self.delta!r}")
 
 
 class NotificationBus:

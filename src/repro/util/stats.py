@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.util.errors import ValidationError
@@ -14,16 +15,45 @@ __all__ = [
     "RunningStats",
     "TimeWeightedAverage",
     "percentile",
+    "weighted_percentile",
     "mean",
+    "weighted_mean",
     "maximum",
 ]
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean; raises on empty input to avoid silent NaN propagation."""
+    """Arithmetic mean; raises on empty input to avoid silent NaN propagation.
+
+    The sum is correctly rounded (``math.fsum``), so the result does not
+    depend on the order of ``values`` — at flash-crowd population sizes a
+    naive left-to-right accumulation loses the low-order bits of the later
+    addends and two orderings of the same sessions could disagree.
+    """
     if not values:
         raise ValidationError("cannot compute the mean of an empty sequence")
-    return sum(values) / len(values)
+    return math.fsum(values) / len(values)
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[int]) -> float:
+    """Mean of ``values`` with non-negative integer multiplicities ``weights``.
+
+    Bitwise equivalent to :func:`mean` over the expanded sequence where
+    each value appears ``weight`` times — the per-session view of
+    class-level QoE records that each stand for a whole cohort of identical
+    sessions.  The weighted sum is accumulated exactly (float ``value``
+    times integer ``weight`` is an exact rational) and rounded once, which
+    is precisely what ``math.fsum`` over the expansion computes.
+    """
+    if len(values) != len(weights):
+        raise ValidationError("values and weights must have the same length")
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        raise ValidationError("cannot compute a weighted mean of zero total weight")
+    exact = sum(
+        Fraction(value) * weight for value, weight in zip(values, weights)
+    )
+    return float(exact) / total_weight
 
 
 def maximum(values: Sequence[float], default: float = 0.0) -> float:
@@ -50,6 +80,48 @@ def percentile(values: Sequence[float], fraction: float) -> float:
         return float(ordered[lower])
     weight = position - lower
     return float(ordered[lower] * (1 - weight) + ordered[upper] * weight)
+
+
+def weighted_percentile(
+    values: Sequence[float], weights: Sequence[int], fraction: float
+) -> float:
+    """Percentile of ``values`` repeated with integer multiplicities ``weights``.
+
+    Exactly :func:`percentile` of the expanded sequence (each value appears
+    ``weight`` times), computed without materialising it — a weight-``n``
+    value occupies ``n`` consecutive positions of the conceptual sorted
+    list, and the interpolated position is located by a cumulative scan.
+    """
+    check_fraction(fraction, "fraction")
+    if len(values) != len(weights):
+        raise ValidationError("values and weights must have the same length")
+    pairs = sorted(
+        (float(value), int(weight))
+        for value, weight in zip(values, weights)
+        if weight > 0
+    )
+    total_weight = sum(weight for _, weight in pairs)
+    if total_weight <= 0:
+        raise ValidationError("cannot compute a weighted percentile of zero total weight")
+    if total_weight == 1:
+        return pairs[0][0]
+    position = fraction * (total_weight - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    blend = position - lower
+
+    def value_at(index: int) -> float:
+        cumulative = 0
+        for value, weight in pairs:
+            cumulative += weight
+            if index < cumulative:
+                return value
+        return pairs[-1][0]  # pragma: no cover - index is always < total_weight
+
+    if lower == upper:
+        return value_at(lower)
+    low_value, high_value = value_at(lower), value_at(upper)
+    return low_value * (1 - blend) + high_value * blend
 
 
 class Ewma:

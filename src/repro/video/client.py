@@ -59,14 +59,24 @@ class PlaybackClient:
         started_at: float,
         startup_buffer: float = 2.0,
         resume_buffer: float = 1.0,
+        session_count: int = 1,
     ) -> None:
         if client_id < 0:
             raise ValidationError(f"client_id must be non-negative, got {client_id}")
+        if not isinstance(session_count, int) or isinstance(session_count, bool) or session_count < 1:
+            raise ValidationError(
+                f"session_count must be a positive int, got {session_count!r}"
+            )
         self.client_id = client_id
         self.video = video
         self.started_at = started_at
         self.startup_buffer = check_non_negative(startup_buffer, "startup_buffer")
         self.resume_buffer = check_positive(resume_buffer, "resume_buffer")
+        #: Number of real playback sessions this buffer model stands for: 1
+        #: for an individual viewer, ``n`` for a demand-class cohort whose
+        #: buffer is fed the cohort's mean per-session goodput.  QoE
+        #: aggregation weights every metric by this multiplicity.
+        self.session_count = session_count
 
         self.state = PlaybackState.STARTUP
         self.downloaded_seconds = 0.0

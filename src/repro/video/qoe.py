@@ -4,6 +4,14 @@ The demo's §3 claim is qualitative ("smooth" vs. "stutters"); the QoE report
 quantifies it so benchmarks can assert it: a run is *smooth* when no client
 stalls after playback started, and *stuttering* when a significant fraction
 of the clients stall.
+
+Clients may stand for whole cohorts: a
+:class:`~repro.video.client.PlaybackClient` carries a ``session_count``
+multiplicity (1 for an individual viewer, ``n`` for a demand-class cohort),
+and every aggregate statistic here weights by it.  A report over ``k``
+cohort clients therefore describes ``sum(counts)`` sessions — million-viewer
+flash crowds aggregate in O(cohorts), and with unit counts the numbers
+reduce exactly to the per-session definitions.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
 from repro.util.errors import ValidationError
-from repro.util.stats import mean, percentile
+from repro.util.stats import weighted_mean, weighted_percentile
 from repro.video.client import PlaybackClient, PlaybackState
 
 __all__ = ["SessionQoe", "QoeReport", "session_qoe", "aggregate_qoe"]
@@ -20,7 +28,7 @@ __all__ = ["SessionQoe", "QoeReport", "session_qoe", "aggregate_qoe"]
 
 @dataclass(frozen=True)
 class SessionQoe:
-    """QoE summary of a single playback session."""
+    """QoE summary of one playback session (or one cohort of ``count`` alike)."""
 
     client_id: int
     startup_delay: float
@@ -28,6 +36,7 @@ class SessionQoe:
     total_stall_time: float
     completed: bool
     playback_duration: float
+    count: int = 1
 
     @property
     def rebuffer_ratio(self) -> float:
@@ -43,7 +52,7 @@ class SessionQoe:
 
 @dataclass(frozen=True)
 class QoeReport:
-    """Aggregate QoE over a set of sessions."""
+    """Aggregate QoE over a set of sessions (cohorts weighted by their count)."""
 
     sessions: int
     smooth_sessions: int
@@ -84,23 +93,42 @@ def session_qoe(client: PlaybackClient) -> SessionQoe:
         total_stall_time=client.total_stall_time,
         completed=client.state is PlaybackState.FINISHED,
         playback_duration=client.played_seconds,
+        count=client.session_count,
     )
 
 
 def aggregate_qoe(clients: Iterable[PlaybackClient]) -> QoeReport:
-    """Aggregate the QoE of many sessions into one report."""
+    """Aggregate the QoE of many sessions into one report.
+
+    Each client contributes with its ``session_count`` multiplicity: means
+    and percentiles are weighted, and session tallies (smooth / stalled /
+    completed) count real sessions, not client records.
+    """
     summaries: List[SessionQoe] = [session_qoe(client) for client in clients]
     if not summaries:
         raise ValidationError("cannot aggregate QoE over zero sessions")
+    counts = [summary.count for summary in summaries]
     rebuffer_ratios = [summary.rebuffer_ratio for summary in summaries]
     return QoeReport(
-        sessions=len(summaries),
-        smooth_sessions=sum(1 for summary in summaries if summary.smooth),
-        stalled_sessions=sum(1 for summary in summaries if not summary.smooth),
-        completed_sessions=sum(1 for summary in summaries if summary.completed),
-        mean_startup_delay=mean([summary.startup_delay for summary in summaries]),
-        mean_stall_count=mean([float(summary.stall_count) for summary in summaries]),
-        mean_rebuffer_ratio=mean(rebuffer_ratios),
-        p95_rebuffer_ratio=percentile(rebuffer_ratios, 0.95),
-        total_stall_time=sum(summary.total_stall_time for summary in summaries),
+        sessions=sum(counts),
+        smooth_sessions=sum(
+            summary.count for summary in summaries if summary.smooth
+        ),
+        stalled_sessions=sum(
+            summary.count for summary in summaries if not summary.smooth
+        ),
+        completed_sessions=sum(
+            summary.count for summary in summaries if summary.completed
+        ),
+        mean_startup_delay=weighted_mean(
+            [summary.startup_delay for summary in summaries], counts
+        ),
+        mean_stall_count=weighted_mean(
+            [float(summary.stall_count) for summary in summaries], counts
+        ),
+        mean_rebuffer_ratio=weighted_mean(rebuffer_ratios, counts),
+        p95_rebuffer_ratio=weighted_percentile(rebuffer_ratios, counts, 0.95),
+        total_stall_time=sum(
+            summary.total_stall_time * summary.count for summary in summaries
+        ),
     )

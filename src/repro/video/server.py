@@ -13,14 +13,24 @@ clients that belong to a destination prefix.  Starting a playback session:
 
 The :class:`StreamingService` owns all servers and sessions, performs the
 per-sample updates, and tears sessions down when their video finishes.
+
+The service speaks both data planes.  On a
+:class:`~repro.dataplane.engine.DataPlaneEngine` every viewer is one flow
+and one client.  On an :class:`~repro.dataplane.engine.AggregateDemandEngine`
+each same-instant arrival batch becomes ONE demand class, ONE cohort client
+(``session_count = n``, its buffer fed the cohort's mean per-session
+goodput from :meth:`~repro.dataplane.engine.AggregateDemandEngine.class_transmitted_bytes`)
+and ONE ``delta=+n`` notification — so a million-viewer flash crowd costs
+O(arrival batches) service work, and QoE aggregates weight by the counts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
-from repro.dataplane.engine import DataPlaneEngine, LinkSample
+from repro.dataplane.demand import ClassSpec
+from repro.dataplane.engine import AggregateDemandEngine, DataPlaneEngine, LinkSample
 from repro.dataplane.flows import Flow, FlowSpec
 from repro.monitoring.notifications import ClientNotification, NotificationBus
 from repro.util.errors import SimulationError, ValidationError
@@ -48,14 +58,22 @@ class VideoServer:
 
 @dataclass
 class StreamingSession:
-    """One active playback: the flow, the client buffer, and bookkeeping."""
+    """One active playback: the demand entity, the client buffer, bookkeeping.
+
+    On the flow engine the entity is one flow (``flow_id`` set,
+    ``class_id`` ``None``, ``session_count`` 1); on the aggregate engine it
+    is one demand class (``class_id`` set, ``flow_id`` ``None``,
+    ``session_count`` the cohort size).
+    """
 
     session_id: int
     server: VideoServer
     video: Video
     prefix: Prefix
-    flow_id: int
     client: PlaybackClient
+    flow_id: Optional[int] = None
+    class_id: Optional[int] = None
+    session_count: int = 1
     last_flow_bytes: float = 0.0
     closed: bool = False
 
@@ -65,12 +83,14 @@ class StreamingService:
 
     def __init__(
         self,
-        engine: DataPlaneEngine,
+        engine: Union[DataPlaneEngine, AggregateDemandEngine],
         bus: Optional[NotificationBus] = None,
         startup_buffer: float = 2.0,
         resume_buffer: float = 1.0,
     ) -> None:
         self.engine = engine
+        #: Whether sessions are demand-class cohorts rather than flows.
+        self.aggregate = isinstance(engine, AggregateDemandEngine)
         self.bus = bus if bus is not None else NotificationBus()
         self.startup_buffer = startup_buffer
         self.resume_buffer = resume_buffer
@@ -114,25 +134,49 @@ class StreamingService:
         """Start ``count`` same-instant playbacks as one data-plane batch.
 
         A flash-crowd arrival event brings whole batches of viewers at the
-        same simulated instant; creating their flows through
-        :meth:`~repro.dataplane.engine.DataPlaneEngine.add_flows` pays for a
-        single path/allocation refresh instead of one per viewer.
+        same simulated instant.  On the flow engine the batch becomes
+        ``count`` flows through
+        :meth:`~repro.dataplane.engine.DataPlaneEngine.add_flows` (one
+        path/allocation refresh instead of one per viewer); on the aggregate
+        engine it becomes a single demand class — one session record, one
+        cohort client, one ``delta=+count`` notification — so the returned
+        list has one element standing for the whole cohort.
         """
         if count < 1:
             raise ValidationError(f"session count must be >= 1, got {count}")
         server = self.server(server_name)
         video = server.catalog.get(video_title)
+        label = f"{server_name}:{video_title}"
+        if self.aggregate:
+            demand_class = self.engine.add_class(
+                ingress=server.ingress,
+                prefix=prefix,
+                rate=video.bitrate,
+                count=count,
+                label=label,
+            )
+            return [
+                self._register_session(
+                    server, video, prefix, class_id=demand_class.class_id, count=count
+                )
+            ]
         spec = FlowSpec(
-            ingress=server.ingress,
-            prefix=prefix,
-            demand=video.bitrate,
-            label=f"{server_name}:{video_title}",
+            ingress=server.ingress, prefix=prefix, demand=video.bitrate, label=label
         )
         flows = self.engine.add_flows([spec] * count)
-        return [self._register_session(server, video, prefix, flow) for flow in flows]
+        return [
+            self._register_session(server, video, prefix, flow_id=flow.flow_id)
+            for flow in flows
+        ]
 
     def _register_session(
-        self, server: VideoServer, video: Video, prefix: Prefix, flow: Flow
+        self,
+        server: VideoServer,
+        video: Video,
+        prefix: Prefix,
+        flow_id: Optional[int] = None,
+        class_id: Optional[int] = None,
+        count: int = 1,
     ) -> StreamingSession:
         client = PlaybackClient(
             client_id=self._next_session_id,
@@ -140,14 +184,17 @@ class StreamingService:
             started_at=self.engine.timeline.now,
             startup_buffer=self.startup_buffer,
             resume_buffer=self.resume_buffer,
+            session_count=count,
         )
         session = StreamingSession(
             session_id=self._next_session_id,
             server=server,
             video=video,
             prefix=prefix,
-            flow_id=flow.flow_id,
             client=client,
+            flow_id=flow_id,
+            class_id=class_id,
+            session_count=count,
         )
         self._sessions[session.session_id] = session
         self._next_session_id += 1
@@ -158,7 +205,7 @@ class StreamingService:
                 ingress=server.ingress,
                 prefix=prefix,
                 bitrate=video.bitrate,
-                delta=+1,
+                delta=+count,
             )
         )
         return session
@@ -169,7 +216,10 @@ class StreamingService:
             session = self._sessions.pop(session_id)
         except KeyError:
             raise SimulationError(f"session {session_id} is not active") from None
-        if session.flow_id in self.engine.flows:
+        if session.class_id is not None:
+            if session.class_id in self.engine.classes:
+                self.engine.remove_class(session.class_id)
+        elif session.flow_id in self.engine.flows:
             self.engine.remove_flow(session.flow_id)
         session.closed = True
         self._finished_sessions.append(session)
@@ -180,7 +230,7 @@ class StreamingService:
                 ingress=session.server.ingress,
                 prefix=session.prefix,
                 bitrate=session.video.bitrate,
-                delta=-1,
+                delta=-session.session_count,
             )
         )
         return session
@@ -208,14 +258,30 @@ class StreamingService:
         """The playback clients of every session ever started, sorted by id."""
         return [session.client for session in self.all_sessions]
 
+    def total_viewers(self) -> int:
+        """Real playback sessions ever started (cohorts count their size)."""
+        return sum(session.session_count for session in self.all_sessions)
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _session_bytes(self, session: StreamingSession) -> float:
+        """Delivered bytes feeding the session's client buffer.
+
+        Flow sessions read their flow's counter; cohort sessions read the
+        class's mean per-session goodput — exact (no division) while the
+        population is uniform, so the cohort buffer model consumes the
+        bitwise same byte stream its per-flow twins would.
+        """
+        if session.class_id is not None:
+            return self.engine.class_mean_transmitted_bytes(session.class_id)
+        return self.engine.flow_transmitted_bytes(session.flow_id)
+
     def _on_sample(self, sample: LinkSample) -> None:
-        """Feed each active client's buffer from its flow's byte counter."""
+        """Feed each active client's buffer from its entity's byte counter."""
         finished: List[int] = []
         for session in list(self._sessions.values()):
-            transmitted = self.engine.flow_transmitted_bytes(session.flow_id)
+            transmitted = self._session_bytes(session)
             delta_bits = max(0.0, (transmitted - session.last_flow_bytes) * 8.0)
             session.last_flow_bytes = transmitted
             session.client.advance(sample.time, delta_bits)

@@ -110,6 +110,52 @@ def lie_set_snapshot() -> dict:
     }
 
 
+def flashcrowd_classes_snapshot() -> dict:
+    """Class-level QoE of the scaled flash crowd on the aggregate engine.
+
+    Pins the externally observable numbers of a 62,000-session Fig. 2-style
+    run over :class:`~repro.dataplane.engine.AggregateDemandEngine`: the
+    count-weighted QoE report, the peak utilisation and the final per-link
+    byte counters (the latter bit-for-bit against the per-flow engine's
+    arithmetic, via the canonical grouped link totals).  Wall-clock time is
+    deliberately absent — it is the run's only non-deterministic output.
+    """
+    from repro.experiments.flashcrowd_classes import run_flashcrowd_classes
+
+    snapshot = {}
+    for key, with_controller in (("with_controller", True), ("no_controller", False)):
+        result = run_flashcrowd_classes(
+            sessions=62_000, with_controller=with_controller, duration=60.0
+        )
+        qoe = result.qoe
+        snapshot[key] = {
+            "sessions": result.sessions,
+            "scale": result.scale,
+            "qoe": {
+                "sessions": qoe.sessions,
+                "smooth_sessions": qoe.smooth_sessions,
+                "stalled_sessions": qoe.stalled_sessions,
+                "completed_sessions": qoe.completed_sessions,
+                "mean_startup_delay": qoe.mean_startup_delay,
+                "mean_stall_count": qoe.mean_stall_count,
+                "mean_rebuffer_ratio": qoe.mean_rebuffer_ratio,
+                "p95_rebuffer_ratio": qoe.p95_rebuffer_ratio,
+                "total_stall_time": qoe.total_stall_time,
+            },
+            "peak_utilization": result.peak_utilization,
+            "alarms": result.alarms,
+            "actions": result.actions,
+            "lies_active": result.lies_active,
+            "link_counters": {
+                f"{source}->{target}": value
+                for (source, target), value in sorted(
+                    result.demo.link_counters.items()
+                )
+            },
+        }
+    return snapshot
+
+
 def optimality_snapshot() -> dict:
     from repro.experiments.optimality import run_optimality_study
 
@@ -136,6 +182,7 @@ def main() -> None:
         "fig1_ribs.json": fig1_rib_snapshot(),
         "fig1_lies.json": lie_set_snapshot(),
         "fig2_samples.json": fig2_snapshot(),
+        "flashcrowd_classes_qoe.json": flashcrowd_classes_snapshot(),
         "optimality_gaps.json": optimality_snapshot(),
     }
     for name, payload in snapshots.items():

@@ -93,3 +93,131 @@ class TestValidation:
 
     def test_empty_input_gives_empty_output(self):
         assert max_min_fair_allocation({}, {}, {}) == {}
+
+
+class TestCountMultiplicity:
+    """``counts=``: one count-n entity == n identical count-1 entities."""
+
+    def test_count_n_equals_n_singletons_bitwise(self):
+        demand = 13.370001
+        capacity = 100.0
+        n = 7
+        singles = max_min_fair_allocation(
+            {i: [LINK] for i in range(n)},
+            {i: demand for i in range(n)},
+            {LINK: capacity},
+        )
+        bundled = max_min_fair_allocation(
+            {0: [LINK]}, {0: demand}, {LINK: capacity}, counts={0: n}
+        )
+        # Bitwise, not approx: the kernel must drain the link once per
+        # round with the exact integer multiplicity.
+        assert all(rate == bundled[0] for rate in singles.values())
+
+    def test_mixed_counts_classic_example(self):
+        """The three-flow textbook case with the long flow as a cohort."""
+        flows = {0: [LINK, LINK2], 1: [LINK], 2: [LINK2]}
+        demands = {0: 100.0, 1: 100.0, 2: 100.0}
+        capacities = {LINK: 100.0, LINK2: 60.0}
+        expanded = dict(flows)
+        expanded[3] = flows[0]
+        rates = max_min_fair_allocation(
+            flows, demands, capacities, counts={0: 2}
+        )
+        reference = max_min_fair_allocation(
+            expanded, {**demands, 3: 100.0}, capacities
+        )
+        assert rates[0] == reference[0] == reference[3]
+        assert rates[1] == reference[1]
+        assert rates[2] == reference[2]
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValidationError):
+            max_min_fair_allocation(
+                {0: [LINK]}, {0: 1.0}, {LINK: 10.0}, counts={0: 0}
+            )
+
+
+class TestGbitScaleEpsilon:
+    """Regression for the absolute 1e-6 bit/s epsilon (now capacity-relative).
+
+    At 100+ Gbit/s capacities, one ulp is ~1.5e-5 bit/s: the old absolute
+    threshold was *below* the rounding noise of the capacity drain, so a
+    saturated link could keep a phantom sliver of headroom (or a satisfied
+    demand a phantom deficit) and the filling loop would spin on it.  The
+    relative ``rate_tolerance`` keeps the same semantics at every magnitude.
+    """
+
+    def test_saturated_terabit_link_splits_exactly(self):
+        n = 10
+        capacity = 400e9  # one ulp here is ~6e-5 > the old 1e-6 epsilon
+        rates = max_min_fair_allocation(
+            {i: [LINK] for i in range(n)},
+            {i: capacity for i in range(n)},
+            {LINK: capacity},
+        )
+        assert sum(rates.values()) == pytest.approx(capacity, rel=1e-12)
+        for rate in rates.values():
+            assert rate == pytest.approx(capacity / n, rel=1e-12)
+
+    def test_demand_met_exactly_at_gbit_scale(self):
+        # Non-round Gbit/s demands with spare capacity: every entity gets
+        # its demand bit for bit, no epsilon-sized shortfall.
+        demands = {i: (1.0 + 0.0137 * i) * 1e9 for i in range(5)}
+        rates = max_min_fair_allocation(
+            {i: [LINK] for i in range(5)}, demands, {LINK: 100e9}
+        )
+        assert rates == demands
+
+    def test_million_session_cohort_on_terabit_link(self):
+        """The flash-crowd shape: 10^6 sessions behind one entity."""
+        sessions = 1_000_000
+        rates = max_min_fair_allocation(
+            {0: [LINK], 1: [LINK]},
+            {0: 5e6, 1: 5e6},
+            {LINK: 1e12},
+            counts={0: sessions, 1: 1},
+        )
+        # 5 Tbit/s of aggregate demand on 1 Tbit/s: the fair share is
+        # capacity / (sessions + 1) per session, for both entities alike.
+        assert rates[0] == rates[1]
+        assert rates[0] == pytest.approx(1e12 / (sessions + 1), rel=1e-9)
+
+    def test_rate_tolerance_is_relative_above_one(self):
+        from repro.dataplane.fairness import RATE_EPSILON, rate_tolerance
+
+        assert rate_tolerance(1e12) == RATE_EPSILON * 1e12
+        assert rate_tolerance(1.0) == RATE_EPSILON
+        assert rate_tolerance(0.0) == RATE_EPSILON
+
+
+class TestKernelEquivalence:
+    """The numpy water-filling kernel is bit-identical to the python one."""
+
+    def _instance(self):
+        flows = {
+            0: [LINK, LINK2],
+            1: [LINK],
+            2: [LINK2],
+            3: [LINK, LINK2],
+            4: [],
+        }
+        demands = {0: 97.3, 1: 41.0001, 2: 300.0, 3: 12.5, 4: 7.0}
+        capacities = {LINK: 123.456, LINK2: 61.5}
+        counts = {0: 3, 2: 1000, 3: 2}
+        return flows, demands, capacities, counts
+
+    def test_numpy_matches_python_bitwise(self):
+        pytest.importorskip("numpy")
+        flows, demands, capacities, counts = self._instance()
+        python = max_min_fair_allocation(
+            flows, demands, capacities, counts=counts, kernel="python"
+        )
+        numpy = max_min_fair_allocation(
+            flows, demands, capacities, counts=counts, kernel="numpy"
+        )
+        assert python == numpy
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(Exception):
+            max_min_fair_allocation({0: [LINK]}, {0: 1.0}, {LINK: 10.0}, kernel="fortran")

@@ -142,3 +142,60 @@ class TestTrafficMatrix:
     def test_empty_ingress_rejected(self):
         with pytest.raises(ValidationError):
             TrafficMatrix().add("", PREFIX, 1.0)
+
+
+class TestTrafficMatrixOrderIndependence:
+    """Aggregation regression: at flash-crowd scale, per-key sums built by
+    naive left-to-right accumulation depend on arrival order — two matrices
+    holding the same demands could disagree on rates and digests.  The
+    contributions are now summed with ``math.fsum`` (correctly rounded), so
+    any permutation of the same adds is indistinguishable, bit for bit."""
+
+    CONTRIBUTIONS = [1e9, 0.1, 3.7e-4, 2.5e8, 1.0, 7.77e6, 0.003, 5e9, 12.0]
+
+    def _matrix(self, order):
+        matrix = TrafficMatrix()
+        for index in order:
+            matrix.add("A", PREFIX, self.CONTRIBUTIONS[index])
+            matrix.add("B", OTHER, self.CONTRIBUTIONS[index] * 0.5)
+        return matrix
+
+    def test_shuffled_inputs_share_rate_and_digest(self):
+        import random
+
+        base_order = list(range(len(self.CONTRIBUTIONS)))
+        reference = self._matrix(base_order)
+        rng = random.Random(1234)
+        for _ in range(10):
+            order = base_order[:]
+            rng.shuffle(order)
+            shuffled = self._matrix(order)
+            assert shuffled.rate("A", PREFIX) == reference.rate("A", PREFIX)
+            assert shuffled.rate("B", OTHER) == reference.rate("B", OTHER)
+            assert shuffled.digest() == reference.digest()
+            assert shuffled.entries() == reference.entries()
+            assert shuffled.total() == reference.total()
+
+    def test_entries_and_digest_share_one_sort_key(self):
+        # Both orderings are (ingress, prefix): a digest built from the
+        # entries() order must match digest() itself re-deriving it.
+        import hashlib
+
+        matrix = TrafficMatrix.from_dict(
+            {("B", OTHER): 2.0, ("A", PREFIX): 1.0, ("A", OTHER): 3.0}
+        )
+        hasher = hashlib.sha256()
+        for entry in matrix.entries():
+            hasher.update(f"{entry.ingress}|{entry.prefix}={entry.rate!r};".encode())
+        assert hasher.hexdigest() == matrix.digest()
+
+    def test_from_classes_aggregates_total_demand(self):
+        from repro.dataplane.demand import ClassSet
+
+        classes = ClassSet()
+        classes.create(ingress="A", prefix=PREFIX, rate=2.0, count=10)
+        classes.create(ingress="A", prefix=PREFIX, rate=1.5, count=4)
+        classes.create(ingress="B", prefix=OTHER, rate=1.0, count=3)
+        matrix = TrafficMatrix.from_classes(classes)
+        assert matrix.rate("A", PREFIX) == 26.0
+        assert matrix.rate("B", OTHER) == 3.0

@@ -98,3 +98,67 @@ class TestUtilization:
     def test_zero_capacity_guard(self):
         view = LinkUtilization(link=("A", "B"), load=10.0, capacity=0.0)
         assert view.utilization == 0.0
+
+
+class TestMergeBookkeeping:
+    """Merge regression: the old merge added link totals through ``add``
+    but spliced ``_per_prefix`` behind its back, so the two views could
+    drift apart.  Everything now routes through ``add`` — after any chain
+    of merges, the per-prefix breakdown plus the unattributed residual must
+    reconstruct each link's total exactly."""
+
+    def _random_loads(self, rng, prefixes):
+        loads = LinkLoads()
+        routers = ["A", "B", "R1", "R2", "R3"]
+        for _ in range(rng.randint(1, 8)):
+            source, target = rng.sample(routers, 2)
+            prefix = rng.choice(prefixes + [None])
+            loads.add(source, target, rng.uniform(0.0, 5.0) * 1e6, prefix=prefix)
+        return loads
+
+    def test_breakdown_reconstructs_totals_after_merges(self):
+        import random
+
+        from repro.util.prefixes import Prefix
+
+        prefixes = [BLUE_PREFIX, Prefix.parse("10.9.0.0/16")]
+        rng = random.Random(99)
+        for round_index in range(20):
+            merged = self._random_loads(rng, prefixes)
+            for _ in range(rng.randint(1, 3)):
+                merged = merged.merge(self._random_loads(rng, prefixes))
+            for source, target in merged.links():
+                breakdown = merged.per_prefix(source, target)
+                attributed = sum(breakdown.values())
+                load = merged.load(source, target)
+                assert attributed <= load + 1e-6, (round_index, source, target)
+                assert attributed == pytest.approx(
+                    load, rel=1e-12
+                ) or attributed < load, (round_index, source, target)
+
+    def test_fully_attributed_merge_sums_to_load(self):
+        first = LinkLoads()
+        first.add("A", "B", 1.25, prefix=BLUE_PREFIX)
+        second = LinkLoads()
+        second.add("A", "B", 2.5, prefix=BLUE_PREFIX)
+        merged = first.merge(second)
+        assert sum(merged.per_prefix("A", "B").values()) == merged.load("A", "B")
+
+    def test_merge_preserves_unattributed_residual(self):
+        first = LinkLoads()
+        first.add("A", "B", 3.0, prefix=BLUE_PREFIX)
+        first.add("A", "B", 2.0)  # background load, no prefix
+        merged = first.merge(LinkLoads())
+        assert merged.load("A", "B") == 5.0
+        assert merged.per_prefix("A", "B") == {BLUE_PREFIX: 3.0}
+
+    def test_merge_chain_is_associative_on_totals(self):
+        parts = []
+        for rate in (1.5, 2.25, 4.125):
+            loads = LinkLoads()
+            loads.add("A", "B", rate, prefix=BLUE_PREFIX)
+            parts.append(loads)
+        left = parts[0].merge(parts[1]).merge(parts[2])
+        right = parts[0].merge(parts[1].merge(parts[2]))
+        assert left.load("A", "B") == right.load("A", "B")
+        assert left.per_prefix("A", "B") == right.per_prefix("A", "B")

@@ -149,6 +149,68 @@ class TestFig2Golden:
         assert result.dataplane_stats["dp_alloc_warm_starts"] == 0
 
 
+class TestFlashCrowdClassesGolden:
+    """Aggregate-data-plane snapshots: the class-level QoE report and the
+    final link byte counters of the 62,000-session scaled flash crowd,
+    pinned bit-for-bit.  This is the guard rail of the aggregate-demand
+    engine: demand classes, population DAG walks, byte cohorts and the
+    count-weighted water-filling kernel must together reproduce the exact
+    numbers session-level simulation would."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load_golden("flashcrowd_classes_qoe.json")
+
+    @pytest.mark.parametrize(
+        "key,with_controller",
+        [("with_controller", True), ("no_controller", False)],
+    )
+    def test_qoe_and_counters_are_bit_identical(self, golden, key, with_controller):
+        from repro.experiments.flashcrowd_classes import run_flashcrowd_classes
+
+        expected = golden[key]
+        result = run_flashcrowd_classes(
+            sessions=62_000, with_controller=with_controller, duration=60.0
+        )
+        assert result.sessions == expected["sessions"]
+        assert result.scale == expected["scale"]
+        qoe = result.qoe
+        for field_name, value in expected["qoe"].items():
+            assert getattr(qoe, field_name) == value, field_name
+        assert result.peak_utilization == expected["peak_utilization"]
+        assert result.alarms == expected["alarms"]
+        assert result.actions == expected["actions"]
+        assert result.lies_active == expected["lies_active"]
+        actual_counters = {
+            f"{source}->{target}": value
+            for (source, target), value in result.demo.link_counters.items()
+        }
+        assert actual_counters == expected["link_counters"]
+        # The aggregate machinery was actually exercised: classes walked as
+        # populations, and the per-event cost stayed class-level.
+        assert result.dataplane_stats["dp_classes_rewalked"] > 0
+        assert result.sessions >= 62_000
+
+    def test_numpy_kernel_reproduces_the_same_golden(self, golden):
+        """The vectorized water-filling kernel is not allowed to move a
+        single bit of the QoE report or the byte counters."""
+        pytest.importorskip("numpy")
+        from repro.experiments.flashcrowd_classes import run_flashcrowd_classes
+
+        expected = golden["with_controller"]
+        result = run_flashcrowd_classes(
+            sessions=62_000, with_controller=True, duration=60.0,
+            dataplane_kernel="numpy",
+        )
+        for field_name, value in expected["qoe"].items():
+            assert getattr(result.qoe, field_name) == value, field_name
+        actual_counters = {
+            f"{source}->{target}": value
+            for (source, target), value in result.demo.link_counters.items()
+        }
+        assert actual_counters == expected["link_counters"]
+
+
 class TestLieSetGolden:
     """Installed-lie snapshots: per-prefix digests of the FakeNodeLsa sets
     the controller pipeline programs (fake-node names included), for both

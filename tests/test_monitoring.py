@@ -350,5 +350,8 @@ class TestCounterCollection:
             "dp_alloc_warm_starts": 3,
             "dp_alloc_full": 4,
             "dp_fallbacks": 6,
+            "dp_classes_rewalked": 0,
+            "dp_classes_reused": 0,
+            "dp_classes_splits": 0,
         }
         assert first.alloc_events == 3 + 4 + 6

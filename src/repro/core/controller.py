@@ -67,6 +67,14 @@ class ControllerStats:
     ctl_fallbacks: int = 0
     ctl_opt_cache_hits: int = 0
     ctl_merge_cache_hits: int = 0
+    # Asynchronous control-loop counters (see core.scheduler): zero while
+    # the loop runs at the synchronous degenerate point.
+    ctl_reactions_deferred: int = 0
+    ctl_supersessions: int = 0
+    ctl_transient_loops: int = 0
+    ctl_transient_blackholes: int = 0
+    ctl_converge_events: int = 0
+    ctl_converge_seconds: float = 0.0
     # Sharded-facade counters (always zero for a single controller); see
     # :class:`repro.core.shard.ShardCounters`.
     shard_waves_parallel: int = 0
@@ -107,6 +115,12 @@ class ControllerStats:
             "ctl_fallbacks": self.ctl_fallbacks,
             "ctl_opt_cache_hits": self.ctl_opt_cache_hits,
             "ctl_merge_cache_hits": self.ctl_merge_cache_hits,
+            "ctl_reactions_deferred": self.ctl_reactions_deferred,
+            "ctl_supersessions": self.ctl_supersessions,
+            "ctl_transient_loops": self.ctl_transient_loops,
+            "ctl_transient_blackholes": self.ctl_transient_blackholes,
+            "ctl_converge_events": self.ctl_converge_events,
+            "ctl_converge_seconds": self.ctl_converge_seconds,
             "shard_waves_parallel": self.shard_waves_parallel,
             "shard_waves_serial": self.shard_waves_serial,
             "shard_dirty": self.shard_dirty,
@@ -519,6 +533,12 @@ class FibbingController:
         self._stats.ctl_fallbacks = ctl.fallbacks
         self._stats.ctl_opt_cache_hits = ctl.opt_cache_hits
         self._stats.ctl_merge_cache_hits = ctl.merge_cache_hits
+        self._stats.ctl_reactions_deferred = ctl.reactions_deferred
+        self._stats.ctl_supersessions = ctl.supersessions
+        self._stats.ctl_transient_loops = ctl.transient_loops
+        self._stats.ctl_transient_blackholes = ctl.transient_blackholes
+        self._stats.ctl_converge_events = ctl.converge_events
+        self._stats.ctl_converge_seconds = ctl.converge_seconds
         if self.network is not None:
             # The data plane hangs off the live network; its counters are
             # part of the controller's end-to-end reaction accounting.

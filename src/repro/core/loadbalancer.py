@@ -62,6 +62,17 @@ class RebalanceAction:
     #: fallbacks), so per-reaction diffs also show how the wave spread
     #: across the shard fleet.
     controller_counters: Dict[str, int] = field(default_factory=dict)
+    #: Simulated time at which the reaction actually executed.  With the
+    #: synchronous wiring this equals ``time`` (the alarm instant); under the
+    #: asynchronous control loop (:class:`repro.core.scheduler.ControlLoopScheduler`)
+    #: it lags by the controller reaction latency, so ``completed_time -
+    #: time`` is the per-reaction control-plane delay.
+    completed_time: float = 0.0
+
+    @property
+    def reaction_latency(self) -> float:
+        """Delay between the alarm firing and the reaction executing."""
+        return max(0.0, self.completed_time - self.time)
 
     @property
     def lies_injected(self) -> int:
@@ -131,7 +142,12 @@ class OnDemandLoadBalancer:
         """React to one alarm; returns the action taken (or ``None`` if nothing to do)."""
         return self.react(event)
 
-    def react(self, event: Optional[AlarmEvent] = None, time: float = 0.0) -> Optional[RebalanceAction]:
+    def react(
+        self,
+        event: Optional[AlarmEvent] = None,
+        time: float = 0.0,
+        now: Optional[float] = None,
+    ) -> Optional[RebalanceAction]:
         """The reconciliation entry point: alarm (or manual trigger) in, minimal lie delta out.
 
         Rebuilds the demand matrix from the client notifications, solves the
@@ -153,9 +169,14 @@ class OnDemandLoadBalancer:
         ``event`` may be omitted for a manual trigger (see
         :meth:`rebalance_now`); alarm wiring passes the
         :class:`~repro.monitoring.alarms.AlarmEvent` straight through.
+        ``now`` is the simulated time at which the reaction executes — the
+        asynchronous scheduler passes the (later) completion instant, while
+        the default ``None`` keeps the synchronous ``completed_time ==
+        event.time`` behaviour.
         """
         if event is None:
             event = AlarmEvent(time=time, hot_links=())
+        completed_time = event.time if now is None else now
         demands = self.current_demands()
         prefixes = self._prefixes_to_optimize(demands)
         if not prefixes:
@@ -172,6 +193,7 @@ class OnDemandLoadBalancer:
                 merge_report=MergeReport(),
                 dataplane_counters=self._dataplane_snapshot(),
                 controller_counters=self._controller_snapshot(),
+                completed_time=completed_time,
             )
             self.actions.append(action)
             return action
@@ -196,6 +218,7 @@ class OnDemandLoadBalancer:
             merge_report=merge_report,
             dataplane_counters=self._dataplane_snapshot(),
             controller_counters=self._controller_snapshot(),
+            completed_time=completed_time,
         )
         self.actions.append(action)
         return action

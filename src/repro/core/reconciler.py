@@ -110,6 +110,17 @@ class CtlCounters:
     fallbacks: int = 0
     opt_cache_hits: int = 0
     merge_cache_hits: int = 0
+    # Asynchronous control-loop accounting (see core.scheduler): reactions
+    # deferred past the controller's reaction latency, pending reactions
+    # superseded by a fresher alarm, data-plane entities caught looping or
+    # blackholed on mixed-FIB interim states while an injection wave
+    # converged, and the FIB-install churn/time those waves cost.
+    reactions_deferred: int = 0
+    supersessions: int = 0
+    transient_loops: int = 0
+    transient_blackholes: int = 0
+    converge_events: int = 0
+    converge_seconds: float = 0.0
 
     @property
     def plans_served(self) -> int:
@@ -127,6 +138,12 @@ class CtlCounters:
             "ctl_fallbacks": self.fallbacks,
             "ctl_opt_cache_hits": self.opt_cache_hits,
             "ctl_merge_cache_hits": self.merge_cache_hits,
+            "ctl_reactions_deferred": self.reactions_deferred,
+            "ctl_supersessions": self.supersessions,
+            "ctl_transient_loops": self.transient_loops,
+            "ctl_transient_blackholes": self.transient_blackholes,
+            "ctl_converge_events": self.converge_events,
+            "ctl_converge_seconds": self.converge_seconds,
         }
 
     def merge(self, other: "CtlCounters") -> None:
@@ -139,6 +156,12 @@ class CtlCounters:
         self.fallbacks += other.fallbacks
         self.opt_cache_hits += other.opt_cache_hits
         self.merge_cache_hits += other.merge_cache_hits
+        self.reactions_deferred += other.reactions_deferred
+        self.supersessions += other.supersessions
+        self.transient_loops += other.transient_loops
+        self.transient_blackholes += other.transient_blackholes
+        self.converge_events += other.converge_events
+        self.converge_seconds += other.converge_seconds
 
 
 @dataclass(frozen=True)

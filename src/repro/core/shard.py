@@ -379,6 +379,14 @@ class ShardedFibbingController(FibbingController):
         self._fake_name_counter = 0
         self._thread_pool: Optional[ThreadPoolExecutor] = None
         self._process_pool: Optional[ProcessPoolExecutor] = None
+        #: Optional injection override installed by the asynchronous control
+        #: loop (:class:`repro.core.scheduler.ControlLoopScheduler`): called
+        #: as ``wave_injector(attachment, groups)`` where ``groups`` is an
+        #: ordered list of ``(shard_index, [Lsa, ...])`` pairs, so per-shard
+        #: completion can be staggered in simulated time instead of the
+        #: single flat :meth:`IgpNetwork.inject` call.  ``None`` (the
+        #: default) keeps the synchronous one-wave behaviour byte-identical.
+        self.wave_injector: Optional[Callable[[str, List[Tuple[int, List[Lsa]]]], None]] = None
 
     # ------------------------------------------------------------------ #
     # Partitioning
@@ -739,10 +747,18 @@ class ShardedFibbingController(FibbingController):
         """Send the committed plans' LSAs as one wave and account for them."""
         to_send: List[Lsa] = []
         applied: List[ControllerUpdate] = []
+        shard_groups: Dict[int, List[Lsa]] = {}
+        index_of: Dict[int, int] = (
+            {id(shard): index for index, shard in enumerate(self.shards)}
+            if self.wave_injector is not None
+            else {}
+        )
         for shard, plan in committed:
             messages: List[Lsa] = list(plan.to_inject)
             messages.extend(lsa.withdraw() for lsa in plan.to_withdraw)
             to_send.extend(messages)
+            if messages and self.wave_injector is not None:
+                shard_groups.setdefault(index_of[id(shard)], []).extend(messages)
             shard.reconciler.record_applied(plan)
             update = ControllerUpdate(
                 time=now,
@@ -759,7 +775,13 @@ class ShardedFibbingController(FibbingController):
             self._stats.bytes_sent += sum(lsa.size_bytes for lsa in messages)
         if self.network is not None and to_send:
             assert self.attachment is not None  # enforced in __init__
-            self.network.inject(to_send, at_router=self.attachment)
+            if self.wave_injector is None:
+                self.network.inject(to_send, at_router=self.attachment)
+            else:
+                self.wave_injector(
+                    self.attachment,
+                    [(index, shard_groups[index]) for index in sorted(shard_groups)],
+                )
         return applied
 
     # ------------------------------------------------------------------ #

@@ -463,6 +463,27 @@ class DataPlaneEngine(DataPlaneEngineBase):
         """Connected components currently tracked by the warm-start allocator."""
         return self._allocator.component_count()
 
+    def routing_flaws(self) -> Tuple[Dict[object, int], Dict[object, int]]:
+        """Flows currently looping / blackholed on the installed FIBs.
+
+        Returns ``(looping, blackholed)`` maps of opaque observation keys
+        (here ``(flow_id, hops)``) to affected session counts (always 1 per
+        flow; the aggregate engine's override reports whole path groups).
+        A *blackholed* flow is one whose walk ended without reaching the
+        destination and without looping — typically a missing FIB entry on
+        a mixed-FIB interim state.  Pure read: no counter advance, no
+        recomputation — safe to call from FIB-change listeners
+        mid-convergence.
+        """
+        looping: Dict[object, int] = {}
+        blackholed: Dict[object, int] = {}
+        for flow_id, path in self._flow_paths.items():
+            if path.looped:
+                looping[(flow_id, path.hops)] = 1
+            elif not path.delivered:
+                blackholed[(flow_id, path.hops)] = 1
+        return looping, blackholed
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
@@ -819,6 +840,25 @@ class AggregateDemandEngine(DataPlaneEngineBase):
             (self._entity_rates.get(entity_id, 0.0), self._entity_counts[entity_id])
             for entity_id in self._class_entities.get(class_id, ())
         ]
+
+    def routing_flaws(self) -> Tuple[Dict[object, int], Dict[object, int]]:
+        """Path groups currently looping / blackholed (class-level mirror).
+
+        Same contract as :meth:`DataPlaneEngine.routing_flaws`, one
+        aggregation level up: keys are ``(class_id, hops)`` observations and
+        the counts are whole path-group session populations.  Pure read.
+        """
+        looping: Dict[object, int] = {}
+        blackholed: Dict[object, int] = {}
+        for class_id, groups in self._class_groups.items():
+            for group in groups:
+                if group.looped:
+                    key = (class_id, group.hops)
+                    looping[key] = looping.get(key, 0) + group.count
+                elif not group.delivered:
+                    key = (class_id, group.hops)
+                    blackholed[key] = blackholed.get(key, 0) + group.count
+        return looping, blackholed
 
     def session_rate(self, session_id: int) -> float:
         """Current allocated rate of one session (bit/s)."""

@@ -29,6 +29,7 @@ from repro.core.controller import FibbingController
 from repro.core.lies import per_prefix_lie_digests
 from repro.core.loadbalancer import OnDemandLoadBalancer, RebalanceAction
 from repro.core.policies import LoadBalancerPolicy
+from repro.core.scheduler import ControlLoopScheduler, ConvergenceMonitor
 from repro.dataplane.engine import AggregateDemandEngine, DataPlaneEngine, LinkSample
 from repro.igp.network import IgpNetwork
 from repro.igp.router import RouterTimers
@@ -118,6 +119,10 @@ def run_demo_timeseries(
     controller_shards: int = 0,
     controller_parallel: str = "serial",
     seed: Optional[int] = None,
+    poll_jitter: float = 0.0,
+    reaction_latency: float = 0.0,
+    shard_stagger: float = 0.0,
+    supersede: bool = True,
 ) -> DemoRunResult:
     """Run the Fig. 2 experiment and return its measurements.
 
@@ -147,6 +152,27 @@ def run_demo_timeseries(
     run is a pure function of its arguments, with no module-level RNG state
     to leak between runs sharing a sweep worker; ``seed=None`` keeps the
     historical salt.
+
+    The asynchronous control-loop timing knobs (all defaulting to the
+    synchronous/byte-identical behaviour):
+
+    * ``poll_jitter`` — uniform ±jitter on every SNMP poll gap, from an
+      explicit :class:`random.Random` derived from ``seed`` (or the salt)
+      by integer arithmetic, so runs are independent of ``PYTHONHASHSEED``;
+    * ``reaction_latency`` — seconds between an alarm and the controller's
+      reaction executing (via
+      :class:`~repro.core.scheduler.ControlLoopScheduler`); the reaction
+      observes demand/monitoring state at the completion instant;
+    * ``shard_stagger`` — with ``controller_shards > 0``, the gap between
+      consecutive per-shard injection sub-waves;
+    * ``supersede`` — whether an alarm firing mid-reaction cancels the
+      pending reaction and re-plans from fresh state (counted in
+      ``ctl_supersessions``).
+
+    When a controller is attached, a read-only
+    :class:`~repro.core.scheduler.ConvergenceMonitor` additionally charges
+    per-wave convergence time and transient mixed-FIB loops/blackholes to
+    the ``ctl_converge_*`` / ``ctl_transient_*`` counters.
     """
     if seed is not None and hash_salt == 0:
         hash_salt = random.Random(seed).randrange(1 << 31)
@@ -192,7 +218,14 @@ def run_demo_timeseries(
 
     # --- monitoring -------------------------------------------------------- #
     agents = build_agents(topology, engine)
-    poller = SnmpPoller(agents, timeline, poll_interval=poll_interval)
+    poll_rng: Optional[random.Random] = None
+    if poll_jitter > 0.0:
+        # Integer arithmetic only (never string hashing): the jitter stream
+        # must be identical under every PYTHONHASHSEED.
+        poll_rng = random.Random((seed if seed is not None else hash_salt) * 1000003 + 17)
+    poller = SnmpPoller(
+        agents, timeline, poll_interval=poll_interval, jitter=poll_jitter, rng=poll_rng
+    )
     collector = LoadCollector(topology)
     alarm = UtilizationAlarm(
         collector,
@@ -236,7 +269,20 @@ def run_demo_timeseries(
             managed_prefixes=[scenario.blue_prefix],
             dataplane=engine,
         )
-        balancer.attach(alarm)
+        # The scheduler replaces the direct `balancer.attach(alarm)` wiring;
+        # at the default zero knobs it reacts synchronously inside the alarm
+        # callback, so the run stays byte-identical to the historical loop.
+        scheduler = ControlLoopScheduler(
+            balancer,
+            timeline,
+            reaction_latency=reaction_latency,
+            shard_stagger=shard_stagger,
+            supersede=supersede,
+        )
+        scheduler.attach(alarm)
+        # Read-only observer (registered after the engine's FIB listener, so
+        # it sees the freshly re-walked interim data-plane state).
+        ConvergenceMonitor(network, engine, counters=controller.plan_cache.counters)
 
     # --- workload schedule -------------------------------------------------- #
     schedule = [

@@ -271,6 +271,24 @@ def _fig2_experiment(seed, params):
     return [row], counters
 
 
+def _reaction_experiment(seed, params):
+    """A7 — asynchronous control-loop reaction-time curves."""
+    from repro.experiments.reaction import run_reaction_curves
+
+    rows = run_reaction_curves(seed=seed, **params)
+    counters = merge_counter_snapshots(
+        {
+            "ctl_reactions_deferred": row.reactions_deferred,
+            "ctl_supersessions": row.supersessions,
+            "ctl_transient_loops": row.transient_loops,
+            "ctl_transient_blackholes": row.transient_blackholes,
+            "ctl_converge_events": row.converge_events,
+        }
+        for row in rows
+    )
+    return [asdict(row) for row in rows], counters
+
+
 def _selftest_fail_experiment(seed, params):
     """Always raises — proves worker failures surface with their traceback.
 
@@ -309,6 +327,9 @@ register_experiment(
     "flashcrowd-classes",
     _flashcrowd_classes_experiment,
     "scaled class-level flash crowd on the aggregate data plane",
+)
+register_experiment(
+    "reaction", _reaction_experiment, "A7 asynchronous control-loop reaction times"
 )
 register_experiment(
     "selftest-fail", _selftest_fail_experiment, "harness self-test: always raises"
@@ -693,6 +714,14 @@ _DEFAULT_SWEEP = SweepGrid(
         GridSpec.build(
             "flashcrowd-classes", seeds=(0, 1), sessions=[62_000, 1_000_000]
         ),
+        GridSpec.build(
+            "reaction",
+            seeds=(0,),
+            duration=[40.0],
+            poll_intervals=[(0.5, 1.0, 2.0)],
+            reaction_latencies=[(0.0, 0.5)],
+            spf_delays=[(0.05, 0.2)],
+        ),
     ),
 )
 
@@ -706,6 +735,14 @@ _QUICK_SWEEP = SweepGrid(
         ),
         GridSpec.build(
             "flashcrowd-classes", seeds=(0,), sessions=[6_200], duration=[25.0]
+        ),
+        GridSpec.build(
+            "reaction",
+            seeds=(0,),
+            duration=[25.0],
+            poll_intervals=[(0.5, 1.0)],
+            reaction_latencies=[(0.0, 0.5)],
+            spf_delays=[(0.05,)],
         ),
     ),
 )

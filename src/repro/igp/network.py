@@ -76,6 +76,7 @@ class IgpNetwork:
         self._lsa_sequences: Dict[str, int] = {}
         self._dataplane_engines: List[object] = []
         self._controllers: List[object] = []
+        self._inject_listeners: List[Callable[[str, int], None]] = []
 
     # ------------------------------------------------------------------ #
     # Listeners
@@ -83,6 +84,17 @@ class IgpNetwork:
     def on_fib_change(self, listener: Callable[[str, Fib], None]) -> None:
         """Register ``listener(router_name, fib)`` called on every FIB install."""
         self._fib_listeners.append(listener)
+
+    def on_inject(self, listener: Callable[[str, int], None]) -> None:
+        """Register ``listener(at_router, lsa_count)`` called on every injection.
+
+        Fired after the LSAs of one :meth:`inject` call entered the flooding
+        fabric — the instant a controller wave starts propagating.  The
+        convergence monitor (:class:`~repro.core.scheduler.ConvergenceMonitor`)
+        uses it to open a convergence episode without coupling the controller
+        to the observer.
+        """
+        self._inject_listeners.append(listener)
 
     def _notify_fib_change(self, router: str, fib: Fib) -> None:
         for listener in self._fib_listeners:
@@ -217,6 +229,9 @@ class IgpNetwork:
         for lsa in lsas:
             self.fabric.inject(at_router, lsa)
             count += 1
+        if count:
+            for listener in self._inject_listeners:
+                listener(at_router, count)
         return count
 
     # ------------------------------------------------------------------ #

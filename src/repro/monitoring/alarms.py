@@ -74,6 +74,11 @@ class UtilizationAlarm:
             raise MonitoringError(f"raise_threshold must be positive, got {raise_threshold}")
         if clear_threshold is None:
             clear_threshold = raise_threshold * 0.8
+        if clear_threshold <= 0.0:
+            raise MonitoringError(
+                f"clear_threshold must be positive, got {clear_threshold} "
+                "(a zero clear level could never re-arm the alarm)"
+            )
         if clear_threshold > raise_threshold:
             raise MonitoringError(
                 f"clear_threshold ({clear_threshold}) must not exceed raise_threshold "
@@ -109,15 +114,22 @@ class UtilizationAlarm:
             if not self.collector.links_above(self.clear_threshold):
                 self._armed = True
             return None
-        in_cooldown = (
-            self._last_fired is not None and sample.time - self._last_fired < self.cooldown
-        )
-        if in_cooldown:
+        if self._last_fired is not None and sample.time - self._last_fired < self.cooldown:
+            # Within the cooldown the alarm stays silent even if the
+            # condition persists (armed or not).
             return None
-        # Fire when freshly armed, or re-fire after the cooldown if the
-        # congestion persists (the previous mitigation was insufficient).
-        if not self._armed and self._last_fired is None:
-            return None
+        if not self._armed:
+            # Not re-armed: the congestion never dropped below the clear
+            # threshold since the last firing.  Stay silent unless the
+            # cooldown re-fire applies — the cooldown fully elapsed and the
+            # congestion persists, meaning the previous mitigation was
+            # insufficient and the controller must be asked again.
+            cooldown_refire = (
+                self._last_fired is not None
+                and sample.time - self._last_fired >= self.cooldown
+            )
+            if not cooldown_refire:
+                return None
         event = AlarmEvent(time=sample.time, hot_links=tuple(hot))
         self.events.append(event)
         self._armed = False

@@ -48,10 +48,29 @@ class LoadCollector:
         self._estimates: Dict[LinkKey, Ewma] = {
             link.key: Ewma(alpha=self.alpha) for link in topology.links
         }
-        self._capacities: Dict[LinkKey, float] = {
-            link.key: link.capacity for link in topology.links
-        }
+        # Capacities are read through the topology, keyed on its revision:
+        # a Topology.set_capacity event (a degraded link) must reach the
+        # alarm utilisation at the next read, not stay frozen at the
+        # construction-time value.
+        self._capacities: Dict[LinkKey, float] = {}
+        self._capacity_revision: Optional[int] = None
+        self._refresh_capacities()
         self.last_update: Optional[float] = None
+
+    def _refresh_capacities(self) -> None:
+        """Re-read link capacities when the topology revision moved.
+
+        Links that vanished from the topology (failures) keep their
+        last-known capacity: their EWMA estimates decay toward zero and must
+        still normalise against the capacity the link had while it carried
+        the measured traffic.
+        """
+        revision = self.topology.revision
+        if revision == self._capacity_revision:
+            return
+        for link in self.topology.links:
+            self._capacities[link.key] = link.capacity
+        self._capacity_revision = revision
 
     def ingest(self, sample: PollSample) -> None:
         """Fold one poll sample into the estimates (idle links decay toward 0)."""
@@ -71,11 +90,13 @@ class LoadCollector:
         key = (source, target)
         if key not in self._estimates:
             raise MonitoringError(f"link {source}->{target} is not monitored")
+        self._refresh_capacities()
         capacity = self._capacities[key]
         return self._estimates[key].value / capacity if capacity > 0 else 0.0
 
     def views(self) -> List[LinkLoadView]:
         """Current estimate for every monitored link, sorted by link key."""
+        self._refresh_capacities()
         return [
             LinkLoadView(link=key, rate=self._estimates[key].value, capacity=self._capacities[key])
             for key in sorted(self._estimates)

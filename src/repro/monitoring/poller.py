@@ -11,13 +11,14 @@ The polling period is the dominant term of the controller's reaction time
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.monitoring.counters import SnmpAgent
 from repro.util.errors import MonitoringError
 from repro.util.timeline import Timeline
-from repro.util.validation import check_positive
+from repro.util.validation import check_non_negative, check_positive
 
 __all__ = ["PollSample", "SnmpPoller"]
 
@@ -45,13 +46,36 @@ class SnmpPoller:
         agents: Mapping[str, SnmpAgent],
         timeline: Timeline,
         poll_interval: float = 1.0,
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if not agents:
             raise MonitoringError("the poller needs at least one SNMP agent")
         self.agents = dict(agents)
         self.timeline = timeline
         self.poll_interval = check_positive(poll_interval, "poll_interval")
+        # Per-poll schedule jitter: each poll fires poll_interval ± U(jitter)
+        # seconds after the previous one, drawn from an *explicit* RNG so
+        # runs stay deterministic and sweep-reproducible.  jitter=0 draws
+        # nothing at all — the zero-jitter schedule is byte-identical to the
+        # fixed-period poller whether or not an RNG is supplied.
+        self.jitter = check_non_negative(jitter, "jitter")
+        if self.jitter >= self.poll_interval:
+            raise MonitoringError(
+                f"jitter ({self.jitter}) must stay below poll_interval "
+                f"({self.poll_interval}) so polls never coincide or reorder"
+            )
+        if self.jitter > 0.0 and rng is None:
+            raise MonitoringError(
+                "a jittered poller needs an explicit random.Random (rng=) "
+                "so the poll schedule is reproducible"
+            )
+        self.rng = rng
         self.polls_performed = 0
+        #: Counter resets/wraps observed: negative octet deltas re-baseline
+        #: the link (no rate reported that interval) instead of silently
+        #: reporting it idle.
+        self.poll_counter_resets = 0
         self.samples: List[PollSample] = []
         self._listeners: List[Callable[[PollSample], None]] = []
         self._previous_counters: Dict[LinkKey, float] = {}
@@ -70,7 +94,13 @@ class SnmpPoller:
         # Take a baseline reading so the first real poll measures a delta.
         self._previous_counters = self._read_counters()
         self._previous_time = self.timeline.now
-        self.timeline.schedule_in(self.poll_interval, self._poll, label="snmp-poll")
+        self._schedule_next_poll()
+
+    def _schedule_next_poll(self) -> None:
+        delay = self.poll_interval
+        if self.jitter > 0.0:
+            delay += self.rng.uniform(-self.jitter, self.jitter)
+        self.timeline.schedule_in(delay, self._poll, label="snmp-poll")
 
     def _read_counters(self) -> Dict[LinkKey, float]:
         counters: Dict[LinkKey, float] = {}
@@ -89,11 +119,21 @@ class SnmpPoller:
                 delta = octets - self._previous_counters.get(link, 0.0)
                 if delta > 0:
                     rates[link] = delta * 8.0 / interval
+                elif delta < 0:
+                    # An agent restart or 64-bit counter wrap: the reading
+                    # went backwards.  The delta is meaningless, so no rate
+                    # is reported this interval; the link re-baselines at the
+                    # new reading (the wholesale counter replacement below)
+                    # and measures normally from the next poll on.
+                    self.poll_counter_resets += 1
         sample = PollSample(time=now, interval=interval, rates=rates)
         self.polls_performed += 1
         self.samples.append(sample)
+        # Wholesale replacement: links that vanished from the agents' reads
+        # (failed links are dropped from the topology's neighbor sets) leave
+        # no stale baseline entry behind.
         self._previous_counters = counters
         self._previous_time = now
         for listener in self._listeners:
             listener(sample)
-        self.timeline.schedule_in(self.poll_interval, self._poll, label="snmp-poll")
+        self._schedule_next_poll()

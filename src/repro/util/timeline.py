@@ -32,20 +32,34 @@ class _Entry:
 class ScheduledEvent:
     """Handle returned by :meth:`Timeline.schedule`, usable to cancel the event."""
 
-    __slots__ = ("time", "action", "label", "cancelled")
+    __slots__ = ("time", "action", "label", "cancelled", "fired", "_timeline")
 
-    def __init__(self, time: float, action: Callable[[], Any], label: str) -> None:
+    def __init__(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        label: str,
+        timeline: Optional["Timeline"] = None,
+    ) -> None:
         self.time = time
         self.action = action
         self.label = label
         self.cancelled = False
+        self.fired = False
+        self._timeline = timeline
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._timeline is not None:
+            self._timeline._pending_count -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        state = "cancelled" if self.cancelled else "pending"
+        state = (
+            "fired" if self.fired else "cancelled" if self.cancelled else "pending"
+        )
         return f"ScheduledEvent(t={self.time}, label={self.label!r}, {state})"
 
 
@@ -57,6 +71,10 @@ class Timeline:
         self._heap: List[_Entry] = []
         self._counter = itertools.count()
         self._fired = 0
+        # Live count of scheduled-but-not-yet-fired, not-cancelled events;
+        # maintained on schedule/cancel/step so `pending` never walks the
+        # heap (it is read on every `__repr__` and `converged()` check).
+        self._pending_count = 0
 
     @property
     def now(self) -> float:
@@ -66,7 +84,7 @@ class Timeline:
     @property
     def pending(self) -> int:
         """Number of events still waiting to fire (cancelled events excluded)."""
-        return sum(1 for entry in self._heap if not entry.event.cancelled)
+        return self._pending_count
 
     @property
     def fired(self) -> int:
@@ -84,9 +102,23 @@ class Timeline:
             raise ValidationError(
                 f"cannot schedule event {label!r} at t={time} before current time t={self._now}"
             )
-        event = ScheduledEvent(time, action, label)
+        event = ScheduledEvent(time, action, label, timeline=self)
         heapq.heappush(self._heap, _Entry(time, next(self._counter), event))
+        self._pending_count += 1
         return event
+
+    def cancel(self, event: ScheduledEvent) -> bool:
+        """Cancel a pending event; returns whether it was actually cancelled.
+
+        Cancelling an event that already fired or was already cancelled is a
+        no-op returning ``False``.  The heap entry is dropped lazily (on the
+        next :meth:`peek_time`/:meth:`step` that reaches it), but
+        :attr:`pending` reflects the cancellation immediately.
+        """
+        if event.cancelled or event.fired:
+            return False
+        event.cancel()
+        return True
 
     def schedule_in(self, delay: float, action: Callable[[], Any], label: str = "") -> ScheduledEvent:
         """Schedule ``action`` to run ``delay`` seconds from now."""
@@ -109,6 +141,8 @@ class Timeline:
             raise SimulationError("timeline invariant violated: event in the past")
         self._now = entry.time
         self._fired += 1
+        self._pending_count -= 1
+        entry.event.fired = True
         entry.event.action()
         return entry.event
 
@@ -127,24 +161,27 @@ class Timeline:
             next_time = self.peek_time()
             if next_time is None or next_time > time:
                 break
-            self.step()
-            executed += 1
-            if executed > max_events:
+            if executed >= max_events:
+                # Exact cap: at most `max_events` events execute; the
+                # (max_events + 1)-th due event raises instead of running.
                 raise SimulationError(
                     f"more than {max_events} events before t={time}; likely an event loop"
                 )
+            self.step()
+            executed += 1
         self._now = max(self._now, time)
         return executed
 
     def run_all(self, max_events: int = 1_000_000) -> int:
         """Run until no pending events remain; returns the number executed."""
         executed = 0
-        while self.step() is not None:
-            executed += 1
-            if executed > max_events:
+        while self.peek_time() is not None:
+            if executed >= max_events:
                 raise SimulationError(
                     f"more than {max_events} events executed; likely an event loop"
                 )
+            self.step()
+            executed += 1
         return executed
 
     def _drop_cancelled(self) -> None:

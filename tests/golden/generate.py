@@ -156,6 +156,29 @@ def flashcrowd_classes_snapshot() -> dict:
     return snapshot
 
 
+def reaction_snapshot() -> dict:
+    """A7 reaction-time curves of the asynchronous control loop.
+
+    Pins the seeded reaction sweep (poll interval x reaction latency x SPF
+    hold-down) bit for bit: the alarm-to-cool curves, the per-action
+    control-plane latencies, and the ``ctl_*`` convergence/supersession
+    bookkeeping.  A timing-model refactor that shifts when reactions
+    execute — or how convergence time is charged — fails here loudly.
+    """
+    from dataclasses import asdict
+
+    from repro.experiments.reaction import run_reaction_curves
+
+    rows = run_reaction_curves(
+        seed=0,
+        poll_intervals=(0.5, 1.0, 2.0),
+        reaction_latencies=(0.0, 0.5),
+        spf_delays=(0.05, 0.2),
+        duration=40.0,
+    )
+    return {"rows": [asdict(row) for row in rows]}
+
+
 def optimality_snapshot() -> dict:
     from repro.experiments.optimality import run_optimality_study
 
@@ -184,6 +207,7 @@ def main() -> None:
         "fig2_samples.json": fig2_snapshot(),
         "flashcrowd_classes_qoe.json": flashcrowd_classes_snapshot(),
         "optimality_gaps.json": optimality_snapshot(),
+        "reaction_curves.json": reaction_snapshot(),
     }
     for name, payload in snapshots.items():
         path = GOLDEN_DIR / name

@@ -272,6 +272,46 @@ class TestLieSetGolden:
         assert result.controller_stats["shard_dirty"] > 0
 
 
+class TestReactionCurvesGolden:
+    """Asynchronous control-loop snapshots: the seeded A7 reaction sweep
+    (poll interval x reaction latency x SPF hold-down), pinned bit-for-bit —
+    alarm-to-cool curves, per-action control-plane latencies and the
+    ``ctl_*`` convergence bookkeeping.  This is the guard rail of the
+    discrete-event timing layer: a refactor that shifts when reactions
+    execute, how shard waves are staggered, or how convergence time is
+    charged must fail here loudly."""
+
+    def test_reaction_rows_are_bit_identical(self):
+        from dataclasses import asdict
+
+        from repro.experiments.reaction import run_reaction_curves
+
+        expected = load_golden("reaction_curves.json")["rows"]
+        rows = run_reaction_curves(
+            seed=0,
+            poll_intervals=(0.5, 1.0, 2.0),
+            reaction_latencies=(0.0, 0.5),
+            spf_delays=(0.05, 0.2),
+            duration=40.0,
+        )
+        assert len(rows) == len(expected)
+        for row, want in zip(rows, expected):
+            assert asdict(row) == want
+        # The curves must actually carry the timing signal: a non-zero
+        # reaction latency shows up in the per-action delays, and a longer
+        # SPF hold-down accumulates more convergence time.
+        by_knobs = {
+            (row.poll_interval, row.reaction_latency, row.spf_delay): row
+            for row in rows
+        }
+        assert by_knobs[(0.5, 0.5, 0.05)].mean_action_latency == 0.5
+        assert by_knobs[(0.5, 0.0, 0.05)].mean_action_latency == 0.0
+        assert (
+            by_knobs[(0.5, 0.0, 0.2)].converge_seconds
+            > by_knobs[(0.5, 0.0, 0.05)].converge_seconds
+        )
+
+
 class TestOptimalityGolden:
     def test_gap_numbers_are_bit_identical(self):
         expected = load_golden("optimality_gaps.json")["rows"]

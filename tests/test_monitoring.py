@@ -90,6 +90,116 @@ class TestPoller:
         with pytest.raises(MonitoringError):
             SnmpPoller({}, timeline)
 
+    def test_jitter_must_stay_below_poll_interval(self, monitored_engine):
+        topology, timeline, engine = monitored_engine
+        agents = build_agents(topology, engine)
+        with pytest.raises(MonitoringError):
+            SnmpPoller(agents, timeline, poll_interval=1.0, jitter=1.0)
+
+    def test_jitter_requires_an_explicit_rng(self, monitored_engine):
+        topology, timeline, engine = monitored_engine
+        agents = build_agents(topology, engine)
+        with pytest.raises(MonitoringError):
+            SnmpPoller(agents, timeline, poll_interval=1.0, jitter=0.2)
+
+    def test_jittered_schedule_is_seed_deterministic(self, monitored_engine):
+        import random
+
+        topology, _, engine = monitored_engine
+
+        def poll_times(seed):
+            timeline = Timeline()
+            poller = SnmpPoller(
+                build_agents(topology, engine),
+                timeline,
+                poll_interval=1.0,
+                jitter=0.25,
+                rng=random.Random(seed),
+            )
+            poller.on_sample(lambda sample: None)
+            poller.start()
+            times = []
+            while timeline.peek_time() is not None and timeline.peek_time() <= 5.0:
+                timeline.step()
+                times.append(timeline.now)
+            return times
+
+        first = poll_times(7)
+        assert poll_times(7) == first
+        assert poll_times(8) != first
+        # Every gap stays within poll_interval ± jitter, and none coincide.
+        gaps = [b - a for a, b in zip([0.0] + first, first)]
+        assert all(0.75 <= gap <= 1.25 for gap in gaps)
+
+
+class _Reading:
+    def __init__(self, router, neighbor, out_octets):
+        self.router = router
+        self.neighbor = neighbor
+        self.out_octets = out_octets
+
+
+class _ScriptedAgent:
+    """An SNMP agent replaying a scripted sequence of counter readings."""
+
+    def __init__(self, readings):
+        self._readings = iter(readings)
+        self._last = None
+
+    def read_all(self):
+        try:
+            self._last = next(self._readings)
+        except StopIteration:
+            pass  # keep returning the final reading
+        return list(self._last)
+
+
+class TestPollerCounterResets:
+    """A rebooted device (or a wrapped 32-bit octet counter) hands the
+    poller a *negative* delta.  The historical code treated any non-positive
+    delta as an idle link — a reset thus reported phantom silence and, worse,
+    the next interval's delta was computed against the stale pre-reset
+    baseline.  A negative delta now re-baselines the link and is counted."""
+
+    def run_polls(self, timeline, poller, until):
+        poller.start()
+        timeline.run_until(until)
+
+    def test_negative_delta_rebaselines_and_counts(self):
+        timeline = Timeline()
+        agent = _ScriptedAgent(
+            [
+                [_Reading("B", "R2", 1000.0)],  # baseline at start()
+                [_Reading("B", "R2", 2000.0)],  # poll 1: +1000 octets
+                [_Reading("B", "R2", 500.0)],   # poll 2: device restarted
+                [_Reading("B", "R2", 1500.0)],  # poll 3: +1000 from new base
+            ]
+        )
+        poller = SnmpPoller({"B": agent}, timeline, poll_interval=1.0)
+        self.run_polls(timeline, poller, 3.0)
+        assert poller.poll_counter_resets == 1
+        rates = [sample.rate_of("B", "R2") for sample in poller.samples]
+        # 1000 octets/s = 8000 bit/s; the reset interval reports no rate.
+        assert rates == [8000.0, 0.0, 8000.0]
+
+    def test_vanished_interface_is_dropped_not_ghosted(self):
+        timeline = Timeline()
+        agent = _ScriptedAgent(
+            [
+                [_Reading("B", "R2", 1000.0), _Reading("B", "R3", 400.0)],
+                [_Reading("B", "R2", 2000.0), _Reading("B", "R3", 800.0)],
+                [_Reading("B", "R2", 3000.0)],  # B->R3 interface withdrawn
+            ]
+        )
+        poller = SnmpPoller({"B": agent}, timeline, poll_interval=1.0)
+        self.run_polls(timeline, poller, 2.0)
+        assert poller.samples[0].rate_of("B", "R3") == 3200.0
+        # The vanished link reports nothing (not a stale or phantom rate)...
+        assert ("B", "R3") not in poller.samples[1].rates
+        # ...and its stale baseline is gone, so a re-appearing interface
+        # re-baselines instead of producing a bogus delta.
+        assert ("B", "R3") not in poller._previous_counters
+
 
 class TestCollectorAndAlarm:
     def wire(self, monitored_engine, threshold=0.9, cooldown=3.0, alpha=1.0):
@@ -151,6 +261,44 @@ class TestCollectorAndAlarm:
         collector = LoadCollector(topology)
         with pytest.raises(MonitoringError):
             UtilizationAlarm(collector, raise_threshold=0.5, clear_threshold=0.9)
+
+    def test_zero_or_negative_clear_threshold_rejected(self, monitored_engine):
+        # A clear level of 0 could never re-arm the alarm (idle links report
+        # exactly 0.0 utilisation, which is >= 0); historically it was
+        # accepted and bricked the alarm after its first firing.
+        topology, _, _ = monitored_engine
+        collector = LoadCollector(topology)
+        with pytest.raises(MonitoringError):
+            UtilizationAlarm(collector, raise_threshold=0.9, clear_threshold=0.0)
+        with pytest.raises(MonitoringError):
+            UtilizationAlarm(collector, raise_threshold=0.9, clear_threshold=-0.1)
+
+    def test_collector_sees_capacity_changes_immediately(self, monitored_engine):
+        # A provisioning event (Topology.set_capacity) must reach the alarm
+        # utilisation at the very next read — the historical collector cached
+        # capacities at construction time forever.
+        topology, timeline, engine, collector, _ = self.wire(monitored_engine)
+        engine.add_flow("B", BLUE_PREFIX, mbps(16))
+        timeline.run_until(3.0)
+        before = collector.utilization("B", "R2")
+        assert before == pytest.approx(0.5, rel=0.05)
+        capacity = topology.link("B", "R2").capacity
+        topology.set_capacity("B", "R2", capacity * 2.0)
+        assert collector.utilization("B", "R2") == pytest.approx(before / 2.0)
+        assert collector.max_utilization() == pytest.approx(
+            max(view.utilization for view in collector.views())
+        )
+
+    def test_vanished_link_keeps_last_known_capacity(self, monitored_engine):
+        # A failed link disappears from the topology, but the collector must
+        # still normalise its decaying EWMA against the capacity the link
+        # had while it carried the measured traffic (and not crash).
+        topology, timeline, engine, collector, _ = self.wire(monitored_engine)
+        engine.add_flow("B", BLUE_PREFIX, mbps(16))
+        timeline.run_until(3.0)
+        before = collector.utilization("B", "R3")
+        topology.remove_link("B", "R3")
+        assert collector.utilization("B", "R3") == pytest.approx(before)
 
 
 class TestNotifications:

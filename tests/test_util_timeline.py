@@ -69,6 +69,38 @@ class TestCancellation:
         event.cancel()
         assert timeline.pending == 1
 
+    def test_timeline_cancel_reports_whether_it_cancelled(self):
+        timeline = Timeline()
+        event = timeline.schedule(1.0, lambda: None)
+        assert timeline.cancel(event) is True
+        # Cancelling twice is a no-op (and must not corrupt `pending`).
+        assert timeline.cancel(event) is False
+        assert timeline.pending == 0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        timeline = Timeline()
+        event = timeline.schedule(1.0, lambda: None)
+        timeline.run_all()
+        assert event.fired
+        assert timeline.cancel(event) is False
+        event.cancel()
+        # A late cancel must not drive the O(1) pending count negative.
+        assert timeline.pending == 0
+
+    def test_pending_tracks_schedule_fire_cancel_interleaving(self):
+        timeline = Timeline()
+        keep = timeline.schedule(2.0, lambda: None)
+        drop = timeline.schedule(3.0, lambda: None)
+        timeline.schedule(1.0, lambda: None)
+        assert timeline.pending == 3
+        timeline.run_until(1.0)
+        assert timeline.pending == 2
+        timeline.cancel(drop)
+        assert timeline.pending == 1
+        timeline.run_all()
+        assert keep.fired
+        assert timeline.pending == 0
+
 
 class TestRunUntil:
     def test_run_until_executes_only_due_events(self):
@@ -115,6 +147,34 @@ class TestRunUntil:
         timeline.schedule(1.0, reschedule)
         with pytest.raises(SimulationError):
             timeline.run_until(1.0, max_events=100)
+
+    def test_exactly_max_events_legitimate_events_are_allowed(self):
+        # The historical off-by-one allowed max_events + 1 events through;
+        # the cap is now exact.
+        timeline = Timeline()
+        fired = []
+        for index in range(5):
+            timeline.schedule(1.0, lambda index=index: fired.append(index))
+        assert timeline.run_until(1.0, max_events=5) == 5
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_one_event_past_the_cap_raises(self):
+        timeline = Timeline()
+        for _ in range(6):
+            timeline.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            timeline.run_until(1.0, max_events=5)
+
+    def test_run_all_cap_is_exact_too(self):
+        timeline = Timeline()
+        for _ in range(5):
+            timeline.schedule(1.0, lambda: None)
+        assert timeline.run_all(max_events=5) == 5
+        timeline = Timeline()
+        for _ in range(6):
+            timeline.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            timeline.run_all(max_events=5)
 
     def test_peek_time_returns_next_event(self):
         timeline = Timeline()

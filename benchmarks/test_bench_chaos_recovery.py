@@ -1,0 +1,133 @@
+"""Benchmark: LSDB resync vs. cold clear-and-replay after a controller crash.
+
+A crashed controller has two ways back to a correct network: re-learn the
+installed lies from the attachment router's LSDB (``detach()`` +
+``resync()``, then reconcile the requirement set against the recovered
+registry — shipping only the delta, which on an unchanged network is
+empty), or the naive cold restart — withdraw everything (``clear_all()``),
+let the IGP reconverge on the truthful topology, then replay the full
+requirement set from scratch.  Both land on behaviourally identical lies
+(the cold replay renames the fake nodes, so equivalence is checked on the
+LSA *signatures* — anchor, forwarding address, prefix and metrics — and on
+the physical split ratios, not on the name-covering digest).  The warm
+path must win by a wide margin: it never disturbs forwarding, while the
+cold path drags every router through two full reconvergences.
+"""
+
+import os
+import random
+import time
+
+from repro.core.controller import FibbingController
+from repro.experiments.scaling import build_ring_topology, churn_requirement
+from repro.igp.network import IgpNetwork
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+RING = 16 if QUICK else 32
+COUNT = 16 if QUICK else 48
+WAVES = 20 if QUICK else 60
+
+
+def lsa_signatures(lies):
+    """Behavioural identity of a lie set, ignoring the fake-node names."""
+    return sorted(
+        (lsa.anchor, lsa.forwarding_address, str(lsa.prefix), lsa.link_cost, lsa.prefix_cost)
+        for lsa in lies
+    )
+
+
+def split_ratio_state(network):
+    return {
+        name: {prefix: fib.split_ratios(prefix) for prefix in fib.prefixes}
+        for name, fib in network.fibs().items()
+    }
+
+
+def build_churned_world(seed=0):
+    """A live ring whose requirement set went through ``WAVES`` churn waves."""
+    topology = build_ring_topology(RING, COUNT)
+    network = IgpNetwork(topology)
+    network.start()
+    network.converge()
+    controller = FibbingController(topology, network=network, attachment="R0")
+    rng = random.Random(seed)
+    generations = {index: 1 for index in range(COUNT)}
+    for _ in range(WAVES):
+        generations[rng.randrange(COUNT)] += 1
+        controller.enforce(
+            [churn_requirement(topology, index, generations[index]) for index in range(COUNT)]
+        )
+        network.converge()
+    requirements = [
+        churn_requirement(topology, index, generations[index]) for index in range(COUNT)
+    ]
+    return network, controller, requirements
+
+
+def run_recovery_comparison():
+    """Crash both worlds; recover one warm (resync), one cold (replay)."""
+    net_warm, ctl_warm, reqs_warm = build_churned_world()
+    net_cold, ctl_cold, reqs_cold = build_churned_world()
+    before = lsa_signatures(ctl_warm.active_lies())
+    assert before == lsa_signatures(ctl_cold.active_lies())
+
+    start = time.perf_counter()
+    ctl_warm.detach()
+    recovered = ctl_warm.resync()
+    ctl_warm.enforce(reqs_warm)
+    net_warm.converge()
+    warm_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    ctl_cold.clear_all()
+    net_cold.converge()
+    ctl_cold.enforce(reqs_cold)
+    net_cold.converge()
+    cold_time = time.perf_counter() - start
+
+    # Equivalence first, speed second: both recoveries must land on the
+    # exact pre-crash lie behaviour and identical physical forwarding.
+    assert lsa_signatures(ctl_warm.active_lies()) == before
+    assert lsa_signatures(ctl_cold.active_lies()) == before
+    assert split_ratio_state(net_warm) == split_ratio_state(net_cold)
+    return warm_time, cold_time, recovered, ctl_warm.stats.snapshot()
+
+
+def test_crash_recovery_resync_vs_cold_replay(benchmark, report):
+    warm_time, cold_time, recovered, stats = benchmark.pedantic(
+        run_recovery_comparison, rounds=1, iterations=1
+    )
+    speedup = cold_time / warm_time
+
+    report.add_line(
+        f"Controller crash recovery — LSDB resync vs. cold clear-and-replay "
+        f"({COUNT} requirements on a {RING}-router ring, churned over "
+        f"{WAVES} waves before the crash, {recovered} lies recovered)"
+    )
+    report.add_table(
+        ["recovery path", "total time [s]"],
+        [
+            ("cold clear_all() + replay", f"{cold_time:.4f}"),
+            ("LSDB resync + delta reconcile", f"{warm_time:.4f}"),
+            ("speedup", f"{speedup:.1f}x"),
+        ],
+    )
+    report.add_line(
+        "ctl counters: "
+        + ", ".join(
+            f"{key}={stats[key]}" for key in sorted(stats) if key.startswith("ctl_resync")
+        )
+    )
+    report.add_metric("warm_seconds", warm_time)
+    report.add_metric("cold_seconds", cold_time)
+    report.add_metric("speedup", speedup)
+    report.add_metric("lies_recovered", recovered)
+
+    # The acceptance bar for the resync path.  Quick mode measures
+    # millisecond recoveries on shared CI runners, so it only smoke-checks
+    # that resync is not slower than the cold restart.
+    assert speedup >= (1.2 if QUICK else 2.0)
+    assert recovered > 0
+    assert stats["ctl_resyncs"] == 1
+    assert stats["ctl_resync_lies_recovered"] == recovered

@@ -75,6 +75,12 @@ class ControllerStats:
     ctl_transient_blackholes: int = 0
     ctl_converge_events: int = 0
     ctl_converge_seconds: float = 0.0
+    # Crash/recovery counters (see detach()/resync() and core.chaos): zero
+    # until a controller crash is injected.
+    ctl_resyncs: int = 0
+    ctl_resync_lies_recovered: int = 0
+    ctl_reactions_abandoned: int = 0
+    ctl_stagger_lsas_dropped: int = 0
     # Sharded-facade counters (always zero for a single controller); see
     # :class:`repro.core.shard.ShardCounters`.
     shard_waves_parallel: int = 0
@@ -121,6 +127,10 @@ class ControllerStats:
             "ctl_transient_blackholes": self.ctl_transient_blackholes,
             "ctl_converge_events": self.ctl_converge_events,
             "ctl_converge_seconds": self.ctl_converge_seconds,
+            "ctl_resyncs": self.ctl_resyncs,
+            "ctl_resync_lies_recovered": self.ctl_resync_lies_recovered,
+            "ctl_reactions_abandoned": self.ctl_reactions_abandoned,
+            "ctl_stagger_lsas_dropped": self.ctl_stagger_lsas_dropped,
             "shard_waves_parallel": self.shard_waves_parallel,
             "shard_waves_serial": self.shard_waves_serial,
             "shard_dirty": self.shard_dirty,
@@ -206,6 +216,9 @@ class FibbingController:
         if attachment is not None and not topology.has_router(attachment):
             raise ControllerError(f"attachment router {attachment!r} is not in the topology")
         self.attachment = attachment
+        # Crash state: a detached controller has lost its in-memory lie
+        # registry and must resync() from the LSDB before enforcing again.
+        self._detached = False
         if network is not None:
             network.register_controller(self)
 
@@ -268,6 +281,7 @@ class FibbingController:
         LSAs — the differential suite holds the incremental engine to the
         ``incremental=False`` oracle.
         """
+        self._check_attached()
         reqs = list(requirements)
         baseline_fibs = self.baseline_fibs()
         # Plans are made and committed sequentially (so a later requirement
@@ -371,6 +385,74 @@ class FibbingController:
         )
         return graph.version
 
+    # ------------------------------------------------------------------ #
+    # Crash / recovery
+    # ------------------------------------------------------------------ #
+    @property
+    def detached(self) -> bool:
+        """Whether the controller is crashed (must :meth:`resync` first)."""
+        return self._detached
+
+    def detach(self) -> None:
+        """Simulate a controller crash: all in-memory lie state is lost.
+
+        The lies themselves keep living in the network — fake LSAs sit in
+        the routers' LSDBs and the routers keep forwarding on the lied
+        topology, which is the paper's graceful-degradation story.  Only
+        the controller's volatile state dies: the lie registry, the
+        reconciler's enforcement bookkeeping and name counter, the plan
+        cache contents and the baseline memo.  Counters survive (they are
+        telemetry, not controller memory).  Enforcing while detached
+        raises; call :meth:`resync` to re-learn the state from the LSDB.
+        """
+        self._detached = True
+        self.registry.reset()
+        self.reconciler.reset()
+        self.plan_cache.invalidate()
+        self._baseline_memo = None
+        self.updates.clear()
+
+    def resync(self) -> int:
+        """Rebuild lie state from the network's LSDB after a crash.
+
+        Scans the attachment router's LSDB for fake-node LSAs originated by
+        this controller.  Live instances are restored as ACTIVE lies; the
+        fake-node name counter resumes from the highest sequence number
+        parsed across live *and* withdrawn instances (the LSDB remembers
+        withdrawals, so the committed naming history is fully recoverable —
+        a restarted controller allocates exactly the names a never-crashed
+        one would).  The enforcement bookkeeping starts empty, so the next
+        :meth:`enforce` re-plans every requirement, but reconciles against
+        the recovered registry and ships only the delta.  Returns the
+        number of lies recovered.
+        """
+        if self.network is None or self.attachment is None:
+            raise ControllerError("resync requires a live network attachment")
+        lsdb = self.network.routers[self.attachment].lsdb
+        surviving: List[FakeNodeLsa] = []
+        max_sequence = 0
+        for lsa in lsdb.all_lsas():
+            if not isinstance(lsa, FakeNodeLsa) or lsa.origin != self.name:
+                continue
+            max_sequence = max(max_sequence, self._fake_sequence(lsa.fake_node))
+            if not lsa.withdrawn:
+                surviving.append(lsa)
+        self.registry.reset()
+        recovered = self.registry.restore(surviving, now=self._now())
+        self.reconciler.reset(name_counter=max_sequence)
+        self.plan_cache.invalidate()
+        self._baseline_memo = None
+        self._detached = False
+        counters = self.reconciler.counters
+        counters.resyncs += 1
+        counters.resync_lies_recovered += recovered
+        return recovered
+
+    @staticmethod
+    def _fake_sequence(fake_node: str) -> int:
+        """The allocation sequence number encoded in a fake-node name."""
+        return int(fake_node.rsplit("-", 1)[1])
+
     def clear_prefix(self, prefix: Prefix) -> ControllerUpdate:
         """Withdraw every lie programmed for ``prefix``."""
         plan = self.registry.clear(prefix)
@@ -461,6 +543,13 @@ class FibbingController:
             return self.network.timeline.now
         return 0.0
 
+    def _check_attached(self) -> None:
+        """Raise when the controller is crashed and must resync first."""
+        if self._detached:
+            raise ControllerError(
+                f"controller {self.name!r} is detached (crashed); resync() before enforcing"
+            )
+
     def _apply(self, plan: LieUpdate) -> ControllerUpdate:
         return self._apply_batch([plan])[0]
 
@@ -474,6 +563,7 @@ class FibbingController:
         routers' SPF hold-down timers coalesce the burst into one
         recomputation wave.
         """
+        self._check_attached()
         now = self._now()
         to_send: List[Lsa] = []
         plan_messages: List[List[Lsa]] = []
@@ -539,6 +629,10 @@ class FibbingController:
         self._stats.ctl_transient_blackholes = ctl.transient_blackholes
         self._stats.ctl_converge_events = ctl.converge_events
         self._stats.ctl_converge_seconds = ctl.converge_seconds
+        self._stats.ctl_resyncs = ctl.resyncs
+        self._stats.ctl_resync_lies_recovered = ctl.resync_lies_recovered
+        self._stats.ctl_reactions_abandoned = ctl.reactions_abandoned
+        self._stats.ctl_stagger_lsas_dropped = ctl.stagger_lsas_dropped
         if self.network is not None:
             # The data plane hangs off the live network; its counters are
             # part of the controller's end-to-end reaction accounting.

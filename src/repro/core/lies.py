@@ -238,6 +238,35 @@ class LieRegistry:
             lie.state = LieState.WITHDRAWN
             lie.withdrawn_at = now
 
+    def reset(self) -> None:
+        """Forget every lie — the in-memory state lost in a controller crash.
+
+        The lies themselves survive in the network (fake LSAs live in the
+        routers' LSDBs); :meth:`restore` re-learns them after a restart.
+        """
+        self._lies.clear()
+        self._history.clear()
+
+    def restore(self, lsas: Iterable[FakeNodeLsa], now: float = 0.0) -> int:
+        """Re-register surviving lies read back from the network's LSDB.
+
+        Called by :meth:`~repro.core.controller.FibbingController.resync`
+        with the live fake-node LSAs found at the attachment router.  Each
+        becomes an ACTIVE lie again, exactly as if this registry had
+        committed it; returns the number of lies recovered.
+        """
+        count = 0
+        for lsa in sorted(lsas, key=lambda item: item.fake_node):
+            if lsa.fake_node in self._lies and self._lies[lsa.fake_node].state is LieState.ACTIVE:
+                raise ControllerError(
+                    f"cannot restore {lsa.fake_node!r}: fake node is already active"
+                )
+            lie = Lie(lsa=lsa, state=LieState.ACTIVE, injected_at=now)
+            self._lies[lsa.fake_node] = lie
+            self._history.append(lie)
+            count += 1
+        return count
+
     def clear(self, prefix: Optional[Prefix] = None) -> LieUpdate:
         """Plan the withdrawal of every active lie (optionally for one prefix)."""
         active = self.active_lies(prefix)

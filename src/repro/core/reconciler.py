@@ -121,6 +121,16 @@ class CtlCounters:
     transient_blackholes: int = 0
     converge_events: int = 0
     converge_seconds: float = 0.0
+    # Crash/recovery accounting (see FibbingController.detach/resync and
+    # core.chaos): controller restarts that re-learned state from the LSDB,
+    # surviving lies recovered that way, in-flight reactions abandoned
+    # because their baseline topology revision moved (or the controller
+    # detached) before they fired, and staggered sub-wave LSAs dropped
+    # because their anchor adjacency died while the wave was pending.
+    resyncs: int = 0
+    resync_lies_recovered: int = 0
+    reactions_abandoned: int = 0
+    stagger_lsas_dropped: int = 0
 
     @property
     def plans_served(self) -> int:
@@ -144,6 +154,10 @@ class CtlCounters:
             "ctl_transient_blackholes": self.transient_blackholes,
             "ctl_converge_events": self.converge_events,
             "ctl_converge_seconds": self.converge_seconds,
+            "ctl_resyncs": self.resyncs,
+            "ctl_resync_lies_recovered": self.resync_lies_recovered,
+            "ctl_reactions_abandoned": self.reactions_abandoned,
+            "ctl_stagger_lsas_dropped": self.stagger_lsas_dropped,
         }
 
     def merge(self, other: "CtlCounters") -> None:
@@ -162,6 +176,10 @@ class CtlCounters:
         self.transient_blackholes += other.transient_blackholes
         self.converge_events += other.converge_events
         self.converge_seconds += other.converge_seconds
+        self.resyncs += other.resyncs
+        self.resync_lies_recovered += other.resync_lies_recovered
+        self.reactions_abandoned += other.reactions_abandoned
+        self.stagger_lsas_dropped += other.stagger_lsas_dropped
 
 
 @dataclass(frozen=True)
@@ -364,6 +382,18 @@ class LieReconciler:
     def forget(self, prefix: Prefix) -> None:
         """Drop the bookkeeping for ``prefix`` (after a clear or manual edit)."""
         self._enforced.pop(prefix, None)
+
+    def reset(self, name_counter: int = 0) -> None:
+        """Wipe the enforcement bookkeeping and restart the name sequence.
+
+        Used by crash/recovery: a restarted controller re-learns its lies
+        from the LSDB and must continue the fake-node name sequence exactly
+        where the committed history left off, so ``name_counter`` is set to
+        the highest sequence number parsed from the surviving (and
+        withdrawn) fake-node LSAs — never re-derived from live lies alone.
+        """
+        self._enforced.clear()
+        self._name_counter = name_counter
 
     # ------------------------------------------------------------------ #
     # Planning

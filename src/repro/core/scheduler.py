@@ -47,6 +47,7 @@ from typing import Optional, Set
 
 from repro.core.loadbalancer import OnDemandLoadBalancer, RebalanceAction
 from repro.core.reconciler import CtlCounters
+from repro.igp.lsa import FakeNodeLsa
 from repro.monitoring.alarms import AlarmEvent, UtilizationAlarm
 from repro.util.errors import ControllerError
 from repro.util.timeline import ScheduledEvent, Timeline
@@ -127,6 +128,12 @@ class ControlLoopScheduler:
         ``balancer.actions`` when it executes).
         """
         if self.reaction_latency == 0.0 and self.shard_stagger == 0.0:
+            if getattr(self.balancer.controller, "detached", False):
+                # A crashed controller cannot react; the lies already in the
+                # LSDB keep forwarding (the paper's robustness claim), so the
+                # alarm is recorded but the reaction is abandoned.
+                self._counters.reactions_abandoned += 1
+                return None
             # Degenerate point: a plain synchronous call, exactly what
             # `balancer.attach(alarm)` would have done.  Deferring through
             # schedule_in(0, ...) instead would run the reaction after the
@@ -142,17 +149,38 @@ class ControlLoopScheduler:
                 self._counters.supersessions += 1
             self._pending = None
         self._counters.reactions_deferred += 1
+        # Baseline the topology revision at the alarm instant: if a link
+        # fails or is restored while the reaction is pending, the plan it
+        # would compute is against a topology that no longer exists.
+        revision = self.balancer.controller.topology.revision
         self._pending = self.timeline.schedule_in(
             self.reaction_latency,
-            lambda: self._complete(event),
+            lambda: self._complete(event, revision),
             label="ctl-reaction",
         )
         return None
 
-    def _complete(self, event: AlarmEvent) -> Optional[RebalanceAction]:
-        """Execute a deferred reaction at its completion instant."""
+    def _complete(
+        self, event: AlarmEvent, baseline_revision: Optional[int] = None
+    ) -> Optional[RebalanceAction]:
+        """Execute a deferred reaction at its completion instant.
+
+        The reaction is abandoned — counted as ``ctl_reactions_abandoned``,
+        no planning, no injection — when the controller crashed while the
+        reaction was pending, or when the topology revision moved since the
+        alarm fired: the demand estimates and the alarm itself were observed
+        against a topology that no longer exists, so acting on them would
+        program phantom state.  The next alarm (against fresh samples)
+        re-plans from scratch.
+        """
         self._pending = None
         controller = self.balancer.controller
+        if getattr(controller, "detached", False) or (
+            baseline_revision is not None
+            and controller.topology.revision != baseline_revision
+        ):
+            self._counters.reactions_abandoned += 1
+            return None
         if self.shard_stagger > 0.0:
             controller.wave_injector = self._staggered_inject
             try:
@@ -176,9 +204,39 @@ class ControlLoopScheduler:
             else:
                 self.timeline.schedule_in(
                     position * self.shard_stagger,
-                    lambda msgs=tuple(messages): network.inject(msgs, at_router=attachment),
+                    lambda msgs=tuple(messages): self._send_subwave(attachment, msgs),
                     label="ctl-shard-wave",
                 )
+
+    def _send_subwave(self, attachment: str, messages) -> None:
+        """Ship one deferred sub-wave, guarding against dead adjacencies.
+
+        A link can fail during the stagger window (after the facade
+        committed the wave but before this sub-wave fires).  Fresh fake-node
+        LSAs whose anchor adjacency no longer exists are dropped here —
+        counted as ``ctl_stagger_lsas_dropped`` — instead of being injected
+        unchecked: their forwarding address is unreachable from the anchor,
+        so the lie would blackhole traffic at the very router it is meant to
+        steer.  Withdrawals always ship (retracting state is always safe;
+        withdrawing a lie this guard dropped merely installs a withdrawn
+        instance nobody routes on).  The registry keeps the dropped lie as
+        committed — the next enforce wave re-plans against the post-failure
+        topology and retracts or replaces it.
+        """
+        network = self.balancer.controller.network
+        topology = self.balancer.controller.topology
+        survivors = []
+        for lsa in messages:
+            if (
+                isinstance(lsa, FakeNodeLsa)
+                and not lsa.withdrawn
+                and not topology.has_link(lsa.anchor, lsa.forwarding_address)
+            ):
+                self._counters.stagger_lsas_dropped += 1
+                continue
+            survivors.append(lsa)
+        if survivors:
+            network.inject(survivors, at_router=attachment)
 
 
 class ConvergenceMonitor:

@@ -425,6 +425,7 @@ class ShardedFibbingController(FibbingController):
         and falls back to serial in-order planning, counted as a
         ``shard_cross_fallback``.
         """
+        self._check_attached()
         reqs = list(requirements)
         if not reqs:
             return []
@@ -549,6 +550,7 @@ class ShardedFibbingController(FibbingController):
         # counter moves — the single controller's equivalent path does not
         # count either, and per-reaction counter diffs must stay comparable
         # across engines.
+        self._check_attached()
         self.shard_counters.cross_shard_fallbacks += 1
         self.shard_counters.waves_serial += 1
         shard = self._shard_for(requirement.prefix)
@@ -567,8 +569,73 @@ class ShardedFibbingController(FibbingController):
         shard.registry.commit(plan, now=now)
         return self._ship_committed([(shard, plan)], now)[0]
 
+    # ------------------------------------------------------------------ #
+    # Crash / recovery
+    # ------------------------------------------------------------------ #
+    def detach(self) -> None:
+        """Simulate a facade crash: every shard's volatile state is lost.
+
+        Mirrors :meth:`FibbingController.detach` per shard (registry,
+        reconciler bookkeeping, plan caches, baseline memos) plus the
+        facade's central fake-node name counter; the injected LSAs keep
+        living in the network's LSDBs.
+        """
+        self._detached = True
+        for shard in self.shards:
+            shard.registry.reset()
+            shard.reconciler.reset()
+            shard.plan_cache.invalidate()
+            shard._baseline_memo = None
+        self.plan_cache.invalidate()
+        self._baseline_memo = None
+        self._fake_name_counter = 0
+        self.updates.clear()
+
+    def resync(self) -> int:
+        """Rebuild per-shard lie state from the attachment router's LSDB.
+
+        Surviving fake-node LSAs are partitioned by :meth:`shard_of` into
+        the shard registries (the same prefix-to-shard mapping planning
+        uses, so each lie lands exactly where a never-crashed facade keeps
+        it), and the central name counter resumes from the highest sequence
+        number across live *and* withdrawn instances.  Returns the number
+        of lies recovered across all shards.
+        """
+        if self.network is None or self.attachment is None:
+            raise ControllerError("resync requires a live network attachment")
+        lsdb = self.network.routers[self.attachment].lsdb
+        by_shard: Dict[int, List[FakeNodeLsa]] = {}
+        max_sequence = 0
+        for lsa in lsdb.all_lsas():
+            if not isinstance(lsa, FakeNodeLsa) or lsa.origin != self.name:
+                continue
+            max_sequence = max(max_sequence, self._fake_sequence(lsa.fake_node))
+            if not lsa.withdrawn:
+                by_shard.setdefault(self.shard_of(lsa.prefix), []).append(lsa)
+        now = self._now()
+        recovered = 0
+        for index, shard in enumerate(self.shards):
+            shard.registry.reset()
+            shard.reconciler.reset()
+            shard.plan_cache.invalidate()
+            shard._baseline_memo = None
+            recovered += shard.registry.restore(by_shard.get(index, ()), now=now)
+        self._fake_name_counter = max_sequence
+        self.plan_cache.invalidate()
+        self._baseline_memo = None
+        self._detached = False
+        # Counted on the facade-level plan cache (a real object the
+        # aggregate counter view merges in); the aggregate ``counters``
+        # property returns a fresh merged copy, so bumping that would be
+        # lost.
+        counters = self.reconciler.plan_cache.counters
+        counters.resyncs += 1
+        counters.resync_lies_recovered += recovered
+        return recovered
+
     def clear_prefix(self, prefix: Prefix) -> ControllerUpdate:
         """Withdraw every lie programmed for ``prefix`` (in its shard)."""
+        self._check_attached()
         shard = self._shard_for(prefix)
         plan = shard.registry.clear(prefix)
         shard.reconciler.forget(prefix)

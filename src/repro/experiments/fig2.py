@@ -22,9 +22,10 @@ overhead counters.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.chaos import FaultInjector, FaultPlan
 from repro.core.controller import FibbingController
 from repro.core.lies import per_prefix_lie_digests
 from repro.core.loadbalancer import OnDemandLoadBalancer, RebalanceAction
@@ -86,6 +87,13 @@ class DemoRunResult:
     #: Per-prefix digests of the lies installed at run end (names included);
     #: pinned by the golden lie-set snapshot.  Empty without a controller.
     lie_digests: Dict[str, str] = field(default_factory=dict)
+    #: ``fault_*`` accounting of the run's :class:`~repro.core.chaos.FaultInjector`
+    #: (links downed/restored, LSAs dropped, polls timed out/omitted,
+    #: controller crashes/restarts).  Empty without a fault plan.
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+    #: Poll samples the alarm refused to act on for staleness (degraded
+    #: monitoring with a ``staleness_horizon``); 0 otherwise.
+    alarm_suppressed_stale: int = 0
 
     @property
     def peak_utilization(self) -> float:
@@ -123,6 +131,8 @@ def run_demo_timeseries(
     reaction_latency: float = 0.0,
     shard_stagger: float = 0.0,
     supersede: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    staleness_horizon: Optional[float] = None,
 ) -> DemoRunResult:
     """Run the Fig. 2 experiment and return its measurements.
 
@@ -173,6 +183,17 @@ def run_demo_timeseries(
     :class:`~repro.core.scheduler.ConvergenceMonitor` additionally charges
     per-wave convergence time and transient mixed-FIB loops/blackholes to
     the ``ctl_converge_*`` / ``ctl_transient_*`` counters.
+
+    The chaos knobs (both defaulting to the clean run):
+
+    * ``fault_plan`` — a :class:`~repro.core.chaos.FaultPlan` executed by a
+      :class:`~repro.core.chaos.FaultInjector` over the run; event times in
+      the plan are *relative to the experiment epoch* (like the arrival
+      schedule) and shifted onto the absolute timeline here.  An empty plan
+      wires nothing and stays byte-identical to ``fault_plan=None``.
+    * ``staleness_horizon`` — seconds beyond which a poll sample's interval
+      marks it too stale for the alarm to act on (degraded-monitoring
+      suppression, counted in ``alarm_suppressed_stale``).
     """
     if seed is not None and hash_salt == 0:
         hash_salt = random.Random(seed).randrange(1 << 31)
@@ -232,6 +253,7 @@ def run_demo_timeseries(
         raise_threshold=policy.utilization_threshold,
         clear_threshold=policy.clear_threshold,
         cooldown=policy.alarm_cooldown,
+        staleness_horizon=staleness_horizon,
     )
     alarm.wire(poller)
     poller.start()
@@ -283,6 +305,20 @@ def run_demo_timeseries(
         # Read-only observer (registered after the engine's FIB listener, so
         # it sees the freshly re-walked interim data-plane state).
         ConvergenceMonitor(network, engine, counters=controller.plan_cache.counters)
+
+    # --- chaos ------------------------------------------------------------- #
+    injector: Optional[FaultInjector] = None
+    if fault_plan is not None and not fault_plan.is_empty:
+        # Plan event times are epoch-relative, like the arrival schedule.
+        shifted = replace(
+            fault_plan,
+            events=tuple(
+                replace(event, time=epoch + event.time)
+                for event in fault_plan.events
+            ),
+        )
+        injector = FaultInjector(network, shifted, controller=controller, poller=poller)
+        injector.start()
 
     # --- workload schedule -------------------------------------------------- #
     schedule = [
@@ -357,6 +393,10 @@ def run_demo_timeseries(
             if controller is not None
             else {}
         ),
+        fault_stats=(
+            injector.counters.snapshot() if injector is not None else {}
+        ),
+        alarm_suppressed_stale=alarm.suppressed_stale,
     )
 
 

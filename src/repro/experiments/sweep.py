@@ -289,6 +289,29 @@ def _reaction_experiment(seed, params):
     return [asdict(row) for row in rows], counters
 
 
+def _chaos_experiment(seed, params):
+    """A8 — chaos resilience: QoE with and without controller recovery."""
+    from repro.experiments.chaos import run_chaos_resilience
+
+    rows = run_chaos_resilience(seed=seed, **params)
+    counters = merge_counter_snapshots(
+        {
+            "ctl_resyncs": row.resyncs,
+            "ctl_resync_lies_recovered": row.resync_lies_recovered,
+            "ctl_reactions_abandoned": row.reactions_abandoned,
+            "fault_link_downs": row.link_downs,
+            "fault_link_ups": row.link_ups,
+            "fault_lsas_dropped": row.lsas_dropped,
+            "fault_poll_timeouts": row.poll_timeouts,
+            "fault_poll_omissions": row.poll_omissions,
+            "fault_controller_crashes": row.controller_crashes,
+            "fault_controller_restarts": row.controller_restarts,
+        }
+        for row in rows
+    )
+    return [asdict(row) for row in rows], counters
+
+
 def _selftest_fail_experiment(seed, params):
     """Always raises — proves worker failures surface with their traceback.
 
@@ -330,6 +353,9 @@ register_experiment(
 )
 register_experiment(
     "reaction", _reaction_experiment, "A7 asynchronous control-loop reaction times"
+)
+register_experiment(
+    "chaos", _chaos_experiment, "A8 chaos resilience with/without controller recovery"
 )
 register_experiment(
     "selftest-fail", _selftest_fail_experiment, "harness self-test: always raises"
@@ -722,6 +748,14 @@ _DEFAULT_SWEEP = SweepGrid(
             reaction_latencies=[(0.0, 0.5)],
             spf_delays=[(0.05, 0.2)],
         ),
+        GridSpec.build(
+            "chaos",
+            seeds=(0, 1),
+            link_churn=[0, 2],
+            lsa_loss_rate=[0.02],
+            poll_timeout_rate=[0.1],
+            staleness_horizon=[5.0],
+        ),
     ),
 )
 
@@ -743,6 +777,14 @@ _QUICK_SWEEP = SweepGrid(
             poll_intervals=[(0.5, 1.0)],
             reaction_latencies=[(0.0, 0.5)],
             spf_delays=[(0.05,)],
+        ),
+        GridSpec.build(
+            "chaos",
+            seeds=(0,),
+            link_churn=[1],
+            lsa_loss_rate=[0.02],
+            poll_timeout_rate=[0.1],
+            staleness_horizon=[5.0],
         ),
     ),
 )

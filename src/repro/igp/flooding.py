@@ -13,6 +13,7 @@ baseline.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -37,6 +38,7 @@ class FloodingStats:
     bytes_sent: int = 0
     deliveries: int = 0
     duplicates_suppressed: int = 0
+    messages_dropped: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict copy for reporting."""
@@ -45,6 +47,7 @@ class FloodingStats:
             "bytes_sent": self.bytes_sent,
             "deliveries": self.deliveries,
             "duplicates_suppressed": self.duplicates_suppressed,
+            "messages_dropped": self.messages_dropped,
         }
 
 
@@ -61,8 +64,41 @@ class FloodingFabric:
         self.timeline = timeline
         self.processing_delay = check_non_negative(processing_delay, "processing_delay")
         self.stats = FloodingStats()
+        # Fault-injection knob: per-adjacency LSA loss.  At the default rate
+        # of 0.0 no random numbers are drawn and every message is delivered,
+        # so runs without a fault plan are bit-identical to the pre-chaos
+        # behaviour.  Controller injections (``inject``) are never subject to
+        # loss: the controller session is a reliable TCP-like adjacency, and
+        # exempting it guarantees every committed lie reaches the attachment
+        # router's LSDB (which the crash/recovery resync relies on).
+        self.loss_rate: float = 0.0
+        self.loss_rng: Optional[random.Random] = None
+        self.on_drop: Optional[Callable[[str, str, Lsa], None]] = None
         # Set by the IgpNetwork once the router processes exist.
         self._deliver: Optional[Callable[[str, Lsa, Optional[str]], None]] = None
+
+    def set_loss(
+        self,
+        rate: float,
+        rng: Optional[random.Random] = None,
+        on_drop: Optional[Callable[[str, str, Lsa], None]] = None,
+    ) -> None:
+        """Configure per-adjacency LSA loss.
+
+        ``rate`` is the independent drop probability applied to each
+        router-to-router flooding hop; ``rng`` must be an explicit seeded
+        ``random.Random`` whenever ``rate`` is positive so chaos runs stay
+        reproducible.  ``on_drop(source, target, lsa)`` is invoked for every
+        dropped message (the fault injector uses it to bump its counters).
+        """
+        rate = check_non_negative(rate, "loss rate")
+        if rate > 1.0:
+            raise ValueError(f"loss rate must be at most 1.0, got {rate}")
+        if rate > 0.0 and rng is None:
+            raise ValueError("a seeded random.Random is required when loss rate is positive")
+        self.loss_rate = rate
+        self.loss_rng = rng
+        self.on_drop = on_drop
 
     def bind(self, deliver: Callable[[str, Lsa, Optional[str]], None]) -> None:
         """Register the callback used to hand an LSA to a router process.
@@ -79,6 +115,12 @@ class FloodingFabric:
         delay = link.delay + self.processing_delay
         self.stats.messages_sent += 1
         self.stats.bytes_sent += lsa.size_bytes
+        if self.loss_rate > 0.0 and self.loss_rng is not None:
+            if self.loss_rng.random() < self.loss_rate:
+                self.stats.messages_dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(source, target, lsa)
+                return
         self.timeline.schedule_in(
             delay,
             lambda: self._deliver_one(target, lsa, source),

@@ -18,12 +18,13 @@ computes the converged FIBs of every router directly from the global view.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.igp.fib import DEFAULT_MAX_ECMP, Fib, resolve_rib_to_fib
 from repro.igp.flooding import FloodingFabric
 from repro.igp.graph import ComputationGraph
 from repro.igp.lsa import FakeNodeLsa, Lsa, PrefixLsa, RouterLsa
+from repro.igp.topology import Link
 from repro.igp.rib import compute_rib
 from repro.igp.rib_cache import RibCache, RibCounters
 from repro.igp.router import RouterProcess, RouterTimers
@@ -34,6 +35,7 @@ from repro.util.errors import TopologyError
 from repro.util.timeline import Timeline
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.chaos import FaultCounters
     from repro.core.reconciler import CtlCounters
     from repro.core.shard import ShardCounters
 
@@ -76,7 +78,12 @@ class IgpNetwork:
         self._lsa_sequences: Dict[str, int] = {}
         self._dataplane_engines: List[object] = []
         self._controllers: List[object] = []
+        self._fault_injectors: List[object] = []
         self._inject_listeners: List[Callable[[str, int], None]] = []
+        # Directed Link objects of currently-failed links, keyed by the
+        # sorted endpoint pair, so restore_link can re-add each direction
+        # with its original weight/capacity/delay.
+        self._failed_links: Dict[Tuple[str, str], Tuple[Link, ...]] = {}
 
     # ------------------------------------------------------------------ #
     # Listeners
@@ -147,6 +154,17 @@ class IgpNetwork:
         if controller not in self._controllers:
             self._controllers.append(controller)
 
+    def register_fault_injector(self, injector) -> None:
+        """Register a fault injector whose ``fault_*`` counters this network reports.
+
+        :meth:`~repro.core.chaos.FaultInjector.start` calls this; the
+        scheduled link/LSA/poll/controller fault counts then ride along the
+        other layers in :attr:`spf_stats` and
+        :func:`~repro.monitoring.counters.collect_counters`.
+        """
+        if injector not in self._fault_injectors:
+            self._fault_injectors.append(injector)
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
@@ -191,9 +209,43 @@ class IgpNetwork:
         """
         if not self._started:
             raise TopologyError("start the network before injecting failures")
+        saved = tuple(
+            self.topology.link(source, target)
+            for source, target in ((first, second), (second, first))
+            if self.topology.has_link(source, target)
+        )
         self.topology.remove_link(first, second, both_directions=True)
+        self._failed_links[self._link_pair(first, second)] = saved
         for endpoint in (first, second):
             self.routers[endpoint].originate([self._router_lsa(endpoint)])
+
+    def restore_link(self, first: str, second: str) -> None:
+        """Bring a previously failed link ``first``-``second`` back up.
+
+        The exact inverse of :meth:`fail_link`: each removed directed link is
+        re-added with its original weight, capacity and delay (asymmetric
+        weights survive the round trip), and both endpoints re-originate
+        their router LSA with a fresh sequence number, exactly like OSPF
+        reacts to a carrier-up event.  Call :meth:`converge` afterwards; the
+        network then settles back onto the pre-failure FIBs byte-identically.
+        """
+        if not self._started:
+            raise TopologyError("start the network before restoring links")
+        saved = self._failed_links.pop(self._link_pair(first, second), None)
+        if saved is None:
+            raise TopologyError(
+                f"no recorded failure of link {first!r}-{second!r} to restore"
+            )
+        for link in saved:
+            self.topology.add_directed_link(
+                link.source, link.target, link.weight, link.capacity, link.delay
+            )
+        for endpoint in (first, second):
+            self.routers[endpoint].originate([self._router_lsa(endpoint)])
+
+    @staticmethod
+    def _link_pair(first: str, second: str) -> Tuple[str, str]:
+        return (first, second) if first <= second else (second, first)
 
     def change_weight(self, first: str, second: str, weight: float) -> None:
         """Change the symmetric IGP weight of a link and re-originate the LSAs.
@@ -310,6 +362,24 @@ class IgpNetwork:
                 total.merge(counters)
         return total
 
+    def fault_counters(self) -> "FaultCounters":
+        """Merged ``fault_*`` counters of every registered fault injector.
+
+        Zero-valued (and cheap) while no :class:`~repro.core.chaos.FaultInjector`
+        is registered, so fault accounting costs nothing on clean runs.
+        """
+        from repro.core.chaos import FaultCounters
+
+        total = FaultCounters()
+        for injector in self._fault_injectors:
+            total.merge(injector.counters)
+        return total
+
+    @property
+    def fault_stats(self) -> Dict[str, int]:
+        """Snapshot of the merged fault-injection counters (``fault_*`` keys)."""
+        return self.fault_counters().snapshot()
+
     @property
     def controller_stats(self) -> Dict[str, int]:
         """Snapshot of the merged controller counters (``ctl_*`` keys)."""
@@ -344,7 +414,12 @@ class IgpNetwork:
         ``shard_*`` keys report the sharded facade's wave dispatch (waves
         planned in parallel vs. serially, shard sub-waves dirty vs. clean,
         cross-shard fallbacks; see :class:`~repro.core.shard.ShardCounters`)
-        and stay zero while only single controllers are registered.
+        and stay zero while only single controllers are registered.  The
+        ``fault_*`` keys report the seeded chaos the network was subjected
+        to (links downed/restored, LSAs dropped in flight, polls timed out
+        or omitted, controller crashes/resyncs; see
+        :class:`~repro.core.chaos.FaultCounters`) and stay zero while no
+        fault injector is registered.
         """
         total = SpfCounters()
         rib_total = RibCounters()
@@ -357,6 +432,7 @@ class IgpNetwork:
             **self.dataplane_counters().snapshot(),
             **self.controller_counters().snapshot(),
             **self.shard_counters().snapshot(),
+            **self.fault_counters().snapshot(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -69,7 +69,20 @@ class UtilizationAlarm:
         raise_threshold: float = 0.9,
         clear_threshold: Optional[float] = None,
         cooldown: float = 3.0,
+        staleness_horizon: Optional[float] = None,
     ) -> None:
+        """Create an alarm over ``collector``.
+
+        ``staleness_horizon`` (seconds, ``None`` disables the check) guards
+        the degraded-monitoring path: when SNMP polls time out and are
+        omitted (see :meth:`~repro.monitoring.poller.SnmpPoller.set_timeouts`),
+        the next successful sample averages its rates over the whole elapsed
+        gap.  A sample whose ``interval`` exceeds the horizon is too stale
+        to act on — the measured average says little about the *current*
+        load — so the alarm stays silent for it (counted in
+        :attr:`suppressed_stale`) instead of asking the controller to react
+        to phantom congestion.
+        """
         if not 0.0 < raise_threshold:
             raise MonitoringError(f"raise_threshold must be positive, got {raise_threshold}")
         if clear_threshold is None:
@@ -88,6 +101,11 @@ class UtilizationAlarm:
         self.raise_threshold = raise_threshold
         self.clear_threshold = clear_threshold
         self.cooldown = check_non_negative(cooldown, "cooldown")
+        if staleness_horizon is not None:
+            staleness_horizon = check_non_negative(staleness_horizon, "staleness_horizon")
+        self.staleness_horizon = staleness_horizon
+        #: Samples on which a decision was suppressed for staleness.
+        self.suppressed_stale = 0
         self.events: List[AlarmEvent] = []
         self._listeners: List[Callable[[AlarmEvent], None]] = []
         self._armed = True
@@ -109,6 +127,16 @@ class UtilizationAlarm:
         (the collector must ingest the sample first); for convenience it can
         also be wired through :meth:`wire`.
         """
+        if (
+            self.staleness_horizon is not None
+            and sample.interval > self.staleness_horizon
+        ):
+            # Degraded monitoring: the sample covers a gap longer than the
+            # horizon (omitted polls), so its averaged rates are too stale
+            # to base a reaction on.  No firing, no re-arming — the next
+            # fresh sample decides.
+            self.suppressed_stale += 1
+            return None
         hot = self.collector.links_above(self.raise_threshold)
         if not hot:
             if not self.collector.links_above(self.clear_threshold):

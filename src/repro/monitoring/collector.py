@@ -58,28 +58,41 @@ class LoadCollector:
         self.last_update: Optional[float] = None
 
     def _refresh_capacities(self) -> None:
-        """Re-read link capacities when the topology revision moved.
+        """Sync the monitored link set with the topology when its revision moved.
 
-        Links that vanished from the topology (failures) keep their
-        last-known capacity: their EWMA estimates decay toward zero and must
-        still normalise against the capacity the link had while it carried
-        the measured traffic.
+        Links that vanished from the topology (failures, maintenance) are
+        dropped outright — estimate and capacity entry both — mirroring the
+        poller's vanished-interface cleanup: the agents stop reporting them,
+        so a retained entry could only ever feed the alarm a phantom
+        utilisation against state that no longer exists.  Links that
+        appeared (restorations, provisioning) start monitoring with a fresh
+        EWMA; surviving links re-read their capacity so provisioning events
+        reach the alarm at the next read.
         """
         revision = self.topology.revision
         if revision == self._capacity_revision:
             return
-        for link in self.topology.links:
-            self._capacities[link.key] = link.capacity
+        current = {link.key: link.capacity for link in self.topology.links}
+        for key in list(self._estimates):
+            if key not in current:
+                del self._estimates[key]
+                self._capacities.pop(key, None)
+        for key, capacity in current.items():
+            if key not in self._estimates:
+                self._estimates[key] = Ewma(alpha=self.alpha)
+            self._capacities[key] = capacity
         self._capacity_revision = revision
 
     def ingest(self, sample: PollSample) -> None:
         """Fold one poll sample into the estimates (idle links decay toward 0)."""
+        self._refresh_capacities()
         for link, ewma in self._estimates.items():
             ewma.update(sample.rates.get(link, 0.0))
         self.last_update = sample.time
 
     def rate(self, source: str, target: str) -> float:
         """Smoothed rate estimate for a directed link (bit/s)."""
+        self._refresh_capacities()
         key = (source, target)
         if key not in self._estimates:
             raise MonitoringError(f"link {source}->{target} is not monitored")
@@ -87,10 +100,10 @@ class LoadCollector:
 
     def utilization(self, source: str, target: str) -> float:
         """Smoothed utilisation estimate for a directed link."""
+        self._refresh_capacities()
         key = (source, target)
         if key not in self._estimates:
             raise MonitoringError(f"link {source}->{target} is not monitored")
-        self._refresh_capacities()
         capacity = self._capacities[key]
         return self._estimates[key].value / capacity if capacity > 0 else 0.0
 

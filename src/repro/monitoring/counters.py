@@ -103,7 +103,11 @@ def collect_counters(network: "IgpNetwork") -> Dict[str, Dict[str, int]]:
     sharded facade whose view folds its shards in) on one network each
     contribute exactly once — plus the ``shard_*`` wave-dispatch counters
     of any registered :class:`~repro.core.shard.ShardedFibbingController`;
-    the ``"total"`` entry merges all four layers and matches
+    the ``"faults"`` entry carries the ``fault_*`` chaos accounting of every
+    registered :class:`~repro.core.chaos.FaultInjector` (links
+    downed/restored, LSAs dropped in flight, polls timed out/omitted,
+    controller crashes/restarts — all zero on clean runs); the ``"total"``
+    entry merges all five layers and matches
     :attr:`repro.igp.network.IgpNetwork.spf_stats`.
     """
     per_router: Dict[str, Dict[str, int]] = {}
@@ -119,14 +123,17 @@ def collect_counters(network: "IgpNetwork") -> Dict[str, Dict[str, int]]:
     dataplane = network.dataplane_counters()
     controller = network.controller_counters()
     shard = network.shard_counters()
+    faults = network.fault_counters()
     per_router["dataplane"] = dataplane.snapshot()
     per_router["controller"] = {**controller.snapshot(), **shard.snapshot()}
+    per_router["faults"] = faults.snapshot()
     per_router["total"] = {
         **total.snapshot(),
         **rib_total.snapshot(),
         **dataplane.snapshot(),
         **controller.snapshot(),
         **shard.snapshot(),
+        **faults.snapshot(),
     }
     return per_router
 

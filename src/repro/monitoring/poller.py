@@ -71,6 +71,23 @@ class SnmpPoller:
                 "so the poll schedule is reproducible"
             )
         self.rng = rng
+        # Fault-injection knobs (see core.chaos): each poll attempt times
+        # out with probability ``timeout_rate`` (drawn from an explicit
+        # seeded RNG), is retried up to ``max_retries`` times with
+        # exponential backoff (retry k fires ``retry_backoff * 2**k``
+        # seconds later), and is *omitted* — no sample at all this round —
+        # when every retry times out too.  The baseline reading survives an
+        # omission, so the next successful poll measures its rates over the
+        # whole elapsed gap; downstream consumers see that as a long
+        # ``sample.interval`` (the alarm's staleness horizon keys on it).
+        # At the default rate of 0.0 no random numbers are drawn and every
+        # poll succeeds immediately.
+        self.timeout_rate: float = 0.0
+        self.timeout_rng: Optional[random.Random] = None
+        self.max_retries: int = 2
+        self.retry_backoff: float = 0.1
+        self.poll_timeouts = 0
+        self.poll_omissions = 0
         self.polls_performed = 0
         #: Counter resets/wraps observed: negative octet deltas re-baseline
         #: the link (no rate reported that interval) instead of silently
@@ -81,6 +98,32 @@ class SnmpPoller:
         self._previous_counters: Dict[LinkKey, float] = {}
         self._previous_time = timeline.now
         self._started = False
+
+    def set_timeouts(
+        self,
+        rate: float,
+        rng: Optional[random.Random] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
+    ) -> None:
+        """Configure SNMP timeout fault injection (see the class attributes).
+
+        ``rate`` is the per-attempt timeout probability; ``rng`` must be an
+        explicit seeded ``random.Random`` whenever it is positive.
+        """
+        rate = check_non_negative(rate, "timeout rate")
+        if rate > 1.0:
+            raise MonitoringError(f"timeout rate must be at most 1.0, got {rate}")
+        if rate > 0.0 and rng is None:
+            raise MonitoringError(
+                "a seeded random.Random is required when the timeout rate is positive"
+            )
+        if max_retries < 0:
+            raise MonitoringError(f"max_retries must be >= 0, got {max_retries}")
+        self.timeout_rate = rate
+        self.timeout_rng = rng
+        self.max_retries = max_retries
+        self.retry_backoff = check_non_negative(retry_backoff, "retry_backoff")
 
     def on_sample(self, listener: Callable[[PollSample], None]) -> None:
         """Register ``listener(sample)`` invoked after every poll."""
@@ -110,6 +153,28 @@ class SnmpPoller:
         return counters
 
     def _poll(self) -> None:
+        self._attempt(0)
+
+    def _attempt(self, attempt: int) -> None:
+        if (
+            self.timeout_rate > 0.0
+            and self.timeout_rng is not None
+            and self.timeout_rng.random() < self.timeout_rate
+        ):
+            self.poll_timeouts += 1
+            if attempt < self.max_retries:
+                self.timeline.schedule_in(
+                    self.retry_backoff * (2.0 ** attempt),
+                    lambda: self._attempt(attempt + 1),
+                    label="snmp-poll-retry",
+                )
+            else:
+                # Every retry timed out: this polling round produces no
+                # sample.  The baseline counters/time survive, so the next
+                # successful poll averages over the whole gap.
+                self.poll_omissions += 1
+                self._schedule_next_poll()
+            return
         now = self.timeline.now
         counters = self._read_counters()
         interval = now - self._previous_time

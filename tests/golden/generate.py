@@ -179,6 +179,31 @@ def reaction_snapshot() -> dict:
     return {"rows": [asdict(row) for row in rows]}
 
 
+def chaos_recovery_snapshot() -> dict:
+    """A8 chaos resilience rows: QoE with and without controller recovery.
+
+    Pins the seeded fault grid bit for bit — the clean baseline, the
+    unrecovered crash and the crash-plus-resync variants, including the
+    ``fault_*`` chaos accounting, the ``ctl_resync*`` recovery bookkeeping
+    and the final lie digest (fake-node names included).  A drift of the
+    fault injector's seeded streams, the LSDB resync, or the degraded
+    monitoring path fails here loudly.
+    """
+    from dataclasses import asdict
+
+    from repro.experiments.chaos import run_chaos_resilience
+
+    rows = run_chaos_resilience(
+        seed=0,
+        duration=60.0,
+        link_churn=2,
+        lsa_loss_rate=0.02,
+        poll_timeout_rate=0.1,
+        staleness_horizon=5.0,
+    )
+    return {"rows": [asdict(row) for row in rows]}
+
+
 def optimality_snapshot() -> dict:
     from repro.experiments.optimality import run_optimality_study
 
@@ -208,6 +233,7 @@ def main() -> None:
         "flashcrowd_classes_qoe.json": flashcrowd_classes_snapshot(),
         "optimality_gaps.json": optimality_snapshot(),
         "reaction_curves.json": reaction_snapshot(),
+        "chaos_recovery.json": chaos_recovery_snapshot(),
     }
     for name, payload in snapshots.items():
         path = GOLDEN_DIR / name

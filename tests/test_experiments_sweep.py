@@ -28,10 +28,10 @@ def harness(grid=QUICK, parallel="serial", **kwargs):
 class TestGridExpansion:
     def test_quick_grid_is_2_seeds_by_2_points_per_axis(self):
         runs = harness().expand()
-        # 2 axes x 2 seeds x 2 grid points, plus the flashcrowd-classes and
-        # reaction smoke rows.
-        assert len(runs) == 10
-        assert [run.index for run in runs] == list(range(10))
+        # 2 axes x 2 seeds x 2 grid points, plus the flashcrowd-classes,
+        # reaction and chaos smoke rows.
+        assert len(runs) == 11
+        assert [run.index for run in runs] == list(range(11))
 
     def test_expansion_order_is_deterministic(self):
         spec = GridSpec.build("flashcrowd", seeds=(7, 3), pods=[2, 4], flow_counts=[(10,)])

@@ -312,6 +312,48 @@ class TestReactionCurvesGolden:
         )
 
 
+class TestChaosRecoveryGolden:
+    """Chaos resilience snapshots: the seeded A8 fault grid, pinned
+    bit-for-bit — the clean baseline, the unrecovered crash and the
+    crash-plus-resync variants, including the ``fault_*`` chaos accounting,
+    the ``ctl_resync*`` recovery bookkeeping and the final lie digests
+    (fake-node names included).  A drift of the fault injector's seeded
+    streams, the LSDB resync, or the degraded monitoring path fails here."""
+
+    def test_chaos_rows_are_bit_identical(self):
+        from dataclasses import asdict
+
+        from repro.experiments.chaos import run_chaos_resilience
+
+        expected = load_golden("chaos_recovery.json")["rows"]
+        rows = run_chaos_resilience(
+            seed=0,
+            duration=60.0,
+            link_churn=2,
+            lsa_loss_rate=0.02,
+            poll_timeout_rate=0.1,
+            staleness_horizon=5.0,
+        )
+        assert len(rows) == len(expected)
+        for row, want in zip(rows, expected):
+            assert asdict(row) == want
+        # The rows must actually carry the robustness signal: the crash
+        # variant loses QoE the recovery variant restores, and the recovery
+        # run resynced from the LSDB instead of replanning from scratch.
+        by_variant = {row.variant: row for row in rows}
+        assert by_variant["clean"].total_stall_time == 0.0
+        assert by_variant["crash"].total_stall_time > 0.0
+        assert by_variant["crash"].reactions_abandoned > 0
+        assert by_variant["recovery"].resyncs == 1
+        assert by_variant["recovery"].resync_lies_recovered > 0
+        assert (
+            by_variant["recovery"].total_stall_time
+            < by_variant["crash"].total_stall_time
+        )
+        # The clean variant ends with the same lies as the plain Fig. 2 run.
+        assert by_variant["clean"].lie_digest == by_variant["recovery"].lie_digest
+
+
 class TestOptimalityGolden:
     def test_gap_numbers_are_bit_identical(self):
         expected = load_golden("optimality_gaps.json")["rows"]

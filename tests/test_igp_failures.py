@@ -78,6 +78,69 @@ class TestLinkFailure:
         assert 0 < episode.duration < 1.0
 
 
+class TestLinkRestore:
+    @staticmethod
+    def _fib_state(network):
+        """Value snapshot of every router's full FIB (frozen dataclasses)."""
+        return {
+            name: {prefix: fib.lookup(prefix) for prefix in fib.prefixes}
+            for name, fib in network.fibs().items()
+        }
+
+    def test_restore_returns_to_pre_failure_fibs_byte_identically(self, live_network):
+        before = self._fib_state(live_network)
+        live_network.fail_link("B", "R2")
+        live_network.converge()
+        assert self._fib_state(live_network) != before
+        live_network.restore_link("B", "R2")
+        live_network.converge()
+        assert self._fib_state(live_network) == before
+
+    def test_restore_accepts_endpoints_in_either_order(self, live_network):
+        before = self._fib_state(live_network)
+        live_network.fail_link("B", "R2")
+        live_network.converge()
+        live_network.restore_link("R2", "B")
+        live_network.converge()
+        assert self._fib_state(live_network) == before
+
+    def test_restore_before_start_rejected(self):
+        network = IgpNetwork(build_demo_topology())
+        with pytest.raises(TopologyError):
+            network.restore_link("B", "R2")
+
+    def test_restore_without_recorded_failure_rejected(self, live_network):
+        with pytest.raises(TopologyError):
+            live_network.restore_link("B", "R2")
+
+    def test_restore_preserves_asymmetric_weights(self):
+        # Make the pair asymmetric before starting, then round-trip it
+        # through a failure: the restored links must carry the saved
+        # per-direction weights, not a symmetric reconstruction.
+        topology = build_demo_topology()
+        topology.set_weight("B", "R2", 7, both_directions=False)
+        network = IgpNetwork(topology)
+        network.start()
+        network.converge()
+        before = self._fib_state(network)
+        network.fail_link("B", "R2")
+        network.converge()
+        network.restore_link("B", "R2")
+        network.converge()
+        assert topology.link("B", "R2").weight == 7
+        assert topology.link("R2", "B").weight == 1
+        assert self._fib_state(network) == before
+
+    def test_repeated_fail_restore_cycles_are_stable(self, live_network):
+        before = self._fib_state(live_network)
+        for _ in range(3):
+            live_network.fail_link("R1", "R4")
+            live_network.converge()
+            live_network.restore_link("R1", "R4")
+            live_network.converge()
+        assert self._fib_state(live_network) == before
+
+
 class TestWeightChange:
     def test_weight_change_moves_traffic(self, live_network):
         # Making B-R2 expensive makes B prefer B-R3-C.

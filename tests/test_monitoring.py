@@ -289,16 +289,40 @@ class TestCollectorAndAlarm:
             max(view.utilization for view in collector.views())
         )
 
-    def test_vanished_link_keeps_last_known_capacity(self, monitored_engine):
-        # A failed link disappears from the topology, but the collector must
-        # still normalise its decaying EWMA against the capacity the link
-        # had while it carried the measured traffic (and not crash).
+    def test_vanished_link_state_is_dropped(self, monitored_engine):
+        # A failed link disappears from the topology; the collector must
+        # drop its estimate and capacity entry (mirroring the poller's
+        # vanished-interface cleanup) instead of leaking per-link state that
+        # feeds the alarm phantom utilisations.  Historically vanished links
+        # kept their last-known capacity and a decaying EWMA forever.
         topology, timeline, engine, collector, _ = self.wire(monitored_engine)
         engine.add_flow("B", BLUE_PREFIX, mbps(16))
         timeline.run_until(3.0)
-        before = collector.utilization("B", "R3")
-        topology.remove_link("B", "R3")
-        assert collector.utilization("B", "R3") == pytest.approx(before)
+        assert ("B", "R3") in [view.link for view in collector.views()]
+        topology.remove_link("B", "R3", both_directions=True)
+        with pytest.raises(MonitoringError):
+            collector.utilization("B", "R3")
+        assert ("B", "R3") not in [view.link for view in collector.views()]
+        assert ("B", "R3") not in collector._estimates
+        assert ("B", "R3") not in collector._capacities
+
+    def test_restored_link_remonitored_with_fresh_estimate(self, monitored_engine):
+        # The inverse event: a link added (back) to the topology starts
+        # monitoring from a fresh EWMA instead of staying invisible.
+        topology, timeline, engine, collector, _ = self.wire(monitored_engine)
+        engine.add_flow("B", BLUE_PREFIX, mbps(16))
+        timeline.run_until(3.0)
+        saved = topology.link("B", "R3")
+        reverse = topology.link("R3", "B")
+        topology.remove_link("B", "R3", both_directions=True)
+        with pytest.raises(MonitoringError):
+            collector.utilization("B", "R3")
+        for link in (saved, reverse):
+            topology.add_directed_link(
+                link.source, link.target, link.weight, link.capacity, link.delay
+            )
+        assert collector.utilization("B", "R3") == 0.0
+        assert collector.rate("B", "R3") == 0.0
 
 
 class TestNotifications:
